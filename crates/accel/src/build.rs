@@ -1,0 +1,781 @@
+//! Construction of the baseline and protected accelerator designs.
+//!
+//! Both share one microarchitecture (`build`): a 30-stage AES-128 pipeline
+//! (whitening stage, nine rounds of three registered substages, a
+//! two-substage final round), an on-the-fly key-expansion pipeline, a
+//! 512-bit key scratchpad (eight 64-bit cells, Fig. 5), configuration
+//! registers, and a debug peripheral exposing any pipeline register
+//! (the trace-buffer attack surface). The [`Protection`] level selects how
+//! much of the paper's enforcement is instantiated.
+
+use aes_core::{block_to_u128, Aes};
+use hdl::{Design, LabelExpr, ModuleBuilder, Sig};
+use ifc_lattice::{Label, SecurityTag};
+
+use crate::bytes::{
+    add_round_key_hw, inv_mix_columns_hw, inv_sbox_rom, inv_shift_rows_hw, inv_sub_bytes_hw,
+    key_expand_hw, key_unexpand_dyn_hw, mix_columns_hw, sbox_rom, shift_rows_hw, sub_bytes_hw,
+};
+use crate::params::{AccelParams, PIPELINE_DEPTH};
+
+/// AES round constants (RCON\[r\] produces round key `r + 1`).
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// The device master key, provisioned at manufacturing time into
+/// scratchpad cells 6 and 7 with the `(⊤,⊤)` label.
+pub const MASTER_KEY: [u8; 16] = [
+    0xc0, 0xff, 0xee, 0x42, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd,
+    0xef,
+];
+
+/// Reference ciphertext oracle for the master key (used by attack checks).
+#[must_use]
+pub fn master_key_encrypt(block: [u8; 16]) -> [u8; 16] {
+    Aes::new_128(MASTER_KEY).encrypt_block(block)
+}
+
+/// How much of the paper's protection scheme a built design carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// The unprotected baseline: no labels, no tags, no checks.
+    Off,
+    /// The baseline *structure* with the security annotations of Table 1
+    /// applied — the artifact the static checker floods with label errors
+    /// (the paper's methodology step between baseline and protected).
+    Annotated,
+    /// The protected design: tags, runtime checks, stall policy, holding
+    /// buffer, and nonmalleable declassification. Verifies cleanly.
+    Full,
+}
+
+/// Builds the unprotected baseline accelerator.
+#[must_use]
+pub fn baseline() -> Design {
+    build(Protection::Off, AccelParams::paper())
+}
+
+/// Builds the baseline structure carrying security annotations (for static
+/// analysis; see [`Protection::Annotated`]).
+#[must_use]
+pub fn baseline_annotated() -> Design {
+    build(Protection::Annotated, AccelParams::paper())
+}
+
+/// Builds the protected accelerator.
+#[must_use]
+pub fn protected() -> Design {
+    build(Protection::Full, AccelParams::paper())
+}
+
+/// The individual enforcement mechanisms of the protected design.
+/// Disabling one produces a *lesion* variant for the ablation study: the
+/// corresponding attack class becomes exploitable again, and (for the
+/// value-flow mechanisms) the static checker flags the hole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mechanisms {
+    /// The Fig. 5 hardware tag check guarding scratchpad writes.
+    pub scratchpad_check: bool,
+    /// The Fig. 8 confidentiality-meet stall policy (off = baseline
+    /// stall-on-any-backpressure). An *architectural* mechanism: its
+    /// absence shows up in the noninterference experiment, not as a label
+    /// error.
+    pub stall_policy: bool,
+    /// Nonmalleable declassification of the output (off = raw release).
+    pub nm_release: bool,
+    /// The integrity check on configuration writes.
+    pub cfg_check: bool,
+    /// Releasing the debug port at the supervisor-only (S,U) level.
+    pub supervisor_debug: bool,
+}
+
+impl Mechanisms {
+    /// Every mechanism enabled — the shipped protected design.
+    #[must_use]
+    pub const fn all() -> Mechanisms {
+        Mechanisms {
+            scratchpad_check: true,
+            stall_policy: true,
+            nm_release: true,
+            cfg_check: true,
+            supervisor_debug: true,
+        }
+    }
+}
+
+impl Default for Mechanisms {
+    fn default() -> Mechanisms {
+        Mechanisms::all()
+    }
+}
+
+/// Builds a protected accelerator with a subset of mechanisms (the lesion
+/// study's subjects).
+#[must_use]
+pub fn protected_with(mechanisms: Mechanisms) -> Design {
+    build_with(Protection::Full, AccelParams::paper(), mechanisms)
+}
+
+/// Builds an accelerator at the given protection level.
+#[must_use]
+pub fn build(p: Protection, params: AccelParams) -> Design {
+    build_with(p, params, Mechanisms::all())
+}
+
+/// Builds an accelerator at the given protection level with an explicit
+/// mechanism set (only meaningful for [`Protection::Full`]).
+#[must_use]
+pub fn build_with(p: Protection, params: AccelParams, mech: Mechanisms) -> Design {
+    build_full(p, params, mech, false)
+}
+
+/// Builds an accelerator with a data-leak hardware Trojan inserted (the
+/// attack class of the paper's reference \[16\]): a magic plaintext block
+/// arms an exfiltration FSM that leaks round-key bytes through the
+/// `out_tag` side channel, one byte per cycle. The Trojan never perturbs
+/// ciphertexts, so functional testing cannot see it — but on the
+/// annotated/protected structure the static IFC check flags the
+/// key-to-public flow immediately.
+#[must_use]
+pub fn trojaned(p: Protection) -> Design {
+    build_full(p, AccelParams::paper(), Mechanisms::all(), true)
+}
+
+/// The plaintext block that arms the Trojan.
+pub const TROJAN_TRIGGER: [u8; 16] = [
+    0x13, 0x37, 0xc0, 0xde, 0xde, 0xad, 0xbe, 0xef, 0x0b, 0xad, 0xf0, 0x0d, 0xca, 0xfe, 0xd0,
+    0x0d,
+];
+
+#[must_use]
+#[allow(clippy::too_many_lines)]
+fn build_full(p: Protection, params: AccelParams, mech: Mechanisms, trojan: bool) -> Design {
+    let annotate = p != Protection::Off;
+    let full = p == Protection::Full;
+    let name = match p {
+        _ if trojan => "aes_accel_trojaned",
+        Protection::Off => "aes_accel_baseline",
+        Protection::Annotated => "aes_accel_baseline_annotated",
+        Protection::Full if mech == Mechanisms::all() => "aes_accel_protected",
+        Protection::Full => "aes_accel_protected_lesioned",
+    };
+    let mut m = ModuleBuilder::new(name);
+    let pt = Label::PUBLIC_TRUSTED;
+
+    // ----- ports ----------------------------------------------------------
+    let in_valid = m.input("in_valid", 1);
+    let in_block = m.input("in_block", 128);
+    let in_tag = m.input("in_tag", 8);
+    let in_decrypt = m.input("in_decrypt", 1);
+    let in_key_slot = m.input("in_key_slot", 2);
+    let key_we = m.input("key_we", 1);
+    let key_cell = m.input("key_cell", 3);
+    let key_data = m.input("key_data", 64);
+    let key_wr_tag = m.input("key_wr_tag", 8);
+    let alloc_we = m.input("alloc_we", 1);
+    let alloc_cell = m.input("alloc_cell", 3);
+    let alloc_tag = m.input("alloc_tag", 8);
+    let cfg_we = m.input("cfg_we", 1);
+    let cfg_data = m.input("cfg_data", 8);
+    let cfg_wr_tag = m.input("cfg_wr_tag", 8);
+    let dbg_sel = m.input("dbg_sel", 6);
+    let out_ready = m.input("out_ready", 1);
+
+    if annotate {
+        // Control and metadata signals come from the trusted SoC wrapper
+        // of Fig. 2; data signals carry the label of their runtime tag.
+        for sig in [
+            in_valid,
+            in_tag,
+            in_decrypt,
+            in_key_slot,
+            key_we,
+            key_cell,
+            key_wr_tag,
+            alloc_we,
+            alloc_cell,
+            alloc_tag,
+            cfg_we,
+            cfg_wr_tag,
+            dbg_sel,
+            out_ready,
+        ] {
+            m.set_label(sig, pt);
+        }
+        m.set_label(in_block, LabelExpr::FromTag(in_tag.id()));
+        m.set_label(key_data, LabelExpr::FromTag(key_wr_tag.id()));
+        m.set_label(cfg_data, LabelExpr::FromTag(cfg_wr_tag.id()));
+    }
+
+    // ----- shared ROM ------------------------------------------------------
+    let rom = sbox_rom(&mut m);
+
+    // ----- key scratchpad (Fig. 5) ------------------------------------------
+    let mk = block_to_u128(MASTER_KEY);
+    let mut cell_init = vec![0u128; params.scratchpad_cells];
+    cell_init[6] = mk >> 64;
+    cell_init[7] = mk & u128::from(u64::MAX);
+    let cells = m.mem("scratchpad.cells", 64, params.scratchpad_cells, cell_init);
+
+    // Per-cell tag array; unallocated cells are supervisor-owned (P,T),
+    // master-key cells carry (S,T).
+    let tags_mem = if full {
+        let mut tag_init = vec![u128::from(SecurityTag::from(pt).bits()); params.scratchpad_cells];
+        let mk_tag = u128::from(SecurityTag::from(Label::SECRET_TRUSTED).bits());
+        tag_init[6] = mk_tag;
+        tag_init[7] = mk_tag;
+        let tm = m.mem("scratchpad.tags", 8, params.scratchpad_cells, tag_init);
+        m.set_mem_label(tm, pt);
+        Some(tm)
+    } else {
+        None
+    };
+
+    // Key write path. `key_write_landed` is the effective write enable,
+    // which also triggers decrypt-key preparation below.
+    let key_write_landed = if let Some(tm) = tags_mem {
+        // Fig. 5: the hardware tag check in front of the tagged storage.
+        let wr_cell_tag = m.mem_read(tm, key_cell);
+        let wr_en = if mech.scratchpad_check {
+            let wr_ok = m.tag_leq(key_wr_tag, wr_cell_tag);
+            m.and(key_we, wr_ok)
+        } else {
+            // Lesion: the bounds/ownership check is missing.
+            key_we
+        };
+        m.when(wr_en, |m| m.mem_write(cells, key_cell, key_data));
+        m.set_mem_label(cells, LabelExpr::FromTag(wr_cell_tag.id()));
+        // The arbiter (re)allocates a cell: retag and wipe.
+        m.when(alloc_we, |m| {
+            m.mem_write(tm, alloc_cell, alloc_tag);
+            let zero64 = m.lit(0, 64);
+            m.mem_write(cells, alloc_cell, zero64);
+        });
+        wr_en
+    } else {
+        // Baseline: no bounds/ownership check whatsoever.
+        m.when(key_we, |m| m.mem_write(cells, key_cell, key_data));
+        key_we
+    };
+
+    // ----- decrypt-key scratchpad and preparation unit ------------------------
+    // Decryption whitens with the *last* round key, so the accelerator
+    // precomputes RK10 for each loaded key into a parallel scratchpad
+    // (one expansion step per cycle) — the standard E/D organisation. The
+    // master key's decrypt key is factory-provisioned like the key itself.
+    let mk_rk10 = block_to_u128(
+        aes_core::KeySchedule::expand(&MASTER_KEY)
+            .expect("master key is 16 bytes")
+            .round_key(10),
+    );
+    let mut dec_init = vec![0u128; params.scratchpad_cells];
+    dec_init[6] = mk_rk10 >> 64;
+    dec_init[7] = mk_rk10 & u128::from(u64::MAX);
+    let dec_cells = m.mem("decpad.cells", 64, params.scratchpad_cells, dec_init);
+    let dec_tags = if full {
+        let mut tag_init = vec![u128::from(SecurityTag::from(pt).bits()); params.scratchpad_cells];
+        let mk_tag = u128::from(SecurityTag::from(Label::SECRET_TRUSTED).bits());
+        tag_init[6] = mk_tag;
+        tag_init[7] = mk_tag;
+        let tm = m.mem("decpad.tags", 8, params.scratchpad_cells, tag_init);
+        m.set_mem_label(tm, pt);
+        Some(tm)
+    } else {
+        None
+    };
+
+    let prep_active = m.reg("prep.active", 1, 0);
+    let prep_cnt = m.reg("prep.cnt", 4, 0);
+    let prep_base = m.reg("prep.base", 3, 0);
+    let prep_ktag = m.reg("prep.ktag", 8, 0);
+    let prep_kstate = m.reg("prep.kstate", 128, 0);
+    if annotate {
+        for s in [prep_active, prep_cnt, prep_base, prep_ktag] {
+            m.set_label(s, pt);
+        }
+    }
+    if full {
+        m.set_label(prep_kstate, LabelExpr::FromTag(prep_ktag.id()));
+    }
+
+    // A completed write to a slot's odd cell kicks off preparation.
+    let odd_cell = m.slice(key_cell, 0, 0);
+    let prep_trigger = m.and(key_write_landed, odd_cell);
+    let slot_bits = m.slice(key_cell, 2, 1);
+    let bit0 = m.lit(0, 1);
+    let bit1 = m.lit(1, 1);
+    let base_cell = m.cat(slot_bits, bit0);
+    m.when(prep_trigger, |m| {
+        let one = m.lit(1, 1);
+        m.connect(prep_active, one);
+        let z4 = m.lit(0, 4);
+        m.connect(prep_cnt, z4);
+        m.connect(prep_base, base_cell);
+    });
+
+    let prep_base_hi = prep_base;
+    let prep_base_slot = m.slice(prep_base, 2, 1);
+    let prep_base_lo = m.cat(prep_base_slot, bit1);
+    let p_hi = m.mem_read(cells, prep_base_hi);
+    let p_lo = m.mem_read(cells, prep_base_lo);
+    let p_key = m.cat(p_hi, p_lo);
+
+    let prep_rcon_rom = m.mem(
+        "prep.rcon_rom",
+        8,
+        16,
+        vec![0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0, 0, 0, 0, 0, 0],
+    );
+    let one4p = m.lit(1, 4);
+    let cnt_m1 = m.sub(prep_cnt, one4p);
+    let prep_rcon = m.mem_read(prep_rcon_rom, cnt_m1);
+    let prep_expanded = crate::bytes::key_expand_dyn_hw(&mut m, rom, prep_kstate, prep_rcon);
+    let kstate_hi = m.slice(prep_kstate, 127, 64);
+    let kstate_lo = m.slice(prep_kstate, 63, 0);
+
+    let cnt_is_latch = m.eq_lit(prep_cnt, 0);
+    let cnt_ge1 = m.ge(prep_cnt, one4p);
+    let eleven = m.lit(11, 4);
+    let cnt_lt11 = m.lt(prep_cnt, eleven);
+    let cnt_expanding = m.and(cnt_ge1, cnt_lt11);
+    let cnt_is_tagwr = m.eq_lit(prep_cnt, 11);
+    let cnt_is_datawr = m.eq_lit(prep_cnt, 12);
+    let cnt_next = m.add(prep_cnt, one4p);
+
+    m.when(prep_active, |m| {
+        m.connect(prep_cnt, cnt_next);
+        m.when(cnt_is_latch, |m| {
+            m.connect(prep_kstate, p_key);
+            if let Some(tm) = tags_mem {
+                let pt_hi = m.mem_read(tm, prep_base_hi);
+                let pt_lo = m.mem_read(tm, prep_base_lo);
+                let joined = m.tag_join(pt_hi, pt_lo);
+                m.connect(prep_ktag, joined);
+            }
+        });
+        m.when(cnt_expanding, |m| m.connect(prep_kstate, prep_expanded));
+        if let Some(dtm) = dec_tags {
+            m.when(cnt_is_tagwr, |m| {
+                m.mem_write(dtm, prep_base_hi, prep_ktag);
+                m.mem_write(dtm, prep_base_lo, prep_ktag);
+            });
+            let dt_rd_hi = m.mem_read(dtm, prep_base_hi);
+            let dt_rd_lo = m.mem_read(dtm, prep_base_lo);
+            let ok_hi = m.tag_leq(prep_ktag, dt_rd_hi);
+            let ok_lo = m.tag_leq(prep_ktag, dt_rd_lo);
+            let wr_hi = m.and(cnt_is_datawr, ok_hi);
+            let wr_lo = m.and(cnt_is_datawr, ok_lo);
+            m.when(wr_hi, |m| m.mem_write(dec_cells, prep_base_hi, kstate_hi));
+            m.when(wr_lo, |m| m.mem_write(dec_cells, prep_base_lo, kstate_lo));
+            m.set_mem_label(dec_cells, LabelExpr::FromTag(dt_rd_hi.id()));
+        } else {
+            m.when(cnt_is_datawr, |m| {
+                m.mem_write(dec_cells, prep_base_hi, kstate_hi);
+                m.mem_write(dec_cells, prep_base_lo, kstate_lo);
+            });
+        }
+        m.when(cnt_is_datawr, |m| {
+            let z1 = m.lit(0, 1);
+            m.connect(prep_active, z1);
+        });
+    });
+
+    // Dispatch key read: slot s occupies cells 2s (high half) and 2s+1.
+    let addr_hi = m.cat(in_key_slot, bit0);
+    let addr_lo = m.cat(in_key_slot, bit1);
+    let k_hi = m.mem_read(cells, addr_hi);
+    let k_lo = m.mem_read(cells, addr_lo);
+    let key128 = m.cat(k_hi, k_lo);
+    let d_hi = m.mem_read(dec_cells, addr_hi);
+    let d_lo = m.mem_read(dec_cells, addr_lo);
+    let dec_key128 = m.cat(d_hi, d_lo);
+
+    let disp_tag = if full {
+        let tm = tags_mem.expect("full protection has a tag array");
+        let t_hi = m.mem_read(tm, addr_hi);
+        let t_lo = m.mem_read(tm, addr_lo);
+        let enc_key_tag = m.tag_join(t_hi, t_lo);
+        let dtm = dec_tags.expect("full protection has a decrypt tag array");
+        let dt_hi = m.mem_read(dtm, addr_hi);
+        let dt_lo = m.mem_read(dtm, addr_lo);
+        let dec_key_tag = m.tag_join(dt_hi, dt_lo);
+        let key_tag = m.mux(in_decrypt, dec_key_tag, enc_key_tag);
+        Some(m.tag_join(in_tag, key_tag))
+    } else {
+        None
+    };
+
+    // ----- pipeline registers ------------------------------------------------
+    let data: Vec<Sig> = (0..PIPELINE_DEPTH)
+        .map(|i| m.reg(&format!("pipe.data{i}"), 128, 0))
+        .collect();
+    let kreg: Vec<Sig> = (0..PIPELINE_DEPTH)
+        .map(|i| m.reg(&format!("pipe.key{i}"), 128, 0))
+        .collect();
+    let valid: Vec<Sig> = (0..PIPELINE_DEPTH)
+        .map(|i| m.reg(&format!("pipe.valid{i}"), 1, 0))
+        .collect();
+    // Per-block direction bit: each slot knows whether it is encrypting
+    // or decrypting (the E/D datapath of Fig. 7).
+    let dmode: Vec<Sig> = (0..PIPELINE_DEPTH)
+        .map(|i| m.reg(&format!("pipe.dec{i}"), 1, 0))
+        .collect();
+    let tag: Vec<Sig> = if full {
+        (0..PIPELINE_DEPTH)
+            .map(|i| m.reg(&format!("pipe.tag{i}"), 8, 0))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if annotate {
+        for &v in &valid {
+            m.set_label(v, pt);
+        }
+        for &d in &dmode {
+            m.set_label(d, pt);
+        }
+    }
+    if full {
+        // Fig. 7: each stage's data is labelled by its dedicated tag
+        // register; tags themselves are public metadata.
+        for i in 0..PIPELINE_DEPTH {
+            m.set_label(tag[i], pt);
+            m.set_label(data[i], LabelExpr::FromTag(tag[i].id()));
+            m.set_label(kreg[i], LabelExpr::FromTag(tag[i].id()));
+        }
+    }
+
+    // ----- stall / advance ---------------------------------------------------
+    let advance = m.wire("ctl.advance", 1);
+    if annotate {
+        m.set_label(advance, pt);
+    }
+    let not_ready = m.not(out_ready);
+    if full && mech.stall_policy {
+        // Fig. 8: the stall requester (the block at the output stage) may
+        // stall the pipeline only when no stage holds data of lower
+        // confidentiality: C(req) ⊑C C(⊓ stage labels).
+        let top_tag = m.lit(u128::from(SecurityTag::from(Label::SECRET_TRUSTED).bits()), 8);
+        let mut level: Vec<Sig> = (0..PIPELINE_DEPTH)
+            .map(|i| m.mux(valid[i], tag[i], top_tag))
+            .collect();
+        // Balanced reduction tree (log depth, as a synthesis tool would
+        // build it) rather than a linear chain.
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    if pair.len() == 2 {
+                        m.tag_meet(pair[0], pair[1])
+                    } else {
+                        pair[0]
+                    }
+                })
+                .collect();
+        }
+        let meet = level[0];
+        let req_conf = m.slice(tag[PIPELINE_DEPTH - 1], 7, 4);
+        let meet_conf = m.slice(meet, 7, 4);
+        let permitted = m.ge(meet_conf, req_conf);
+        let blocked = m.and(valid[PIPELINE_DEPTH - 1], not_ready);
+        let stall = m.and(blocked, permitted);
+        let go = m.not(stall);
+        m.connect(advance, go);
+    } else {
+        // Baseline: any block waiting on a slow receiver stalls everyone —
+        // the cross-user timing channel of Section 3.1.
+        let stall = m.and(valid[PIPELINE_DEPTH - 1], not_ready);
+        let go = m.not(stall);
+        m.connect(advance, go);
+    }
+
+    // ----- pipeline next-state -------------------------------------------------
+    // Encryption whitens with RK0 (the key itself) and expands forward;
+    // decryption whitens with RK10 from the decrypt-key scratchpad and
+    // expands *backwards* on the fly.
+    let inv_rom = inv_sbox_rom(&mut m);
+    let sel_key = m.mux(in_decrypt, dec_key128, key128);
+    let whiten = add_round_key_hw(&mut m, in_block, sel_key);
+    let rk1 = key_expand_hw(&mut m, rom, key128, RCON[0]);
+    let rcon9 = m.lit(u128::from(RCON[9]), 8);
+    let rk9 = key_unexpand_dyn_hw(&mut m, rom, dec_key128, rcon9);
+    let k0 = m.mux(in_decrypt, rk9, rk1);
+
+    m.when(advance, |m| {
+        m.connect(valid[0], in_valid);
+        m.connect(data[0], whiten);
+        m.connect(kreg[0], k0);
+        m.connect(dmode[0], in_decrypt);
+        if let Some(dt) = disp_tag {
+            m.connect(tag[0], dt);
+        }
+    });
+
+    for i in 1..PIPELINE_DEPTH {
+        let prev_d = data[i - 1];
+        let prev_k = kreg[i - 1];
+        let prev_m = dmode[i - 1];
+        // Stage function by position: stages 1..=27 are rounds 1..=9
+        // (three registered substages each); 28–29 are the final round.
+        // Encrypt substages: SubBytes / ShiftRows+MixColumns / AddRoundKey
+        // (expanding the next round key). Decrypt substages:
+        // InvShiftRows+InvSubBytes / AddRoundKey / InvMixColumns
+        // (un-expanding the next round key).
+        let (enc_d, enc_k, dec_d, dec_k) = if i <= 27 {
+            let round = i.div_ceil(3);
+            match (i - 1) % 3 {
+                0 => {
+                    let e = sub_bytes_hw(&mut m, rom, prev_d);
+                    let ishift = inv_shift_rows_hw(&mut m, prev_d);
+                    let d = inv_sub_bytes_hw(&mut m, inv_rom, ishift);
+                    (e, prev_k, d, prev_k)
+                }
+                1 => {
+                    let shifted = shift_rows_hw(&mut m, prev_d);
+                    let e = mix_columns_hw(&mut m, shifted);
+                    let d = add_round_key_hw(&mut m, prev_d, prev_k);
+                    (e, prev_k, d, prev_k)
+                }
+                _ => {
+                    let e = add_round_key_hw(&mut m, prev_d, prev_k);
+                    let ek = key_expand_hw(&mut m, rom, prev_k, RCON[round]);
+                    let d = inv_mix_columns_hw(&mut m, prev_d);
+                    let rc = m.lit(u128::from(RCON[9 - round]), 8);
+                    let dk = key_unexpand_dyn_hw(&mut m, rom, prev_k, rc);
+                    (e, ek, d, dk)
+                }
+            }
+        } else if i == 28 {
+            let e = sub_bytes_hw(&mut m, rom, prev_d);
+            let ishift = inv_shift_rows_hw(&mut m, prev_d);
+            let d = inv_sub_bytes_hw(&mut m, inv_rom, ishift);
+            (e, prev_k, d, prev_k)
+        } else {
+            let shifted = shift_rows_hw(&mut m, prev_d);
+            let e = add_round_key_hw(&mut m, shifted, prev_k);
+            let d = add_round_key_hw(&mut m, prev_d, prev_k);
+            (e, prev_k, d, prev_k)
+        };
+        let next_d = m.mux(prev_m, dec_d, enc_d);
+        let next_k = m.mux(prev_m, dec_k, enc_k);
+        m.when(advance, |m| {
+            m.connect(data[i], next_d);
+            m.connect(kreg[i], next_k);
+            m.connect(valid[i], valid[i - 1]);
+            m.connect(dmode[i], prev_m);
+            if full {
+                m.connect(tag[i], tag[i - 1]);
+            }
+        });
+    }
+
+    let last = PIPELINE_DEPTH - 1;
+    let zero128 = m.lit(0, 128);
+
+    // ----- output path ------------------------------------------------------
+    let out_tag_normal = if full {
+        // Holding buffer for completed blocks that may not stall the
+        // pipeline (Fig. 8) — the paper's extra BRAM consumer.
+        let depth = params.out_buffer_depth;
+        let ptr_w = (usize::BITS - (depth - 1).leading_zeros()).max(1) as u16;
+        let buf_data = m.mem("outbuf.data", 128, depth, vec![]);
+        let buf_tag = m.mem("outbuf.tag", 8, depth, vec![]);
+        let head = m.reg("outbuf.head", ptr_w, 0);
+        let tail = m.reg("outbuf.tail", ptr_w, 0);
+        let count = m.reg("outbuf.count", ptr_w + 1, 0);
+        if annotate {
+            for s in [head, tail, count] {
+                m.set_label(s, pt);
+            }
+        }
+
+        let empty = m.eq_lit(count, 0);
+        let nonempty = m.not(empty);
+        let buf_full = m.eq_lit(count, depth as u128);
+
+        let pop = m.and(out_ready, nonempty);
+        let leaving = m.and(valid[last], advance);
+        let d0 = m.and(out_ready, empty);
+        let direct = m.and(d0, leaving);
+        let not_direct = m.not(direct);
+        let push = m.and(leaving, not_direct);
+        let not_full = m.not(buf_full);
+        let do_push = m.and(push, not_full);
+
+        m.when(do_push, |m| {
+            m.mem_write(buf_data, tail, data[last]);
+            m.mem_write(buf_tag, tail, tag[last]);
+            let one4 = m.lit(1, ptr_w);
+            let t1 = m.add(tail, one4);
+            m.connect(tail, t1);
+        });
+        m.when(pop, |m| {
+            let one4 = m.lit(1, ptr_w);
+            let h1 = m.add(head, one4);
+            m.connect(head, h1);
+        });
+        let one5 = m.lit(1, ptr_w + 1);
+        let inc = m.add(count, one5);
+        let dec = m.sub(count, one5);
+        let not_pop = m.not(pop);
+        let push_only = m.and(do_push, not_pop);
+        let not_push = m.not(do_push);
+        let pop_only = m.and(pop, not_push);
+        m.when(push_only, |m| m.connect(count, inc));
+        m.when(pop_only, |m| m.connect(count, dec));
+
+        let drop_count = m.reg("outbuf.drop_count", 16, 0);
+        if annotate {
+            m.set_label(drop_count, pt);
+        }
+        let dropping = m.and(push, buf_full);
+        let one16 = m.lit(1, 16);
+        let dinc = m.add(drop_count, one16);
+        m.when(dropping, |m| m.connect(drop_count, dinc));
+
+        // Output select: drain the buffer first to preserve order.
+        let buf_rd_data = m.mem_read(buf_data, head);
+        let buf_rd_tag = m.mem_read(buf_tag, head);
+        let out_pre = m.mux(pop, buf_rd_data, data[last]);
+        let out_tag_sig = m.mux(pop, buf_rd_tag, tag[last]);
+
+        // Nonmalleable release of the final ciphertext (Sections
+        // 3.2.1–3.2.2): the principal is the owning user, whose integrity
+        // the block's tag carries. The downgrade hardware only sees data
+        // on cycles where a block is actually leaving (`emit`); idle
+        // cycles present public zeroes.
+        let emit = m.or(pop, direct);
+        let idle_tag = m.tag_lit(Label::PUBLIC_TRUSTED);
+        let gated_data = m.mux(emit, out_pre, zero128);
+        let gated_tag = m.mux(emit, out_tag_sig, idle_tag);
+        let (out_valid, out_block) = if mech.nm_release {
+            let nm_ok = m.nm_declassify_ok(gated_tag, Label::PUBLIC_UNTRUSTED, gated_tag);
+            let released = m.declassify(gated_data, Label::PUBLIC_UNTRUSTED, gated_tag);
+            let out_valid = m.and(emit, nm_ok);
+            (out_valid, m.mux(out_valid, released, zero128))
+        } else {
+            // Lesion: the ciphertext is released raw, with no reviewed
+            // downgrade and no nonmalleability check.
+            (emit, m.mux(emit, gated_data, zero128))
+        };
+
+        let nm_rejects = m.reg("ctl.nm_reject_count", 16, 0);
+        if annotate {
+            m.set_label(nm_rejects, pt);
+        }
+        let not_valid = m.not(out_valid);
+        let rejected = m.and(emit, not_valid);
+        let rinc = m.add(nm_rejects, one16);
+        m.when(rejected, |m| m.connect(nm_rejects, rinc));
+
+        m.output("out_valid", out_valid);
+        m.output("out_block", out_block);
+        m.output("out_emit", emit);
+        m.output("drop_count", drop_count);
+        m.output("nm_reject_count", nm_rejects);
+        out_tag_sig
+    } else {
+        let out_valid = m.and(valid[last], out_ready);
+        let out_block = m.mux(out_valid, data[last], zero128);
+        let zero8 = m.lit(0, 8);
+        let zero16 = m.lit(0, 16);
+        m.output("out_valid", out_valid);
+        m.output("out_block", out_block);
+        m.output("out_emit", out_valid);
+        m.output("drop_count", zero16);
+        m.output("nm_reject_count", zero16);
+        zero8
+    };
+
+    // A data-leak hardware Trojan (reference [16]): armed by a magic
+    // plaintext, it exfiltrates the round-key pipeline through the
+    // out_tag side channel one byte per cycle, without ever perturbing a
+    // ciphertext.
+    let out_tag_final = if trojan {
+        let magic = m.lit(block_to_u128(TROJAN_TRIGGER), 128);
+        let hit = m.eq(in_block, magic);
+        let fire = m.and(hit, in_valid);
+        let armed = m.reg("trojan.armed", 1, 0);
+        let one1 = m.lit(1, 1);
+        m.when(fire, |m| m.connect(armed, one1));
+        let idx = m.reg("trojan.idx", 4, 0);
+        let one4 = m.lit(1, 4);
+        let next_idx = m.add(idx, one4);
+        m.when(armed, |m| m.connect(idx, next_idx));
+        let mut leak = m.lit(0, 8);
+        for i in 0..16 {
+            let sel = m.eq_lit(idx, i as u128);
+            let byte = crate::bytes::byte_of(&mut m, kreg[0], i);
+            leak = m.mux(sel, byte, leak);
+        }
+        m.mux(armed, leak, out_tag_normal)
+    } else {
+        out_tag_normal
+    };
+    m.output("out_tag", out_tag_final);
+
+    m.output("in_ready", advance);
+
+    // ----- configuration registers -------------------------------------------
+    let cfg = m.reg("cfg.reg", 8, 0);
+    if annotate {
+        // Readable by anyone, writable only with full integrity: (⊥,⊤).
+        m.set_label(cfg, pt);
+    }
+    if full && mech.cfg_check {
+        let cfg_limit = m.tag_lit(pt);
+        let trusted = m.tag_leq(cfg_wr_tag, cfg_limit);
+        let cfg_en = m.and(cfg_we, trusted);
+        m.when(cfg_en, |m| m.connect(cfg, cfg_data));
+    } else {
+        // Baseline: any user can flip configuration bits — including the
+        // debug unlock.
+        m.when(cfg_we, |m| m.connect(cfg, cfg_data));
+    }
+    m.output("cfg_out", cfg);
+
+    // ----- debug peripheral ----------------------------------------------------
+    // Selects any pipeline data or key register: the trace-buffer attack
+    // surface. Baseline gates it only behind a config bit that anyone can
+    // set; the protected design releases it solely at the supervisor-read
+    // level (S,U).
+    let dbg_unlocked = m.slice(cfg, 0, 0);
+    let mut probe = zero128;
+    for (i, &d) in data.iter().enumerate() {
+        let sel = m.eq_lit(dbg_sel, i as u128);
+        probe = m.mux(sel, d, probe);
+    }
+    for (i, &k) in kreg.iter().enumerate() {
+        let sel = m.eq_lit(dbg_sel, (32 + i) as u128);
+        probe = m.mux(sel, k, probe);
+    }
+    let dbg_out = m.mux(dbg_unlocked, probe, zero128);
+    if full && mech.supervisor_debug {
+        m.output_labeled("dbg_out", dbg_out, Label::SECRET_UNTRUSTED);
+    } else {
+        m.output("dbg_out", dbg_out);
+    }
+
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designs_build_and_lower() {
+        for p in [Protection::Off, Protection::Annotated, Protection::Full] {
+            let d = build(p, AccelParams::paper());
+            let net = d.lower().expect("accelerator lowers");
+            assert!(net.nodes.len() > 1000, "non-trivial design");
+        }
+    }
+
+    #[test]
+    fn protected_design_is_larger() {
+        let base = baseline();
+        let prot = protected();
+        assert!(prot.node_count() > base.node_count());
+        assert!(prot.mems().len() > base.mems().len());
+    }
+}

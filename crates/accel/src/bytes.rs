@@ -1,0 +1,376 @@
+//! Hardware building blocks for the AES datapath: byte plumbing, S-box
+//! ROMs, and the four round transformations as combinational circuits.
+
+use aes_core::{INV_SBOX, SBOX};
+use hdl::{MemHandle, ModuleBuilder, Sig};
+
+/// Instantiates the shared S-box ROM (256 × 8, initialised from the
+/// derived [`SBOX`] table). Reads are combinational; in the FPGA model
+/// this maps to block RAM, exactly the paper's main BRAM consumer.
+pub fn sbox_rom(m: &mut ModuleBuilder) -> MemHandle {
+    m.mem(
+        "sbox_rom",
+        8,
+        256,
+        SBOX.iter().map(|&b| u128::from(b)).collect(),
+    )
+}
+
+/// Instantiates the inverse S-box ROM for the decryption datapath.
+pub fn inv_sbox_rom(m: &mut ModuleBuilder) -> MemHandle {
+    m.mem(
+        "inv_sbox_rom",
+        8,
+        256,
+        INV_SBOX.iter().map(|&b| u128::from(b)).collect(),
+    )
+}
+
+/// Extracts byte `i` of a 128-bit signal. Byte 0 is the most significant —
+/// the order bytes arrive on the bus and the order `aes_core` uses.
+pub fn byte_of(m: &mut ModuleBuilder, s: Sig, i: usize) -> Sig {
+    assert!(s.width() == 128 && i < 16);
+    let hi = (127 - 8 * i) as u16;
+    m.slice(s, hi, hi - 7)
+}
+
+/// Reassembles 16 byte signals into a 128-bit signal (byte 0 most
+/// significant).
+pub fn assemble(m: &mut ModuleBuilder, bytes: &[Sig; 16]) -> Sig {
+    let mut acc = bytes[0];
+    for &b in &bytes[1..] {
+        acc = m.cat(acc, b);
+    }
+    acc
+}
+
+/// SubBytes: 16 parallel S-box lookups.
+pub fn sub_bytes_hw(m: &mut ModuleBuilder, rom: MemHandle, s: Sig) -> Sig {
+    let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
+    let subbed: [Sig; 16] = core::array::from_fn(|i| m.mem_read(rom, bytes[i]));
+    assemble(m, &subbed)
+}
+
+/// ShiftRows: a pure byte permutation (free wiring in hardware).
+pub fn shift_rows_hw(m: &mut ModuleBuilder, s: Sig) -> Sig {
+    let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
+    let mut out = [bytes[0]; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[4 * c + r] = bytes[4 * ((c + r) % 4) + r];
+        }
+    }
+    assemble(m, &out)
+}
+
+/// GF(2⁸) multiplication by x (`xtime`): shift left, conditionally reduce
+/// by 0x1b.
+pub fn xtime_hw(m: &mut ModuleBuilder, b: Sig) -> Sig {
+    assert_eq!(b.width(), 8);
+    let low = m.slice(b, 6, 0);
+    let zero = m.lit(0, 1);
+    let shifted = m.cat(low, zero);
+    let msb = m.slice(b, 7, 7);
+    let poly = m.lit(0x1b, 8);
+    let none = m.lit(0, 8);
+    let reduce = m.mux(msb, poly, none);
+    m.xor(shifted, reduce)
+}
+
+/// MixColumns over all four columns.
+pub fn mix_columns_hw(m: &mut ModuleBuilder, s: Sig) -> Sig {
+    let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
+    let mut out = [bytes[0]; 16];
+    for c in 0..4 {
+        let col = [bytes[4 * c], bytes[4 * c + 1], bytes[4 * c + 2], bytes[4 * c + 3]];
+        let x2: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, col[i]));
+        let x3: [Sig; 4] = core::array::from_fn(|i| m.xor(x2[i], col[i]));
+        // out0 = 2·b0 ⊕ 3·b1 ⊕ b2 ⊕ b3, and rotations thereof.
+        for r in 0..4 {
+            let t0 = m.xor(x2[r], x3[(r + 1) % 4]);
+            let t1 = m.xor(col[(r + 2) % 4], col[(r + 3) % 4]);
+            out[4 * c + r] = m.xor(t0, t1);
+        }
+    }
+    assemble(m, &out)
+}
+
+/// One AES-128 key-schedule step: expands round key `r` into round key
+/// `r + 1` using the round constant `rcon`.
+pub fn key_expand_hw(m: &mut ModuleBuilder, rom: MemHandle, key: Sig, rcon: u8) -> Sig {
+    assert_eq!(key.width(), 128);
+    let w0 = m.slice(key, 127, 96);
+    let w1 = m.slice(key, 95, 64);
+    let w2 = m.slice(key, 63, 32);
+    let w3 = m.slice(key, 31, 0);
+    // RotWord: [a,b,c,d] → [b,c,d,a] (a is the most significant byte).
+    let b0 = m.slice(w3, 31, 24);
+    let b1 = m.slice(w3, 23, 16);
+    let b2 = m.slice(w3, 15, 8);
+    let b3 = m.slice(w3, 7, 0);
+    // SubWord on the rotated bytes.
+    let s0 = m.mem_read(rom, b1);
+    let s1 = m.mem_read(rom, b2);
+    let s2 = m.mem_read(rom, b3);
+    let s3 = m.mem_read(rom, b0);
+    let hi = m.cat(s0, s1);
+    let lo = m.cat(s2, s3);
+    let subbed = m.cat(hi, lo);
+    let rcon_word = m.lit(u128::from(rcon) << 24, 32);
+    let temp = m.xor(subbed, rcon_word);
+    let n0 = m.xor(w0, temp);
+    let n1 = m.xor(w1, n0);
+    let n2 = m.xor(w2, n1);
+    let n3 = m.xor(w3, n2);
+    let hi = m.cat(n0, n1);
+    let lo = m.cat(n2, n3);
+    m.cat(hi, lo)
+}
+
+/// AddRoundKey: XOR of state and round key.
+pub fn add_round_key_hw(m: &mut ModuleBuilder, s: Sig, rk: Sig) -> Sig {
+    m.xor(s, rk)
+}
+
+/// InvSubBytes: 16 parallel inverse S-box lookups.
+pub fn inv_sub_bytes_hw(m: &mut ModuleBuilder, inv_rom: MemHandle, s: Sig) -> Sig {
+    let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
+    let subbed: [Sig; 16] = core::array::from_fn(|i| m.mem_read(inv_rom, bytes[i]));
+    assemble(m, &subbed)
+}
+
+/// InvShiftRows: the inverse byte permutation.
+pub fn inv_shift_rows_hw(m: &mut ModuleBuilder, s: Sig) -> Sig {
+    let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
+    let mut out = [bytes[0]; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[4 * ((c + r) % 4) + r] = bytes[4 * c + r];
+        }
+    }
+    assemble(m, &out)
+}
+
+/// InvMixColumns: multiplies each column by
+/// {0b}x³ + {0d}x² + {09}x + {0e}, built from `xtime` chains
+/// (x·9 = x·8 ⊕ x, x·b = x·8 ⊕ x·2 ⊕ x, x·d = x·8 ⊕ x·4 ⊕ x,
+/// x·e = x·8 ⊕ x·4 ⊕ x·2).
+pub fn inv_mix_columns_hw(m: &mut ModuleBuilder, s: Sig) -> Sig {
+    let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
+    let mut out = [bytes[0]; 16];
+    for c in 0..4 {
+        let col = [bytes[4 * c], bytes[4 * c + 1], bytes[4 * c + 2], bytes[4 * c + 3]];
+        let x2: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, col[i]));
+        let x4: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, x2[i]));
+        let x8: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, x4[i]));
+        let mul9: [Sig; 4] = core::array::from_fn(|i| m.xor(x8[i], col[i]));
+        let mul_b: [Sig; 4] = core::array::from_fn(|i| {
+            let t = m.xor(x8[i], x2[i]);
+            m.xor(t, col[i])
+        });
+        let mul_d: [Sig; 4] = core::array::from_fn(|i| {
+            let t = m.xor(x8[i], x4[i]);
+            m.xor(t, col[i])
+        });
+        let mul_e: [Sig; 4] = core::array::from_fn(|i| {
+            let t = m.xor(x8[i], x4[i]);
+            m.xor(t, x2[i])
+        });
+        for r in 0..4 {
+            // out_r = e·b_r ⊕ b·b_{r+1} ⊕ d·b_{r+2} ⊕ 9·b_{r+3}
+            let t0 = m.xor(mul_e[r], mul_b[(r + 1) % 4]);
+            let t1 = m.xor(mul_d[(r + 2) % 4], mul9[(r + 3) % 4]);
+            out[4 * c + r] = m.xor(t0, t1);
+        }
+    }
+    assemble(m, &out)
+}
+
+/// One *inverse* AES-128 key-schedule step with a signal round constant:
+/// given round key `r + 1` (and `RCON[r]` as a signal), recovers round
+/// key `r`. Used by the decryption FSM to walk the schedule backwards.
+pub fn key_unexpand_dyn_hw(m: &mut ModuleBuilder, rom: MemHandle, next: Sig, rcon: Sig) -> Sig {
+    assert_eq!(next.width(), 128);
+    assert_eq!(rcon.width(), 8);
+    let n0 = m.slice(next, 127, 96);
+    let n1 = m.slice(next, 95, 64);
+    let n2 = m.slice(next, 63, 32);
+    let n3 = m.slice(next, 31, 0);
+    let w3 = m.xor(n3, n2);
+    let w2 = m.xor(n2, n1);
+    let w1 = m.xor(n1, n0);
+    // g(w3) = SubWord(RotWord(w3)) ^ rcon.
+    let b0 = m.slice(w3, 31, 24);
+    let b1 = m.slice(w3, 23, 16);
+    let b2 = m.slice(w3, 15, 8);
+    let b3 = m.slice(w3, 7, 0);
+    let s0 = m.mem_read(rom, b1);
+    let s1 = m.mem_read(rom, b2);
+    let s2 = m.mem_read(rom, b3);
+    let s3 = m.mem_read(rom, b0);
+    let s0r = m.xor(s0, rcon);
+    let hi = m.cat(s0r, s1);
+    let lo = m.cat(s2, s3);
+    let g = m.cat(hi, lo);
+    let w0 = m.xor(n0, g);
+    let hi = m.cat(w0, w1);
+    let lo = m.cat(w2, w3);
+    m.cat(hi, lo)
+}
+
+/// One AES-128 key-schedule step with a *signal* round constant, for
+/// iterative engines whose round index is a runtime counter.
+pub fn key_expand_dyn_hw(m: &mut ModuleBuilder, rom: MemHandle, key: Sig, rcon: Sig) -> Sig {
+    assert_eq!(key.width(), 128);
+    assert_eq!(rcon.width(), 8);
+    let w0 = m.slice(key, 127, 96);
+    let w1 = m.slice(key, 95, 64);
+    let w2 = m.slice(key, 63, 32);
+    let w3 = m.slice(key, 31, 0);
+    let b0 = m.slice(w3, 31, 24);
+    let b1 = m.slice(w3, 23, 16);
+    let b2 = m.slice(w3, 15, 8);
+    let b3 = m.slice(w3, 7, 0);
+    let s0 = m.mem_read(rom, b1);
+    let s1 = m.mem_read(rom, b2);
+    let s2 = m.mem_read(rom, b3);
+    let s3 = m.mem_read(rom, b0);
+    let s0r = m.xor(s0, rcon);
+    let hi = m.cat(s0r, s1);
+    let lo = m.cat(s2, s3);
+    let subbed = m.cat(hi, lo);
+    let n0 = m.xor(w0, subbed);
+    let n1 = m.xor(w1, n0);
+    let n2 = m.xor(w2, n1);
+    let n3 = m.xor(w3, n2);
+    let hi = m.cat(n0, n1);
+    let lo = m.cat(n2, n3);
+    m.cat(hi, lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aes_core::{block_to_u128, u128_to_block};
+    use sim::Simulator;
+
+    /// Builds a one-shot combinational test harness around `f`.
+    fn harness(f: impl FnOnce(&mut ModuleBuilder, MemHandle, Sig) -> Sig) -> Simulator {
+        let mut m = ModuleBuilder::new("harness");
+        let rom = sbox_rom(&mut m);
+        let input = m.input("in", 128);
+        let out = f(&mut m, rom, input);
+        m.output("out", out);
+        Simulator::new(m.finish().lower().expect("combinational harness"))
+    }
+
+    #[test]
+    fn hw_sub_bytes_matches_reference() {
+        let mut sim = harness(sub_bytes_hw);
+        let block: [u8; 16] = core::array::from_fn(|i| (i * 16 + 3) as u8);
+        sim.set("in", block_to_u128(block));
+        let got = u128_to_block(sim.peek("out"));
+        assert_eq!(got, aes_core::sub_bytes(block));
+    }
+
+    #[test]
+    fn hw_shift_rows_matches_reference() {
+        let mut sim = harness(|m, _, s| shift_rows_hw(m, s));
+        let block: [u8; 16] = core::array::from_fn(|i| i as u8);
+        sim.set("in", block_to_u128(block));
+        assert_eq!(
+            u128_to_block(sim.peek("out")),
+            aes_core::shift_rows(block)
+        );
+    }
+
+    #[test]
+    fn hw_mix_columns_matches_reference() {
+        let mut sim = harness(|m, _, s| mix_columns_hw(m, s));
+        for seed in [0u8, 1, 0x5a, 0xff] {
+            let block: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(31) ^ seed);
+            sim.set("in", block_to_u128(block));
+            assert_eq!(
+                u128_to_block(sim.peek("out")),
+                aes_core::mix_columns(block)
+            );
+        }
+    }
+
+    #[test]
+    fn hw_xtime_matches_reference() {
+        let mut m = ModuleBuilder::new("xtime");
+        let input = m.input("in", 8);
+        let out = xtime_hw(&mut m, input);
+        m.output("out", out);
+        let mut sim = Simulator::new(m.finish().lower().unwrap());
+        for v in 0..=255u8 {
+            sim.set("in", u128::from(v));
+            assert_eq!(sim.peek("out") as u8, aes_core::xtime(v), "xtime({v:#x})");
+        }
+    }
+
+    #[test]
+    fn hw_inverse_ops_match_reference() {
+        let mut m = ModuleBuilder::new("inv");
+        let inv_rom = inv_sbox_rom(&mut m);
+        let input = m.input("in", 128);
+        let isb = inv_sub_bytes_hw(&mut m, inv_rom, input);
+        let isr = inv_shift_rows_hw(&mut m, input);
+        let imc = inv_mix_columns_hw(&mut m, input);
+        m.output("isb", isb);
+        m.output("isr", isr);
+        m.output("imc", imc);
+        let mut sim = Simulator::new(m.finish().lower().unwrap());
+        for seed in [0u8, 7, 0x5a, 0xff] {
+            let block: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(29) ^ seed);
+            sim.set("in", block_to_u128(block));
+            assert_eq!(u128_to_block(sim.peek("isb")), aes_core::inv_sub_bytes(block));
+            assert_eq!(u128_to_block(sim.peek("isr")), aes_core::inv_shift_rows(block));
+            assert_eq!(u128_to_block(sim.peek("imc")), aes_core::inv_mix_columns(block));
+        }
+    }
+
+    #[test]
+    fn hw_key_unexpand_inverts_expand() {
+        let mut m = ModuleBuilder::new("unexpand");
+        let rom = sbox_rom(&mut m);
+        let input = m.input("in", 128);
+        let rcon = m.lit(0x01, 8);
+        let fwd = key_expand_hw(&mut m, rom, input, 0x01);
+        let back = key_unexpand_dyn_hw(&mut m, rom, fwd, rcon);
+        m.output("back", back);
+        let mut sim = Simulator::new(m.finish().lower().unwrap());
+        for seed in [0u8, 3, 0x77] {
+            let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(41) ^ seed);
+            sim.set("in", block_to_u128(key));
+            assert_eq!(u128_to_block(sim.peek("back")), key, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hw_key_expand_matches_reference() {
+        let key = *b"\x2b\x7e\x15\x16\x28\xae\xd2\xa6\xab\xf7\x15\x88\x09\xcf\x4f\x3c";
+        let schedule = aes_core::KeySchedule::expand(&key).unwrap();
+
+        let mut m = ModuleBuilder::new("expand");
+        let rom = sbox_rom(&mut m);
+        let input = m.input("in", 128);
+        // Chain all ten expansions combinationally and expose each.
+        let mut k = input;
+        for r in 1..=10u8 {
+            const RCON: [u8; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 0x1b, 0x36];
+            k = key_expand_hw(&mut m, rom, k, RCON[(r - 1) as usize]);
+            m.output(&format!("rk{r}"), k);
+        }
+        let mut sim = Simulator::new(m.finish().lower().unwrap());
+        sim.set("in", block_to_u128(key));
+        for r in 1..=10usize {
+            assert_eq!(
+                u128_to_block(sim.peek(&format!("rk{r}"))),
+                schedule.round_key(r),
+                "round key {r}"
+            );
+        }
+    }
+}

@@ -1,0 +1,451 @@
+//! A multi-key-size (AES-128/192/256) encrypt/decrypt engine — the full
+//! generality of the paper's Fig. 1, where "different key length requires
+//! different numbers of computing iterations: N = 10 for 128-bit, 12 for
+//! 192-bit, 14 for 256-bit keys".
+//!
+//! The engine first runs a *word-serial* key schedule into a round-key
+//! register file (one 32-bit word per cycle, `4·(Nr+1)` words), then the
+//! cipher rounds (one per cycle, forward or inverse). Latency is a
+//! function of the *key size only* — never of key or data values — so the
+//! design stays constant-time per configuration and verifies under the
+//! same labels as the AES-128 engines.
+
+use hdl::{Design, MemHandle, ModuleBuilder, Sig};
+use ifc_lattice::{Conf, Integ, Label};
+
+use crate::bytes::{
+    add_round_key_hw, inv_mix_columns_hw, inv_sbox_rom, inv_shift_rows_hw, inv_sub_bytes_hw,
+    mix_columns_hw, sbox_rom, shift_rows_hw, sub_bytes_hw,
+};
+
+/// Key-size selector values for the `key_size` input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKeySize {
+    /// AES-128: Nk = 4 words, Nr = 10 rounds.
+    Aes128 = 0,
+    /// AES-192: Nk = 6 words, Nr = 12 rounds.
+    Aes192 = 1,
+    /// AES-256: Nk = 8 words, Nr = 14 rounds.
+    Aes256 = 2,
+}
+
+impl EngineKeySize {
+    /// Number of 32-bit key words `Nk`.
+    #[must_use]
+    pub const fn nk(self) -> u32 {
+        match self {
+            EngineKeySize::Aes128 => 4,
+            EngineKeySize::Aes192 => 6,
+            EngineKeySize::Aes256 => 8,
+        }
+    }
+
+    /// Number of rounds `Nr` (the paper's `N`).
+    #[must_use]
+    pub const fn rounds(self) -> u32 {
+        self.nk() + 6
+    }
+
+    /// Expected engine latency in cycles: load + schedule + whiten +
+    /// rounds.
+    #[must_use]
+    pub const fn latency(self) -> u32 {
+        2 + 4 * (self.rounds() + 1) + self.rounds()
+    }
+}
+
+/// SubWord (four S-box lookups) on a 32-bit word.
+fn sub_word(m: &mut ModuleBuilder, rom: MemHandle, w: Sig) -> Sig {
+    let b0 = m.slice(w, 31, 24);
+    let b1 = m.slice(w, 23, 16);
+    let b2 = m.slice(w, 15, 8);
+    let b3 = m.slice(w, 7, 0);
+    let s0 = m.mem_read(rom, b0);
+    let s1 = m.mem_read(rom, b1);
+    let s2 = m.mem_read(rom, b2);
+    let s3 = m.mem_read(rom, b3);
+    let hi = m.cat(s0, s1);
+    let lo = m.cat(s2, s3);
+    m.cat(hi, lo)
+}
+
+/// RotWord on a 32-bit word.
+fn rot_word(m: &mut ModuleBuilder, w: Sig) -> Sig {
+    let hi = m.slice(w, 31, 24);
+    let lo = m.slice(w, 23, 0);
+    m.cat(lo, hi)
+}
+
+/// Builds the multi-key-size E/D engine.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn multi_engine() -> Design {
+    let mut m = ModuleBuilder::new("aes_engine_multi");
+    let user = Label::new(Conf::new(5), Integ::new(5));
+    let public_user = Label::new(Conf::PUBLIC, Integ::new(5));
+
+    let start = m.input("start", 1);
+    let decrypt = m.input("decrypt", 1);
+    let key_size = m.input("key_size", 2);
+    let block = m.input("block", 128);
+    let key_hi = m.input("key_hi", 128);
+    let key_lo = m.input("key_lo", 128);
+    for s in [start, decrypt, key_size] {
+        m.set_label(s, public_user);
+    }
+    m.set_label(block, user);
+    m.set_label(key_hi, user);
+    m.set_label(key_lo, user);
+
+    let rom = sbox_rom(&mut m);
+    let inv_rom = inv_sbox_rom(&mut m);
+    // Round constants, directly indexed: rcon0_rom[i] = RCON[i].
+    let rcon_rom = m.mem(
+        "rcon0_rom",
+        8,
+        16,
+        vec![0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0, 0, 0, 0, 0],
+    );
+    // The round-key register file: up to 60 words of 32 bits.
+    let rkmem = m.mem("rk_file", 32, 64, vec![]);
+
+    // Key-size derived parameters.
+    let nk = {
+        let four = m.lit(4, 6);
+        let six = m.lit(6, 6);
+        let eight = m.lit(8, 6);
+        let is192 = m.eq_lit(key_size, 1);
+        let is256 = m.eq_lit(key_size, 2);
+        let a = m.mux(is192, six, four);
+        m.mux(is256, eight, a)
+    };
+    let total_words = {
+        let w44 = m.lit(44, 6);
+        let w52 = m.lit(52, 6);
+        let w60 = m.lit(60, 6);
+        let is192 = m.eq_lit(key_size, 1);
+        let is256 = m.eq_lit(key_size, 2);
+        let a = m.mux(is192, w52, w44);
+        m.mux(is256, w60, a)
+    };
+    let nr = {
+        let r10 = m.lit(10, 4);
+        let r12 = m.lit(12, 4);
+        let r14 = m.lit(14, 4);
+        let is192 = m.eq_lit(key_size, 1);
+        let is256 = m.eq_lit(key_size, 2);
+        let a = m.mux(is192, r12, r10);
+        m.mux(is256, r14, a)
+    };
+
+    // State registers.
+    let state = m.reg("state", 128, 0);
+    let blk_hold = m.reg("blk_hold", 128, 0);
+    let w = m.reg("sched.w", 6, 0);
+    let kmod = m.reg("sched.kmod", 3, 0);
+    let rcon_i = m.reg("sched.rcon_i", 4, 0);
+    let round = m.reg("round", 4, 0);
+    // 0 = idle-after-reset/schedule, 1 = encrypt rounds, 2 = decrypt rounds.
+    let mode = m.reg("mode", 2, 0);
+    let scheduling = m.reg("scheduling", 1, 0);
+    let busy = m.reg("busy", 1, 0);
+    let valid = m.reg("valid", 1, 0);
+    let dec_hold = m.reg("dec_hold", 1, 0);
+    m.set_label(state, user);
+    m.set_label(blk_hold, user);
+    for s in [w, kmod, rcon_i, round, busy, valid, scheduling, dec_hold] {
+        m.set_label(s, public_user);
+    }
+    m.set_label(mode, public_user);
+
+    let zero1 = m.lit(0, 1);
+    let one1 = m.lit(1, 1);
+    let one4 = m.lit(1, 4);
+    let one6 = m.lit(1, 6);
+
+    // ----- accept -----------------------------------------------------------
+    let not_busy = m.not(busy);
+    let accept = m.and(start, not_busy);
+    m.when(accept, |m| {
+        m.connect(blk_hold, block);
+        let z6 = m.lit(0, 6);
+        let z3 = m.lit(0, 3);
+        let z4 = m.lit(0, 4);
+        m.connect(w, z6);
+        m.connect(kmod, z3);
+        m.connect(rcon_i, z4);
+        m.connect(busy, one1);
+        m.connect(scheduling, one1);
+        m.connect(valid, zero1);
+        m.connect(dec_hold, decrypt);
+    });
+
+    // ----- word-serial key schedule -------------------------------------------
+    let sched_run = m.and(busy, scheduling);
+    // Initial words come straight from the key inputs: word index w picks
+    // hi[w] for w < 4, lo[w-4] otherwise.
+    let init_word = {
+        let mut acc = m.lit(0, 32);
+        for i in 0..8u16 {
+            let src = if i < 4 { key_hi } else { key_lo };
+            let hi_bit = 127 - 32 * (i % 4);
+            let slice = m.slice(src, hi_bit, hi_bit - 31);
+            let sel = m.eq_lit(w, u128::from(i));
+            acc = m.mux(sel, slice, acc);
+        }
+        acc
+    };
+    let in_init = m.lt(w, nk);
+
+    // Expansion words: rk[w] = rk[w-Nk] ^ temp(rk[w-1]).
+    let w_minus_1 = m.sub(w, one6);
+    let w_minus_nk = m.sub(w, nk);
+    let prev = m.mem_read(rkmem, w_minus_1);
+    let base = m.mem_read(rkmem, w_minus_nk);
+    let rcon = m.mem_read(rcon_rom, rcon_i);
+    let rotated = rot_word(&mut m, prev);
+    let sub_rot = sub_word(&mut m, rom, rotated);
+    let rcon_word = {
+        let z24 = m.lit(0, 24);
+        m.cat(rcon, z24)
+    };
+    let g = m.xor(sub_rot, rcon_word);
+    let sub_only = sub_word(&mut m, rom, prev);
+    let at_nk_boundary = m.eq_lit(kmod, 0);
+    let is256 = m.eq_lit(key_size, 2);
+    let at_half = m.eq_lit(kmod, 4);
+    let h_case = m.and(is256, at_half);
+    let temp0 = m.mux(h_case, sub_only, prev);
+    let temp = m.mux(at_nk_boundary, g, temp0);
+    let expanded = m.xor(base, temp);
+    let word = m.mux(in_init, init_word, expanded);
+
+    let next_w = m.add(w, one6);
+    let kmod_ext = {
+        let z3 = m.lit(0, 3);
+        m.cat(z3, kmod)
+    };
+    let one3 = m.lit(1, 3);
+    let kmod_inc = m.add(kmod, one3);
+    let kmod_wraps = {
+        let next = m.add(kmod_ext, one6);
+        m.eq(next, nk)
+    };
+    let z3 = m.lit(0, 3);
+    let kmod_next = m.mux(kmod_wraps, z3, kmod_inc);
+    let sched_done = {
+        let next = m.add(w, one6);
+        m.eq(next, total_words)
+    };
+    let not_init = m.not(in_init);
+    let used_rcon = m.and(at_nk_boundary, not_init);
+    let rcon_next = m.add(rcon_i, one4);
+
+    m.when(sched_run, |m| {
+        m.mem_write(rkmem, w, word);
+        m.connect(w, next_w);
+        m.connect(kmod, kmod_next);
+        m.when(used_rcon, |m| m.connect(rcon_i, rcon_next));
+        m.when(sched_done, |m| {
+            m.connect(scheduling, zero1);
+        });
+    });
+
+    // ----- round-key fetch -----------------------------------------------------
+    // RK(r) = words 4r .. 4r+3.
+    let rk_at = |m: &mut ModuleBuilder, r: Sig| -> Sig {
+        let z2 = m.lit(0, 2);
+        let base_addr = m.cat(r, z2);
+        let mut words = Vec::with_capacity(4);
+        for k in 0..4u128 {
+            let off = m.lit(k, 6);
+            let addr = m.add(base_addr, off);
+            words.push(m.mem_read(rkmem, addr));
+        }
+        let hi = m.cat(words[0], words[1]);
+        let lo = m.cat(words[2], words[3]);
+        m.cat(hi, lo)
+    };
+
+    // ----- entering the rounds ---------------------------------------------------
+    // One cycle after the schedule finishes (scheduling just cleared,
+    // mode still 0): whiten and start.
+    let mode_idle = m.eq_lit(mode, 0);
+    let not_sched = m.not(scheduling);
+    let b0 = m.and(busy, not_sched);
+    let entering = m.and(b0, mode_idle);
+    let z4 = m.lit(0, 4);
+    let rk0 = rk_at(&mut m, z4);
+    let rk_nr = rk_at(&mut m, nr);
+    m.when(entering, |m| {
+        let enc_white = add_round_key_hw(m, blk_hold, rk0);
+        let dec_white = add_round_key_hw(m, blk_hold, rk_nr);
+        let white = m.mux(dec_hold, dec_white, enc_white);
+        m.connect(state, white);
+        let enc_mode = m.lit(1, 2);
+        let dec_mode = m.lit(2, 2);
+        let next_mode = m.mux(dec_hold, dec_mode, enc_mode);
+        m.connect(mode, next_mode);
+        let one = m.lit(1, 4);
+        let r_start = m.mux(dec_hold, nr, one);
+        m.connect(round, r_start);
+    });
+
+    // ----- encrypt rounds ----------------------------------------------------------
+    let enc_mode_sig = m.eq_lit(mode, 1);
+    let enc_run = m.and(busy, enc_mode_sig);
+    let rk_round = rk_at(&mut m, round);
+    let subbed = sub_bytes_hw(&mut m, rom, state);
+    let shifted = shift_rows_hw(&mut m, subbed);
+    let mixed = mix_columns_hw(&mut m, shifted);
+    let full_round = add_round_key_hw(&mut m, mixed, rk_round);
+    let final_round = add_round_key_hw(&mut m, shifted, rk_round);
+    let enc_last = m.eq(round, nr);
+    let next_round = m.add(round, one4);
+    let not_enc_last = m.not(enc_last);
+    let enc_step = m.and(enc_run, not_enc_last);
+    let enc_fin = m.and(enc_run, enc_last);
+    let zero2 = m.lit(0, 2);
+    m.when(enc_step, |m| {
+        m.connect(state, full_round);
+        m.connect(round, next_round);
+    });
+    m.when(enc_fin, |m| {
+        m.connect(state, final_round);
+        m.connect(busy, zero1);
+        m.connect(valid, one1);
+        m.connect(mode, zero2);
+    });
+
+    // ----- decrypt rounds -----------------------------------------------------------
+    let dec_mode_sig = m.eq_lit(mode, 2);
+    let dec_run = m.and(busy, dec_mode_sig);
+    let prev_round = m.sub(round, one4);
+    let rk_prev = rk_at(&mut m, prev_round);
+    let inv_shifted = inv_shift_rows_hw(&mut m, state);
+    let inv_subbed = inv_sub_bytes_hw(&mut m, inv_rom, inv_shifted);
+    let added = add_round_key_hw(&mut m, inv_subbed, rk_prev);
+    let dec_middle = inv_mix_columns_hw(&mut m, added);
+    let dec_last = m.eq_lit(round, 1);
+    let not_dec_last = m.not(dec_last);
+    let dec_step = m.and(dec_run, not_dec_last);
+    let dec_fin = m.and(dec_run, dec_last);
+    m.when(dec_step, |m| {
+        m.connect(state, dec_middle);
+        m.connect(round, prev_round);
+    });
+    m.when(dec_fin, |m| {
+        m.connect(state, added);
+        m.connect(busy, zero1);
+        m.connect(valid, one1);
+        m.connect(mode, zero2);
+    });
+
+    // ----- release ---------------------------------------------------------------------
+    let owner = m.tag_lit(user);
+    let released = m.declassify(state, Label::PUBLIC_UNTRUSTED, owner);
+    m.output("result", released);
+    m.output_labeled("valid", valid, public_user);
+    m.output_labeled("busy", busy, public_user);
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aes_core::{block_to_u128, u128_to_block, Aes};
+    use sim::Simulator;
+
+    fn run(size: EngineKeySize, decrypt: bool, key: &[u8], block: [u8; 16]) -> ([u8; 16], u32) {
+        let mut sim = Simulator::new(multi_engine().lower().expect("lowers"));
+        let mut hi = [0u8; 16];
+        let mut lo = [0u8; 16];
+        hi.copy_from_slice(&key[..16]);
+        lo[..key.len() - 16].copy_from_slice(&key[16..]);
+        sim.set("key_hi", block_to_u128(hi));
+        sim.set("key_lo", block_to_u128(lo));
+        sim.set("key_size", size as u128);
+        sim.set("block", block_to_u128(block));
+        sim.set("decrypt", u128::from(decrypt));
+        sim.set("start", 1);
+        sim.tick();
+        sim.set("start", 0);
+        let mut cycles = 1u32;
+        while sim.peek("valid") == 0 {
+            sim.tick();
+            cycles += 1;
+            assert!(cycles < 200, "engine hung");
+        }
+        (u128_to_block(sim.peek("result")), cycles)
+    }
+
+    #[test]
+    fn aes128_matches_fips_c1() {
+        let key: Vec<u8> = (0..16).collect();
+        let pt = *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
+        let (ct, cycles) = run(EngineKeySize::Aes128, false, &key, pt);
+        assert_eq!(
+            ct,
+            *b"\x69\xc4\xe0\xd8\x6a\x7b\x04\x30\xd8\xcd\xb7\x80\x70\xb4\xc5\x5a"
+        );
+        assert_eq!(cycles, EngineKeySize::Aes128.latency());
+    }
+
+    #[test]
+    fn aes192_matches_fips_c2() {
+        let key: Vec<u8> = (0..24).collect();
+        let pt = *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
+        let (ct, cycles) = run(EngineKeySize::Aes192, false, &key, pt);
+        assert_eq!(
+            ct,
+            *b"\xdd\xa9\x7c\xa4\x86\x4c\xdf\xe0\x6e\xaf\x70\xa0\xec\x0d\x71\x91"
+        );
+        assert_eq!(cycles, EngineKeySize::Aes192.latency());
+    }
+
+    #[test]
+    fn aes256_matches_fips_c3() {
+        let key: Vec<u8> = (0..32).collect();
+        let pt = *b"\x00\x11\x22\x33\x44\x55\x66\x77\x88\x99\xaa\xbb\xcc\xdd\xee\xff";
+        let (ct, cycles) = run(EngineKeySize::Aes256, false, &key, pt);
+        assert_eq!(
+            ct,
+            *b"\x8e\xa2\xb7\xca\x51\x67\x45\xbf\xea\xfc\x49\x90\x4b\x49\x60\x89"
+        );
+        assert_eq!(cycles, EngineKeySize::Aes256.latency());
+    }
+
+    #[test]
+    fn decrypt_round_trips_all_sizes() {
+        for (size, klen) in [
+            (EngineKeySize::Aes128, 16usize),
+            (EngineKeySize::Aes192, 24),
+            (EngineKeySize::Aes256, 32),
+        ] {
+            let key: Vec<u8> = (0..klen as u8).map(|b| b.wrapping_mul(37) ^ 5).collect();
+            let pt = [0x3cu8; 16];
+            let ct_ref = Aes::new(&key).unwrap().encrypt_block(pt);
+            let (ct, _) = run(size, false, &key, pt);
+            assert_eq!(ct, ct_ref, "{size:?} encrypt");
+            let (back, dec_cycles) = run(size, true, &key, ct);
+            assert_eq!(back, pt, "{size:?} decrypt");
+            assert_eq!(dec_cycles, size.latency());
+        }
+    }
+
+    #[test]
+    fn latency_depends_only_on_key_size() {
+        // Fig. 1's N = 10/12/14 — and never on key *values*.
+        let (_, a) = run(EngineKeySize::Aes128, false, &[0u8; 16], [0; 16]);
+        let (_, b) = run(EngineKeySize::Aes128, false, &[0xff; 16], [9; 16]);
+        assert_eq!(a, b);
+        let (_, c) = run(EngineKeySize::Aes256, false, &[0u8; 32], [0; 16]);
+        assert!(c > a, "more rounds for longer keys");
+    }
+
+    #[test]
+    fn multi_engine_passes_static_verification() {
+        let report = ifc_check::check(&multi_engine());
+        assert!(report.is_secure(), "{report}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Accelerator parameters and the SoC's principal labels.
+
+use ifc_lattice::{Conf, Integ, Label};
+
+/// Pipeline depth in clock cycles: one input/whitening stage, nine full
+/// rounds of three registered substages each, and a two-substage final
+/// round — the paper's "completes the encryption of a data block in 30
+/// cycles" at one block per cycle.
+pub const PIPELINE_DEPTH: usize = 30;
+
+/// The scratchpad slot (key index) holding the master key.
+pub const MASTER_KEY_SLOT: usize = 3;
+
+/// Sizing of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelParams {
+    /// Number of 64-bit scratchpad cells (8 × 64 = the paper's 512-bit
+    /// scratchpad, Fig. 5).
+    pub scratchpad_cells: usize,
+    /// Number of 128-bit key slots (two cells per slot).
+    pub key_slots: usize,
+    /// Depth of the protected design's output holding buffer.
+    pub out_buffer_depth: usize,
+}
+
+impl AccelParams {
+    /// The paper's prototype configuration.
+    #[must_use]
+    pub const fn paper() -> AccelParams {
+        AccelParams {
+            scratchpad_cells: 8,
+            key_slots: 4,
+            out_buffer_depth: 16,
+        }
+    }
+}
+
+impl Default for AccelParams {
+    fn default() -> AccelParams {
+        AccelParams::paper()
+    }
+}
+
+/// The security label of regular user `k` (0-based, up to 4 users).
+///
+/// Users sit at pairwise-incomparable levels — each has both higher
+/// confidentiality *and* higher integrity requirements than none of the
+/// others — so no user may read or contaminate another's data.
+///
+/// ```
+/// use accel::user_label;
+/// let a = user_label(0);
+/// let b = user_label(1);
+/// assert!(!a.flows_to(b));
+/// assert!(!b.flows_to(a));
+/// ```
+#[must_use]
+pub fn user_label(k: usize) -> Label {
+    assert!(k < 4, "the SoC model has four user levels");
+    let level = (2 + 3 * k) as u8;
+    Label::new(Conf::new(level), Integ::new(level))
+}
+
+/// The supervisor's label: `(⊤,⊤)` — may read anything, trusted to write
+/// configuration state and release master-key ciphertexts.
+#[must_use]
+pub fn supervisor_label() -> Label {
+    Label::SECRET_TRUSTED
+}
+
+/// The master key's label: `(⊤,⊤)` — only the supervisor can read or use
+/// it (the paper's Section 3.2.2 and Fig. 4).
+#[must_use]
+pub fn master_key_label() -> Label {
+    Label::SECRET_TRUSTED
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn users_are_pairwise_incomparable() {
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert!(!user_label(a).flows_to(user_label(b)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn users_flow_to_supervisor_reads() {
+        // Every user's confidentiality is below the supervisor's.
+        for k in 0..4 {
+            assert!(user_label(k).conf.flows_to(supervisor_label().conf));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "four user levels")]
+    fn user_label_bounds() {
+        let _ = user_label(4);
+    }
+}

@@ -1,0 +1,163 @@
+//! The paper's Table 1 as an executable policy set.
+//!
+//! Each row names a security requirement, its dimension, and the
+//! source/sink pair in the accelerator. [`table1_policies`] instantiates
+//! the rows against a concrete design (baseline or protected) so the same
+//! audit can show the baseline violating every row and the protected
+//! design enforcing them (structurally cut at a downgrade or a verified
+//! runtime check).
+
+use hdl::{Design, LabelExpr, NodeId};
+use ifc_check::{FlowPolicy, PolicyKind};
+use ifc_lattice::{reflect_integ, Label};
+
+use crate::params::user_label;
+
+/// The label at which a named output port releases its value: its
+/// annotation when present, else `default` (an unlabelled port is readable
+/// by anyone, i.e. by the attacker).
+fn port_release_label(design: &Design, name: &str, default: Label) -> Label {
+    design
+        .outputs()
+        .iter()
+        .find(|p| p.name == name)
+        .and_then(|p| match &p.label {
+            Some(LabelExpr::Const(l)) => Some(*l),
+            _ => None,
+        })
+        .unwrap_or(default)
+}
+
+/// Looks up a node by its diagnostic name (register/wire) or port name.
+///
+/// # Panics
+///
+/// Panics if the design has no such node — a mismatch between the policy
+/// set and the design generation.
+#[must_use]
+pub fn node_named(design: &Design, name: &str) -> NodeId {
+    design
+        .input(name)
+        .or_else(|| design.output(name))
+        .or_else(|| design.node_ids().find(|&id| design.name_of(id) == Some(name)))
+        .unwrap_or_else(|| panic!("design {} has no node named {name:?}", design.name()))
+}
+
+/// Instantiates the six rows of Table 1 against a design.
+///
+/// `attacker` is the less-privileged user the rows quantify over
+/// (defaults in the harness to user 0), `victim` the key/data owner.
+#[must_use]
+pub fn table1_policies(design: &Design, attacker: Label, victim: Label) -> Vec<FlowPolicy> {
+    let key_regs = node_named(design, "pipe.key0");
+    let out_block = node_named(design, "out_block");
+    let dbg_out = node_named(design, "dbg_out");
+    let key_data_in = node_named(design, "key_data");
+    let in_block = node_named(design, "in_block");
+    let data_reg = node_named(design, "pipe.data0");
+    let cfg_data = node_named(design, "cfg_data");
+    let cfg_reg = node_named(design, "cfg.reg");
+
+    vec![
+        FlowPolicy {
+            name: "1. a classified key cannot be read out by a less confidential user".into(),
+            kind: PolicyKind::Confidentiality,
+            source: key_regs,
+            source_label: victim,
+            sink: dbg_out,
+            sink_label: port_release_label(design, "dbg_out", attacker),
+        },
+        FlowPolicy {
+            name: "2. a protected key cannot be modified by a less trusted user".into(),
+            kind: PolicyKind::Integrity,
+            source: key_data_in,
+            source_label: attacker,
+            sink: key_regs,
+            sink_label: victim,
+        },
+        FlowPolicy {
+            name: "3. a classified key cannot be used by a less trusted user".into(),
+            kind: PolicyKind::Confidentiality,
+            source: key_regs,
+            // The master key: releasable only when C(key) ⊑ r(I(user)).
+            source_label: Label::SECRET_TRUSTED,
+            sink: out_block,
+            sink_label: Label::new(reflect_integ(attacker.integ), attacker.integ),
+        },
+        FlowPolicy {
+            name: "4. a low confidential user cannot read another user's plaintext".into(),
+            kind: PolicyKind::Confidentiality,
+            source: in_block,
+            source_label: victim,
+            sink: out_block,
+            sink_label: attacker,
+        },
+        FlowPolicy {
+            name: "5. a less trusted user cannot modify data beyond its authority".into(),
+            kind: PolicyKind::Integrity,
+            source: in_block,
+            source_label: attacker,
+            sink: data_reg,
+            sink_label: victim,
+        },
+        FlowPolicy {
+            name: "6. configuration registers writable only by the supervisor".into(),
+            kind: PolicyKind::Integrity,
+            source: cfg_data,
+            source_label: attacker,
+            sink: cfg_reg,
+            sink_label: Label::PUBLIC_TRUSTED,
+        },
+    ]
+}
+
+/// The default attacker/victim pair used by the harness: user 0 attacks
+/// user 1.
+#[must_use]
+pub fn default_table1(design: &Design) -> Vec<FlowPolicy> {
+    table1_policies(design, user_label(0), user_label(1))
+}
+
+/// Table 1 as a reviewable text file (`policies/table1.policy`), in the
+/// `ifc-check` policy DSL. The same requirements as
+/// [`table1_policies`], but maintained as data rather than code — the
+/// direction the paper's conclusion calls "automating the formulation
+/// procedure".
+pub const TABLE1_POLICY_TEXT: &str = include_str!("../policies/table1.policy");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{baseline, protected};
+    use ifc_check::check_policies;
+
+    #[test]
+    fn baseline_violates_every_row() {
+        let design = baseline();
+        let outcomes = check_policies(&design, &default_table1(&design));
+        for o in &outcomes {
+            assert!(o.violated(), "expected baseline violation: {o}");
+        }
+    }
+
+    #[test]
+    fn textual_table1_parses_and_flags_the_baseline() {
+        let design = baseline();
+        let policies =
+            ifc_check::parse_policies(&design, TABLE1_POLICY_TEXT).expect("policy file parses");
+        assert_eq!(policies.len(), 6);
+        let outcomes = check_policies(&design, &policies);
+        for o in &outcomes {
+            assert!(o.violated(), "baseline must violate: {o}");
+        }
+    }
+
+    #[test]
+    fn protected_violates_no_row() {
+        let design = protected();
+        let outcomes = check_policies(&design, &default_table1(&design));
+        for o in &outcomes {
+            assert!(!o.violated(), "unexpected protected violation: {o}");
+        }
+    }
+}

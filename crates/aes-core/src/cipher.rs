@@ -1,0 +1,256 @@
+//! The block cipher: full encryption/decryption plus a round-level trace
+//! API for verifying hardware pipelines.
+
+use std::fmt;
+
+use crate::key_schedule::{InvalidKeyLength, KeySchedule};
+use crate::ops::{
+    add_round_key, inv_mix_columns, inv_shift_rows, inv_sub_bytes, mix_columns, shift_rows,
+    sub_bytes,
+};
+
+/// A 16-byte AES block.
+pub type Block = [u8; 16];
+
+/// The three standard AES key sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 192-bit key, 12 rounds.
+    Aes192,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    /// Key length in bytes.
+    #[must_use]
+    pub const fn key_bytes(self) -> usize {
+        match self {
+            KeySize::Aes128 => 16,
+            KeySize::Aes192 => 24,
+            KeySize::Aes256 => 32,
+        }
+    }
+
+    /// Number of rounds `Nr` (the `N` of the paper's Fig. 1: 10/12/14).
+    #[must_use]
+    pub const fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes192 => 12,
+            KeySize::Aes256 => 14,
+        }
+    }
+}
+
+impl fmt::Display for KeySize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeySize::Aes128 => f.write_str("AES-128"),
+            KeySize::Aes192 => f.write_str("AES-192"),
+            KeySize::Aes256 => f.write_str("AES-256"),
+        }
+    }
+}
+
+/// An AES cipher instance with an expanded key schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aes {
+    schedule: KeySchedule,
+    size: KeySize,
+}
+
+impl Aes {
+    /// Creates a cipher from a key of any standard size.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for key lengths other than 16, 24, or 32 bytes.
+    pub fn new(key: &[u8]) -> Result<Aes, InvalidKeyLength> {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            24 => KeySize::Aes192,
+            32 => KeySize::Aes256,
+            other => return Err(InvalidKeyLength { bytes: other }),
+        };
+        Ok(Aes {
+            schedule: KeySchedule::expand(key)?,
+            size,
+        })
+    }
+
+    /// Creates an AES-128 cipher.
+    #[must_use]
+    pub fn new_128(key: [u8; 16]) -> Aes {
+        Aes::new(&key).expect("16-byte key is always valid")
+    }
+
+    /// Creates an AES-192 cipher.
+    #[must_use]
+    pub fn new_192(key: [u8; 24]) -> Aes {
+        Aes::new(&key).expect("24-byte key is always valid")
+    }
+
+    /// Creates an AES-256 cipher.
+    #[must_use]
+    pub fn new_256(key: [u8; 32]) -> Aes {
+        Aes::new(&key).expect("32-byte key is always valid")
+    }
+
+    /// The cipher's key size.
+    #[must_use]
+    pub fn key_size(&self) -> KeySize {
+        self.size
+    }
+
+    /// The expanded key schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &KeySchedule {
+        &self.schedule
+    }
+
+    /// All round keys (convenience passthrough used by the hardware
+    /// drivers).
+    #[must_use]
+    pub fn round_keys(&self) -> &[[u8; 16]] {
+        self.schedule.round_keys()
+    }
+
+    /// Encrypts one block.
+    #[must_use]
+    pub fn encrypt_block(&self, block: Block) -> Block {
+        let nr = self.size.rounds();
+        let mut state = add_round_key(block, self.schedule.round_key(0));
+        for r in 1..nr {
+            state = sub_bytes(state);
+            state = shift_rows(state);
+            state = mix_columns(state);
+            state = add_round_key(state, self.schedule.round_key(r));
+        }
+        state = sub_bytes(state);
+        state = shift_rows(state);
+        add_round_key(state, self.schedule.round_key(nr))
+    }
+
+    /// Decrypts one block (the straightforward inverse cipher of
+    /// FIPS-197 §5.3).
+    #[must_use]
+    pub fn decrypt_block(&self, block: Block) -> Block {
+        let nr = self.size.rounds();
+        let mut state = add_round_key(block, self.schedule.round_key(nr));
+        for r in (1..nr).rev() {
+            state = inv_shift_rows(state);
+            state = inv_sub_bytes(state);
+            state = add_round_key(state, self.schedule.round_key(r));
+            state = inv_mix_columns(state);
+        }
+        state = inv_shift_rows(state);
+        state = inv_sub_bytes(state);
+        add_round_key(state, self.schedule.round_key(0))
+    }
+
+    /// Encrypts one block, returning the state after the initial key
+    /// whitening and after every round — `Nr + 1` entries, the last being
+    /// the ciphertext. This is the oracle the pipelined accelerator is
+    /// verified against, stage by stage.
+    #[must_use]
+    pub fn encrypt_trace(&self, block: Block) -> Vec<Block> {
+        let nr = self.size.rounds();
+        let mut trace = Vec::with_capacity(nr + 1);
+        let mut state = add_round_key(block, self.schedule.round_key(0));
+        trace.push(state);
+        for r in 1..nr {
+            state = sub_bytes(state);
+            state = shift_rows(state);
+            state = mix_columns(state);
+            state = add_round_key(state, self.schedule.round_key(r));
+            trace.push(state);
+        }
+        state = sub_bytes(state);
+        state = shift_rows(state);
+        state = add_round_key(state, self.schedule.round_key(nr));
+        trace.push(state);
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn block(s: &str) -> Block {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn fips_appendix_b_example() {
+        let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c")).unwrap();
+        let ct = aes.encrypt_block(block("3243f6a8885a308d313198a2e0370734"));
+        assert_eq!(ct, block("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips_appendix_c1_aes128() {
+        let aes = Aes::new(&hex("000102030405060708090a0b0c0d0e0f")).unwrap();
+        let pt = block("00112233445566778899aabbccddeeff");
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(ct, block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        assert_eq!(aes.decrypt_block(ct), pt);
+    }
+
+    #[test]
+    fn fips_appendix_c2_aes192() {
+        let aes = Aes::new(&hex("000102030405060708090a0b0c0d0e0f1011121314151617")).unwrap();
+        let pt = block("00112233445566778899aabbccddeeff");
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(ct, block("dda97ca4864cdfe06eaf70a0ec0d7191"));
+        assert_eq!(aes.decrypt_block(ct), pt);
+    }
+
+    #[test]
+    fn fips_appendix_c3_aes256() {
+        let aes = Aes::new(&hex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        ))
+        .unwrap();
+        let pt = block("00112233445566778899aabbccddeeff");
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(ct, block("8ea2b7ca516745bfeafc49904b496089"));
+        assert_eq!(aes.decrypt_block(ct), pt);
+    }
+
+    #[test]
+    fn trace_ends_with_ciphertext_and_has_nr_plus_one_entries() {
+        let aes = Aes::new(&hex("000102030405060708090a0b0c0d0e0f")).unwrap();
+        let pt = block("00112233445566778899aabbccddeeff");
+        let trace = aes.encrypt_trace(pt);
+        assert_eq!(trace.len(), 11);
+        assert_eq!(*trace.last().unwrap(), aes.encrypt_block(pt));
+    }
+
+    #[test]
+    fn trace_round1_matches_fips_c1_intermediate() {
+        // FIPS-197 Appendix C.1: round[ 1].start is the state after
+        // round 0's AddRoundKey; our trace[0].
+        let aes = Aes::new(&hex("000102030405060708090a0b0c0d0e0f")).unwrap();
+        let trace = aes.encrypt_trace(block("00112233445566778899aabbccddeeff"));
+        assert_eq!(trace[0], block("00102030405060708090a0b0c0d0e0f0"));
+        // round[ 2].start = state after round 1.
+        assert_eq!(trace[1], block("89d810e8855ace682d1843d8cb128fe4"));
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes::new_128([0u8; 16]);
+        let b = Aes::new_128([1u8; 16]);
+        assert_ne!(a.encrypt_block([0u8; 16]), b.encrypt_block([0u8; 16]));
+    }
+}

@@ -1,0 +1,91 @@
+//! GF(2⁸) arithmetic with the AES reduction polynomial
+//! x⁸ + x⁴ + x³ + x + 1 (0x11b).
+
+/// Multiplies by `x` in GF(2⁸) (the `xtime` primitive of FIPS-197 §4.2.1).
+#[must_use]
+pub const fn xtime(a: u8) -> u8 {
+    let shifted = (a as u16) << 1;
+    let reduced = if a & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    };
+    (reduced & 0xff) as u8
+}
+
+/// Full GF(2⁸) multiplication (Russian-peasant style).
+#[must_use]
+pub const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+        i += 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse in GF(2⁸), with `inv(0) = 0` as AES requires.
+/// Computed as a^254 (Fermat's little theorem in GF(2⁸)).
+#[must_use]
+pub const fn ginv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 by square-and-multiply: 254 = 0b11111110.
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u16;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gmul(result, base);
+        }
+        base = gmul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtime_matches_spec_example() {
+        // FIPS-197 §4.2.1: {57} · {02} = {ae}, · {04} = {47}, · {08} = {8e}.
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x47), 0x8e);
+    }
+
+    #[test]
+    fn gmul_matches_spec_example() {
+        // FIPS-197 §4.2: {57} · {83} = {c1}.
+        assert_eq!(gmul(0x57, 0x83), 0xc1);
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn gmul_commutative_and_distributive() {
+        for a in [0u8, 1, 2, 0x53, 0x7f, 0x80, 0xff] {
+            for b in [0u8, 1, 3, 0x10, 0xca, 0xff] {
+                assert_eq!(gmul(a, b), gmul(b, a));
+                for c in [0u8, 5, 0xaa] {
+                    assert_eq!(gmul(a, b ^ c), gmul(a, b) ^ gmul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gmul(a, ginv(a)), 1, "inv({a:#x})");
+        }
+        assert_eq!(ginv(0), 0);
+    }
+}

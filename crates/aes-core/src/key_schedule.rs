@@ -1,0 +1,164 @@
+//! The AES key expansion (FIPS-197 §5.2).
+
+use crate::sbox::SBOX;
+
+/// Round constants `Rcon[i] = x^(i-1)` in GF(2⁸).
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// The expanded key schedule: `Nr + 1` round keys of 16 bytes.
+///
+/// ```
+/// use aes_core::KeySchedule;
+/// let ks = KeySchedule::expand(&[0u8; 16]).unwrap();
+/// assert_eq!(ks.rounds(), 10);
+/// assert_eq!(ks.round_key(0), [0u8; 16]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeySchedule {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl KeySchedule {
+    /// Expands a 16-, 24-, or 32-byte key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error for any other key length.
+    pub fn expand(key: &[u8]) -> Result<KeySchedule, InvalidKeyLength> {
+        let nk = match key.len() {
+            16 => 4,
+            24 => 6,
+            32 => 8,
+            other => return Err(InvalidKeyLength { bytes: other }),
+        };
+        let nr = nk + 6;
+        let total_words = 4 * (nr + 1);
+
+        let mut words: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for chunk in key.chunks_exact(4) {
+            words.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in nk..total_words {
+            let mut temp = words[i - 1];
+            if i % nk == 0 {
+                // RotWord + SubWord + Rcon.
+                temp = [temp[1], temp[2], temp[3], temp[0]];
+                temp = temp.map(|b| SBOX[b as usize]);
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                // AES-256 extra SubWord.
+                temp = temp.map(|b| SBOX[b as usize]);
+            }
+            let prev = words[i - nk];
+            words.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let round_keys = words
+            .chunks_exact(4)
+            .map(|w| {
+                let mut rk = [0u8; 16];
+                for (c, word) in w.iter().enumerate() {
+                    rk[4 * c..4 * c + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Ok(KeySchedule { round_keys })
+    }
+
+    /// Number of cipher rounds `Nr` (10, 12, or 14).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    /// The round key for round `r` (round 0 is the initial whitening key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > Nr`.
+    #[must_use]
+    pub fn round_key(&self, r: usize) -> [u8; 16] {
+        self.round_keys[r]
+    }
+
+    /// All round keys, in order.
+    #[must_use]
+    pub fn round_keys(&self) -> &[[u8; 16]] {
+        &self.round_keys
+    }
+}
+
+/// Error returned for key lengths other than 16, 24, or 32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLength {
+    /// The offending length in bytes.
+    pub bytes: usize,
+}
+
+impl std::fmt::Display for InvalidKeyLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid AES key length: {} bytes (expected 16, 24, or 32)",
+            self.bytes
+        )
+    }
+}
+
+impl std::error::Error for InvalidKeyLength {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn aes128_expansion_matches_fips_a1() {
+        // FIPS-197 Appendix A.1 key.
+        let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let ks = KeySchedule::expand(&key).unwrap();
+        assert_eq!(ks.rounds(), 10);
+        assert_eq!(ks.round_key(0), key);
+        // w[4..8] from the appendix: a0fafe17 88542cb1 23a33939 2a6c7605.
+        assert_eq!(ks.round_key(1), hex16("a0fafe1788542cb123a339392a6c7605"));
+        // Final round key w[40..44]: d014f9a8 c9ee2589 e13f0cc8 b6630ca6.
+        assert_eq!(ks.round_key(10), hex16("d014f9a8c9ee2589e13f0cc8b6630ca6"));
+    }
+
+    #[test]
+    fn aes192_and_256_round_counts() {
+        assert_eq!(KeySchedule::expand(&[0u8; 24]).unwrap().rounds(), 12);
+        assert_eq!(KeySchedule::expand(&[0u8; 32]).unwrap().rounds(), 14);
+    }
+
+    #[test]
+    fn aes256_expansion_matches_fips_a3() {
+        // FIPS-197 Appendix A.3 key.
+        let mut key = [0u8; 32];
+        key[..16].copy_from_slice(&hex16("603deb1015ca71be2b73aef0857d7781"));
+        key[16..].copy_from_slice(&hex16("1f352c073b6108d72d9810a30914dff4"));
+        let ks = KeySchedule::expand(&key).unwrap();
+        // w[8..12]: 9ba35411 8e6925af a51a8b5f 2067fcde.
+        assert_eq!(ks.round_key(2), hex16("9ba354118e6925afa51a8b5f2067fcde"));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        for len in [0usize, 1, 15, 17, 23, 25, 31, 33, 64] {
+            assert!(KeySchedule::expand(&vec![0u8; len]).is_err());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! A from-scratch AES (FIPS-197) reference implementation.
+//!
+//! Supports AES-128/192/256 encryption and decryption, with a *round-level*
+//! API ([`Aes::encrypt_trace`], [`round_keys`](Aes::round_keys)) so the
+//! hardware pipeline in the `accel` crate can be verified stage by stage
+//! against the specification.
+//!
+//! The S-box and its inverse are derived from GF(2⁸) arithmetic at
+//! compile time rather than transcribed, so the whole cipher is built from
+//! first principles.
+//!
+//! # Example
+//!
+//! ```
+//! use aes_core::Aes;
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes::new_128(key);
+//! let ct = aes.encrypt_block([0u8; 16]);
+//! assert_eq!(aes.decrypt_block(ct), [0u8; 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cipher;
+mod gf;
+mod key_schedule;
+mod modes;
+mod ops;
+mod sbox;
+
+pub use cipher::{Aes, Block, KeySize};
+pub use gf::{gmul, xtime};
+pub use key_schedule::KeySchedule;
+pub use modes::{ecb_decrypt, ecb_encrypt, CtrStream};
+pub use ops::{
+    add_round_key, inv_mix_columns, inv_shift_rows, inv_sub_bytes, mix_columns, shift_rows,
+    sub_bytes,
+};
+pub use sbox::{INV_SBOX, SBOX};
+
+/// Converts a 16-byte block to a `u128` (byte 0 is the most significant —
+/// the order a hex string reads in).
+#[must_use]
+pub fn block_to_u128(block: [u8; 16]) -> u128 {
+    u128::from_be_bytes(block)
+}
+
+/// Converts a `u128` back to a 16-byte block.
+#[must_use]
+pub fn u128_to_block(value: u128) -> [u8; 16] {
+    value.to_be_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_u128_round_trip() {
+        let block: [u8; 16] = core::array::from_fn(|i| i as u8);
+        assert_eq!(u128_to_block(block_to_u128(block)), block);
+        assert_eq!(
+            block_to_u128([0x00, 0x11, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x01]),
+            0x0011_0000_0000_0000_0000_0000_0000_0001
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! The four AES round transformations and their inverses.
+//!
+//! The state is a 16-byte array in *block order* (the order bytes arrive on
+//! the wire); FIPS-197's column-major state maps byte `i` of the block to
+//! state column `i / 4`, row `i % 4` — with this layout ShiftRows permutes
+//! indices `{0,5,10,15,…}` and MixColumns operates on each aligned 4-byte
+//! chunk.
+
+use crate::gf::gmul;
+use crate::sbox::{INV_SBOX, SBOX};
+
+/// Applies the S-box to every byte (SubBytes).
+#[must_use]
+pub fn sub_bytes(state: [u8; 16]) -> [u8; 16] {
+    state.map(|b| SBOX[b as usize])
+}
+
+/// Applies the inverse S-box to every byte (InvSubBytes).
+#[must_use]
+pub fn inv_sub_bytes(state: [u8; 16]) -> [u8; 16] {
+    state.map(|b| INV_SBOX[b as usize])
+}
+
+/// Rotates row `r` of the state left by `r` positions (ShiftRows).
+#[must_use]
+pub fn shift_rows(s: [u8; 16]) -> [u8; 16] {
+    // Row r holds bytes {r, r+4, r+8, r+12}; output byte at column c, row r
+    // comes from column (c + r) mod 4.
+    let mut out = [0u8; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        }
+    }
+    out
+}
+
+/// Inverse of [`shift_rows`].
+#[must_use]
+pub fn inv_shift_rows(s: [u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[4 * ((c + r) % 4) + r] = s[4 * c + r];
+        }
+    }
+    out
+}
+
+/// Mixes each column by the fixed polynomial {03}x³+{01}x²+{01}x+{02}
+/// (MixColumns).
+#[must_use]
+pub fn mix_columns(s: [u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for c in 0..4 {
+        let col = &s[4 * c..4 * c + 4];
+        out[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        out[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        out[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        out[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+    out
+}
+
+/// Inverse of [`mix_columns`] (multiplies by {0b}x³+{0d}x²+{09}x+{0e}).
+#[must_use]
+pub fn inv_mix_columns(s: [u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for c in 0..4 {
+        let col = &s[4 * c..4 * c + 4];
+        out[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        out[4 * c + 1] =
+            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+        out[4 * c + 2] =
+            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+        out[4 * c + 3] =
+            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    }
+    out
+}
+
+/// XORs the round key into the state (AddRoundKey).
+#[must_use]
+pub fn add_round_key(state: [u8; 16], round_key: [u8; 16]) -> [u8; 16] {
+    core::array::from_fn(|i| state[i] ^ round_key[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_rows_round_trips() {
+        let s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        assert_eq!(inv_shift_rows(shift_rows(s)), s);
+    }
+
+    #[test]
+    fn shift_rows_moves_expected_bytes() {
+        let s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let out = shift_rows(s);
+        // Row 0 unchanged.
+        assert_eq!(out[0], 0);
+        assert_eq!(out[4], 4);
+        // Row 1 rotates by one column: position (col 0, row 1) gets byte
+        // from col 1 row 1 = index 5.
+        assert_eq!(out[1], 5);
+        assert_eq!(out[5], 9);
+        assert_eq!(out[13], 1);
+        // Row 3 rotates by three.
+        assert_eq!(out[3], 15);
+    }
+
+    #[test]
+    fn mix_columns_matches_spec_example() {
+        // FIPS-197 §5.1.3 test column: db 13 53 45 → 8e 4d a1 bc.
+        let mut s = [0u8; 16];
+        s[..4].copy_from_slice(&[0xdb, 0x13, 0x53, 0x45]);
+        let out = mix_columns(s);
+        assert_eq!(&out[..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+
+    #[test]
+    fn mix_columns_round_trips() {
+        let s: [u8; 16] = core::array::from_fn(|i| (i * 17 + 3) as u8);
+        assert_eq!(inv_mix_columns(mix_columns(s)), s);
+    }
+
+    #[test]
+    fn sub_bytes_round_trips() {
+        let s: [u8; 16] = core::array::from_fn(|i| (i * 13) as u8);
+        assert_eq!(inv_sub_bytes(sub_bytes(s)), s);
+    }
+
+    #[test]
+    fn add_round_key_is_involutive() {
+        let s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let k: [u8; 16] = core::array::from_fn(|i| (255 - i) as u8);
+        assert_eq!(add_round_key(add_round_key(s, k), k), s);
+    }
+}

@@ -1,0 +1,89 @@
+//! The AES S-box and its inverse, derived at compile time.
+
+use crate::gf::ginv;
+
+/// Applies the AES affine transformation over GF(2) to the bits of `b`:
+/// `b'ᵢ = bᵢ ⊕ b₍ᵢ₊₄₎ ⊕ b₍ᵢ₊₅₎ ⊕ b₍ᵢ₊₆₎ ⊕ b₍ᵢ₊₇₎ ⊕ cᵢ` with c = 0x63.
+const fn affine(b: u8) -> u8 {
+    let mut out = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        let bit = ((b >> i) ^ (b >> ((i + 4) % 8)) ^ (b >> ((i + 5) % 8))
+            ^ (b >> ((i + 6) % 8))
+            ^ (b >> ((i + 7) % 8))
+            ^ (0x63 >> i))
+            & 1;
+        out |= bit << i;
+        i += 1;
+    }
+    out
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = affine(ginv(i as u8));
+        i += 1;
+    }
+    table
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// The AES substitution box (FIPS-197 Fig. 7), derived from GF(2⁸)
+/// inversion plus the affine transformation.
+pub const SBOX: [u8; 256] = build_sbox();
+
+/// The inverse substitution box.
+pub const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_entries() {
+        // Spot values from FIPS-197 Figure 7.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(SBOX[0x10], 0xca);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for &v in SBOX.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inverse_inverts() {
+        for i in 0..256 {
+            assert_eq!(INV_SBOX[SBOX[i] as usize] as usize, i);
+            assert_eq!(SBOX[INV_SBOX[i] as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points() {
+        for i in 0..256u16 {
+            assert_ne!(SBOX[i as usize] as u16, i);
+            assert_ne!(SBOX[i as usize] as u16, i ^ 0xff);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the AES implementation.
+
+use aes_core::{
+    add_round_key, block_to_u128, inv_mix_columns, inv_shift_rows, inv_sub_bytes, mix_columns,
+    shift_rows, sub_bytes, u128_to_block, Aes, CtrStream,
+};
+use proptest::prelude::*;
+
+fn arb_block() -> impl Strategy<Value = [u8; 16]> {
+    any::<[u8; 16]>()
+}
+
+proptest! {
+    #[test]
+    fn encrypt_decrypt_identity_128(key in any::<[u8; 16]>(), pt in arb_block()) {
+        let aes = Aes::new_128(key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+    }
+
+    #[test]
+    fn encrypt_decrypt_identity_192(key in any::<[u8; 24]>(), pt in arb_block()) {
+        let aes = Aes::new_192(key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+    }
+
+    #[test]
+    fn encrypt_decrypt_identity_256(key in any::<[u8; 32]>(), pt in arb_block()) {
+        let aes = Aes::new_256(key);
+        prop_assert_eq!(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+    }
+
+    #[test]
+    fn encryption_is_injective(key in any::<[u8; 16]>(), a in arb_block(), b in arb_block()) {
+        let aes = Aes::new_128(key);
+        if a != b {
+            prop_assert_ne!(aes.encrypt_block(a), aes.encrypt_block(b));
+        }
+    }
+
+    #[test]
+    fn round_ops_invert(s in arb_block()) {
+        prop_assert_eq!(inv_sub_bytes(sub_bytes(s)), s);
+        prop_assert_eq!(inv_shift_rows(shift_rows(s)), s);
+        prop_assert_eq!(inv_mix_columns(mix_columns(s)), s);
+    }
+
+    #[test]
+    fn add_round_key_self_inverse(s in arb_block(), k in arb_block()) {
+        prop_assert_eq!(add_round_key(add_round_key(s, k), k), s);
+    }
+
+    #[test]
+    fn mix_columns_is_linear(a in arb_block(), b in arb_block()) {
+        let xored: [u8; 16] = core::array::from_fn(|i| a[i] ^ b[i]);
+        let lhs = mix_columns(xored);
+        let rhs: [u8; 16] = {
+            let ma = mix_columns(a);
+            let mb = mix_columns(b);
+            core::array::from_fn(|i| ma[i] ^ mb[i])
+        };
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn trace_is_consistent(key in any::<[u8; 16]>(), pt in arb_block()) {
+        let aes = Aes::new_128(key);
+        let trace = aes.encrypt_trace(pt);
+        prop_assert_eq!(trace.len(), 11);
+        prop_assert_eq!(trace[10], aes.encrypt_block(pt));
+    }
+
+    #[test]
+    fn block_u128_round_trip(b in arb_block()) {
+        prop_assert_eq!(u128_to_block(block_to_u128(b)), b);
+    }
+
+    #[test]
+    fn ctr_round_trips(key in any::<[u8; 16]>(), iv in arb_block(), msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let aes = Aes::new_128(key);
+        let mut enc = CtrStream::new(aes.clone(), iv);
+        let mut dec = CtrStream::new(aes, iv);
+        prop_assert_eq!(dec.apply(&enc.apply(&msg)), msg);
+    }
+
+    #[test]
+    fn avalanche_flips_many_bits(key in any::<[u8; 16]>(), pt in arb_block(), bit in 0usize..128) {
+        // Flipping one plaintext bit should change roughly half the
+        // ciphertext bits; assert a loose lower bound (> 16 of 128).
+        let aes = Aes::new_128(key);
+        let mut flipped = pt;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        let c0 = block_to_u128(aes.encrypt_block(pt));
+        let c1 = block_to_u128(aes.encrypt_block(flipped));
+        prop_assert!((c0 ^ c1).count_ones() > 16);
+    }
+}

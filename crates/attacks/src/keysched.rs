@@ -1,0 +1,77 @@
+//! Key-schedule inversion: why leaking *any* round key leaks the key.
+
+use aes_core::SBOX;
+
+/// AES round constants.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Inverts one AES-128 key-expansion step: given round key `r + 1` (and
+/// `r`'s round-constant index), recovers round key `r`.
+///
+/// This is what makes the debug-peripheral attack devastating: the
+/// key-expansion pipeline registers hold round keys, and every round key
+/// walks back to the cipher key.
+#[must_use]
+pub fn invert_key_expansion(next: [u8; 16], rcon_index: usize) -> [u8; 16] {
+    let w = |rk: &[u8; 16], i: usize| -> [u8; 4] {
+        [rk[4 * i], rk[4 * i + 1], rk[4 * i + 2], rk[4 * i + 3]]
+    };
+    let xor4 = |a: [u8; 4], b: [u8; 4]| -> [u8; 4] {
+        [a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]]
+    };
+    let n0 = w(&next, 0);
+    let n1 = w(&next, 1);
+    let n2 = w(&next, 2);
+    let n3 = w(&next, 3);
+    // Forward: n0 = w0 ^ g(w3), n1 = w1 ^ n0, n2 = w2 ^ n1, n3 = w3 ^ n2.
+    let w3 = xor4(n3, n2);
+    let w2 = xor4(n2, n1);
+    let w1 = xor4(n1, n0);
+    let mut g = [w3[1], w3[2], w3[3], w3[0]].map(|b| SBOX[b as usize]);
+    g[0] ^= RCON[rcon_index];
+    let w0 = xor4(n0, g);
+    let mut prev = [0u8; 16];
+    prev[0..4].copy_from_slice(&w0);
+    prev[4..8].copy_from_slice(&w1);
+    prev[8..12].copy_from_slice(&w2);
+    prev[12..16].copy_from_slice(&w3);
+    prev
+}
+
+/// Walks a leaked round key all the way back to the cipher key.
+#[must_use]
+pub fn recover_cipher_key(mut round_key: [u8; 16], round: usize) -> [u8; 16] {
+    for r in (0..round).rev() {
+        round_key = invert_key_expansion(round_key, r);
+    }
+    round_key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aes_core::KeySchedule;
+
+    #[test]
+    fn inverts_every_expansion_step() {
+        let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+            0x09, 0xcf, 0x4f, 0x3c];
+        let ks = KeySchedule::expand(&key).unwrap();
+        for r in 0..10 {
+            assert_eq!(
+                invert_key_expansion(ks.round_key(r + 1), r),
+                ks.round_key(r),
+                "round {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_cipher_key_from_any_round_key() {
+        let key = [0x42u8; 16];
+        let ks = KeySchedule::expand(&key).unwrap();
+        for r in 1..=10 {
+            assert_eq!(recover_cipher_key(ks.round_key(r), r), key);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Attack scenarios against the AES accelerator.
+//!
+//! Each scenario models one of the vulnerability classes the paper
+//! discusses (Sections 2.1 and 3.1) as an executable adversary program
+//! driving the simulated hardware:
+//!
+//! | scenario | paper reference | baseline | protected |
+//! |---|---|---|---|
+//! | [`timing_channel`] | pipeline-sharing covert channel \[20\] | succeeds | blocked by Fig. 8 stall policy |
+//! | [`scratchpad_overrun`] | buffer error over the key scratchpad (Fig. 5) | succeeds | blocked by tag check |
+//! | [`debug_key_disclosure`] | trace-buffer attack on AES \[10\] | succeeds | blocked by port label + config integrity |
+//! | [`partial_result_disclosure`] | publicly visible partial result \[6\] | succeeds | blocked by port label |
+//! | [`master_key_misuse`] | inappropriate key use (Section 3.2.2) | succeeds | blocked by nonmalleable declassification |
+//! | [`config_tamper`] | debug peripheral unlock via config | succeeds | blocked by integrity check |
+//!
+//! [`attack_matrix`] runs every scenario against both designs and is the
+//! data source for the `attack_matrix` benchmark binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod keysched;
+pub mod lesion;
+mod matrix;
+pub mod noninterference;
+mod scenarios;
+pub mod trojan;
+
+pub use keysched::invert_key_expansion;
+pub use lesion::{lesion_study, Lesion, LesionOutcome};
+pub use noninterference::{eve_trace, eve_trace_on, noninterference_holds, EveTrace};
+pub use trojan::{trojan_exfiltration, trojan_static_detection};
+pub use matrix::{attack_matrix, static_findings, usability_checks, AttackReport};
+pub use scenarios::{
+    config_tamper, debug_key_disclosure, design_for, master_key_misuse,
+    partial_result_disclosure, run_scenario_on, scratchpad_overrun,
+    supervisor_master_key_use, timing_channel, AttackKind, AttackOutcome, AttackResult,
+};

@@ -1,0 +1,60 @@
+//! Simulation throughput of the accelerator pipeline (baseline vs
+//! protected) and the software reference for context. The cycle-accurate
+//! numbers behind the paper's throughput claim come from
+//! `cargo run -p bench --bin throughput`; this bench tracks the
+//! *simulator's* wall-clock cost per encrypted block.
+
+use accel::driver::{AccelDriver, Request};
+use accel::{user_label, Protection};
+use aes_core::Aes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const BLOCKS: u64 = 32;
+
+fn pipeline_stream(protection: Protection) -> u64 {
+    let mut drv = AccelDriver::new(protection);
+    let alice = user_label(1);
+    drv.load_key(0, [9u8; 16], alice);
+    for i in 0..BLOCKS {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&i.to_be_bytes());
+        drv.submit(&Request {
+            block,
+            key_slot: 0,
+            user: alice,
+        });
+    }
+    drv.drain(BLOCKS + 150);
+    drv.responses.len() as u64
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(BLOCKS));
+    group.bench_function("baseline_sim", |b| {
+        b.iter(|| black_box(pipeline_stream(Protection::Off)));
+    });
+    group.bench_function("protected_sim", |b| {
+        b.iter(|| black_box(pipeline_stream(Protection::Full)));
+    });
+    group.finish();
+
+    let mut sw = c.benchmark_group("aes_software_reference");
+    sw.throughput(Throughput::Elements(BLOCKS));
+    let aes = Aes::new_128([9u8; 16]);
+    sw.bench_function("encrypt_blocks", |b| {
+        b.iter(|| {
+            for i in 0..BLOCKS {
+                let mut block = [0u8; 16];
+                block[..8].copy_from_slice(&i.to_be_bytes());
+                black_box(aes.encrypt_block(black_box(block)));
+            }
+        });
+    });
+    sw.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! The sharing-granularity experiment as a Criterion bench: cycle counts
+//! are deterministic (see `cargo run -p bench --bin sharing_granularity`);
+//! this tracks the harness cost of the two sharing disciplines.
+
+use bench::experiments::sharing;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharing_granularity");
+    group.sample_size(10);
+    group.bench_function("sweep_period_4", |b| {
+        b.iter(|| {
+            let samples = sharing(32, &[4]);
+            assert!(samples[0].fine_bpc > samples[0].coarse_bpc);
+            black_box(samples)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

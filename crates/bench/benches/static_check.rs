@@ -1,0 +1,36 @@
+//! Cost of the design-time pipeline: building the accelerator,
+//! lowering it, and running the static IFC verifier ("low design effort,
+//! low overhead" also means the analysis itself is cheap).
+
+use accel::{baseline_annotated, protected};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_time");
+    group.sample_size(10);
+    group.bench_function("build_protected", |b| b.iter(|| black_box(protected())));
+    let design = protected();
+    group.bench_function("lower_protected", |b| {
+        b.iter(|| black_box(design.lower().expect("lowers")));
+    });
+    group.bench_function("check_protected", |b| {
+        b.iter(|| {
+            let report = ifc_check::check(black_box(&design));
+            assert!(report.is_secure());
+            black_box(report)
+        });
+    });
+    let annotated = baseline_annotated();
+    group.bench_function("check_annotated_baseline", |b| {
+        b.iter(|| {
+            let report = ifc_check::check(black_box(&annotated));
+            assert!(!report.is_secure());
+            black_box(report)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: cost of runtime label tracking in the simulator — no
+//! tracking (what the baseline hardware does), conservative RTL-level
+//! propagation (RTLIFT-style), and mux-precise propagation
+//! (GLIFT-flavoured; what the protected design's tag logic needs to avoid
+//! false release blocks).
+
+use accel::driver::{AccelDriver, Request};
+use accel::{protected, user_label};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sim::TrackMode;
+use std::hint::black_box;
+
+fn run(mode: TrackMode) -> usize {
+    let design = protected();
+    let mut drv = AccelDriver::from_design(&design, mode);
+    let alice = user_label(1);
+    drv.load_key(0, [5u8; 16], alice);
+    for i in 0..16u64 {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&i.to_be_bytes());
+        drv.submit(&Request {
+            block,
+            key_slot: 0,
+            user: alice,
+        });
+    }
+    drv.drain(200);
+    drv.responses.len()
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking_modes");
+    group.sample_size(10);
+    group.bench_function("off", |b| b.iter(|| black_box(run(TrackMode::Off))));
+    group.bench_function("conservative", |b| {
+        b.iter(|| black_box(run(TrackMode::Conservative)));
+    });
+    group.bench_function("precise", |b| {
+        b.iter(|| black_box(run(TrackMode::Precise)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

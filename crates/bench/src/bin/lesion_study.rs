@@ -1,0 +1,39 @@
+//! The lesion study: remove each protection mechanism individually and
+//! show which attack class returns and whether the static checker sees
+//! the hole — the ablation evidence that every mechanism in the protected
+//! design is necessary.
+
+use attacks::lesion_study;
+use bench::table::render;
+
+fn main() {
+    println!("Lesion study — one mechanism removed at a time\n");
+    let rows: Vec<Vec<String>> = lesion_study()
+        .iter()
+        .map(|o| {
+            vec![
+                o.lesion.to_string(),
+                o.attack.name.into(),
+                if o.exploitable {
+                    "EXPLOITABLE".into()
+                } else {
+                    "still blocked".into()
+                },
+                if o.lesion.statically_visible() {
+                    format!("{} label error(s)", o.static_violations)
+                } else {
+                    "architectural (see noninterference)".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["lesion", "guarded attack", "dynamic result", "static detection"],
+            &rows
+        )
+    );
+    println!("Every mechanism is necessary: its removal re-enables exactly its");
+    println!("attack class, and all value-flow holes are visible at design time.");
+}

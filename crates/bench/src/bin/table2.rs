@@ -1,0 +1,96 @@
+//! Regenerates Table 2: area and performance of the FPGA prototypes.
+
+use bench::experiments::{table2, PAPER_TABLE2};
+use bench::table::render;
+
+fn main() {
+    let r = table2();
+    let pct = |a: usize, b: usize| format!("{:+.1}%", (a as f64 / b as f64 - 1.0) * 100.0);
+    let rows = vec![
+        vec![
+            "LUTs".into(),
+            PAPER_TABLE2.baseline.0.to_string(),
+            format!(
+                "{} ({})",
+                PAPER_TABLE2.protected.0,
+                pct(PAPER_TABLE2.protected.0, PAPER_TABLE2.baseline.0)
+            ),
+            r.baseline.luts.to_string(),
+            format!("{} ({})", r.protected.luts, pct(r.protected.luts, r.baseline.luts)),
+        ],
+        vec![
+            "FFs".into(),
+            PAPER_TABLE2.baseline.1.to_string(),
+            format!(
+                "{} ({})",
+                PAPER_TABLE2.protected.1,
+                pct(PAPER_TABLE2.protected.1, PAPER_TABLE2.baseline.1)
+            ),
+            r.baseline.ffs.to_string(),
+            format!("{} ({})", r.protected.ffs, pct(r.protected.ffs, r.baseline.ffs)),
+        ],
+        vec![
+            "BRAMs".into(),
+            PAPER_TABLE2.baseline.2.to_string(),
+            format!(
+                "{} ({})",
+                PAPER_TABLE2.protected.2,
+                pct(PAPER_TABLE2.protected.2, PAPER_TABLE2.baseline.2)
+            ),
+            r.baseline.bram18.to_string(),
+            format!(
+                "{} ({})",
+                r.protected.bram18,
+                pct(r.protected.bram18, r.baseline.bram18)
+            ),
+        ],
+        vec![
+            "Frequency (MHz)".into(),
+            format!("{:.0}", PAPER_TABLE2.baseline.3),
+            format!("{:.0} (+0.0%)", PAPER_TABLE2.protected.3),
+            format!("{:.0}", r.fmax.0),
+            format!(
+                "{:.0} ({:+.1}%)",
+                r.fmax.1,
+                (r.fmax.1 / r.fmax.0 - 1.0) * 100.0
+            ),
+        ],
+    ];
+    println!("Table 2 — area and performance of the FPGA prototypes");
+    println!("(paper: Vivado/Virtex-7; measured: structural model, see fpga-model crate)\n");
+    println!(
+        "{}",
+        render(
+            &[
+                "resource",
+                "paper baseline",
+                "paper protected",
+                "model baseline",
+                "model protected"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "critical path (weighted logic levels): baseline {}, protected {}",
+        r.baseline.logic_levels, r.protected.logic_levels
+    );
+
+    // Where the protected design's extra area lives.
+    let net = accel::protected().lower().expect("protected lowers");
+    let groups = fpga_model::estimate_by_group(&net);
+    println!("\nprotected design, by module:");
+    let rows: Vec<Vec<String>> = groups
+        .iter()
+        .filter(|g| g.luts + g.ffs + g.bram18 > 0)
+        .map(|g| {
+            vec![
+                g.group.clone(),
+                g.luts.to_string(),
+                g.ffs.to_string(),
+                g.bram18.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["module", "LUTs", "FFs", "BRAM18"], &rows));
+}

@@ -1,0 +1,45 @@
+//! Regenerates the throughput/latency claims: one block per cycle,
+//! 30-cycle latency, 51.2 Gbps at the 400 MHz operating point.
+
+use accel::Protection;
+use bench::experiments::{throughput, throughput_decrypt};
+use bench::table::render;
+
+fn main() {
+    println!("Throughput — pipelined accelerator at the paper's 400 MHz operating point");
+    println!("(paper: 51.2 Gbps, 1 block/cycle, 30-cycle encryption latency)\n");
+    let mut rows = Vec::new();
+    for (name, p) in [
+        ("baseline", Protection::Off),
+        ("protected", Protection::Full),
+    ] {
+        for blocks in [64u64, 256, 1024] {
+            let r = throughput(p, blocks);
+            rows.push(vec![
+                format!("{name} (encrypt)"),
+                r.blocks.to_string(),
+                r.cycles.to_string(),
+                r.latency.to_string(),
+                format!("{:.3}", r.blocks_per_cycle),
+                format!("{:.1}", r.gbps_at_400mhz),
+            ]);
+        }
+        let r = throughput_decrypt(p, 256);
+        rows.push(vec![
+            format!("{name} (decrypt)"),
+            r.blocks.to_string(),
+            r.cycles.to_string(),
+            r.latency.to_string(),
+            format!("{:.3}", r.blocks_per_cycle),
+            format!("{:.1}", r.gbps_at_400mhz),
+        ]);
+    }
+    println!(
+        "{}",
+        render(
+            &["design", "blocks", "cycles", "latency", "blocks/cycle", "Gbps@400MHz"],
+            &rows
+        )
+    );
+    println!("steady-state: 1 block/cycle × 128 bit × 400 MHz = 51.2 Gbps");
+}

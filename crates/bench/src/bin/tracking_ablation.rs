@@ -1,0 +1,82 @@
+//! Ablation: precision of the runtime tracking logic.
+//!
+//! The conservative RTL-level rule (every mux output joins *all* arms,
+//! RTLIFT-style) over-taints: selecting a public value through a mux whose
+//! other arm is secret still marks the output secret, so the protected
+//! design's release gate fires spuriously. The mux-aware rule
+//! (GLIFT-flavoured) tracks only the selected arm and reports zero false
+//! positives on the same workload. This quantifies why the paper's
+//! tag-based design carries explicit per-stage tags rather than deriving
+//! labels from conservative tracking.
+
+use accel::driver::{AccelDriver, Request};
+use accel::{protected, user_label};
+use bench::table::render;
+use sim::TrackMode;
+
+fn run(mode: TrackMode) -> (usize, usize) {
+    let design = protected();
+    let mut drv = AccelDriver::from_design(&design, mode);
+    let alice = user_label(1);
+    let eve = user_label(0);
+    drv.load_key(0, [7u8; 16], alice);
+    drv.load_key(1, [8u8; 16], eve);
+    // Interleaved two-user stream: the conservative rule joins both
+    // users' labels across the shared output mux and rejects legitimate
+    // releases; the precise rule tracks only the selected block.
+    for i in 0..24u64 {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&i.to_be_bytes());
+        let slot = (i % 2) as usize;
+        drv.submit(&Request {
+            block,
+            key_slot: slot,
+            user: if slot == 0 { alice } else { eve },
+        });
+    }
+    drv.drain(300);
+    (drv.responses.len(), drv.violations().len())
+}
+
+fn main() {
+    println!("Tracking-precision ablation on the protected design (24-block stream)\n");
+    let rows: Vec<Vec<String>> = [
+        ("off (baseline hardware)", TrackMode::Off),
+        ("conservative (RTLIFT-style)", TrackMode::Conservative),
+        ("mux-precise (GLIFT-style)", TrackMode::Precise),
+    ]
+    .into_iter()
+    .map(|(name, mode)| {
+        let (completed, violations) = run(mode);
+        vec![
+            name.into(),
+            completed.to_string(),
+            violations.to_string(),
+            match mode {
+                TrackMode::Off => "no visibility".into(),
+                TrackMode::Conservative => {
+                    if violations > 0 {
+                        "false positives (over-tainting)".into()
+                    } else {
+                        "clean".into()
+                    }
+                }
+                TrackMode::Precise => {
+                    if violations == 0 {
+                        "clean (matches static verdict)".into()
+                    } else {
+                        "unexpected findings".into()
+                    }
+                }
+            },
+        ]
+    })
+    .collect();
+    println!(
+        "{}",
+        render(
+            &["tracking mode", "blocks completed", "violations raised", "assessment"],
+            &rows
+        )
+    );
+}

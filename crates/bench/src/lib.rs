@@ -1,0 +1,21 @@
+//! Experiment harness: one function per table/figure of the paper's
+//! evaluation, shared between the `bin/` report generators, the
+//! integration tests, and the Criterion benches.
+//!
+//! Per-experiment index (see `DESIGN.md` §3):
+//!
+//! * [`experiments::table1`] — Table 1 policy audit.
+//! * [`experiments::table2`] — Table 2 area/frequency comparison.
+//! * [`experiments::throughput`] — 51.2 Gbps @ 400 MHz, 30-cycle latency.
+//! * [`experiments::design_effort`] — the ~70-changed-lines claim.
+//! * [`experiments::fig6`] — the leaky-engine label error and its timing
+//!   channel.
+//! * [`experiments::fig8`] — stall-policy behaviour and buffer occupancy.
+//! * [`experiments::sharing`] — coarse- vs fine-grained sharing sweep.
+//! * [`attacks::attack_matrix`] — the E-atk matrix (re-exported).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

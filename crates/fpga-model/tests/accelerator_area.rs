@@ -1,0 +1,61 @@
+//! Table 2 shape checks: the protected accelerator's area overhead is
+//! marginal and its critical path is unchanged.
+
+use accel::{baseline, protected};
+use fpga_model::{estimate, Calibration};
+
+#[test]
+fn protected_overheads_match_table2_shape() {
+    let base = estimate(&baseline().lower().unwrap());
+    let prot = estimate(&protected().lower().unwrap());
+    let ovh = prot.overhead_vs(&base);
+
+    // Table 2: +5.6 % LUTs, +6.6 % FFs, +10 % BRAMs, +0 % frequency.
+    // Our structural model must land in the same regime: small positive
+    // area overhead, unchanged critical path.
+    assert!(
+        ovh.luts > 0.0 && ovh.luts < 0.15,
+        "LUT overhead {:.1}% out of the marginal regime (base {}, prot {})",
+        ovh.luts * 100.0,
+        base.luts,
+        prot.luts
+    );
+    assert!(
+        ovh.ffs > 0.0 && ovh.ffs < 0.15,
+        "FF overhead {:.1}% out of the marginal regime (base {}, prot {})",
+        ovh.ffs * 100.0,
+        base.ffs,
+        prot.ffs
+    );
+    assert!(
+        ovh.bram18 > 0.0 && ovh.bram18 < 0.25,
+        "BRAM overhead {:.1}% out of the marginal regime (base {}, prot {})",
+        ovh.bram18 * 100.0,
+        base.bram18,
+        prot.bram18
+    );
+    assert_eq!(
+        base.logic_levels, prot.logic_levels,
+        "protection must not lengthen the critical path"
+    );
+}
+
+#[test]
+fn calibrated_frequency_is_unchanged() {
+    let base = estimate(&baseline().lower().unwrap());
+    let prot = estimate(&protected().lower().unwrap());
+    let cal = Calibration {
+        anchor_levels: base.logic_levels,
+        anchor_mhz: 400.0,
+    };
+    assert!((cal.fmax_mhz(base.logic_levels) - 400.0).abs() < 1e-9);
+    assert!((cal.fmax_mhz(prot.logic_levels) - 400.0).abs() < 1e-9);
+}
+
+#[test]
+fn designs_are_nontrivially_sized() {
+    let base = estimate(&baseline().lower().unwrap());
+    assert!(base.luts > 3000, "baseline LUTs: {}", base.luts);
+    assert!(base.ffs > 7000, "baseline FFs: {}", base.ffs);
+    assert!(base.bram18 > 10, "baseline BRAM18: {}", base.bram18);
+}

@@ -1,0 +1,220 @@
+//! Security label annotations, including dependent labels.
+
+use std::fmt;
+
+use ifc_lattice::{Label, SecurityTag};
+
+use crate::node::NodeId;
+
+/// A (possibly dependent) security label annotation on a signal.
+///
+/// ChiselFlow distinguishes *static* labels, fixed for a signal's lifetime,
+/// from *dependent* labels whose level is selected at runtime by the value
+/// of another signal (the paper's Section 2.3). Both forms appear here:
+///
+/// * [`LabelExpr::Const`] — a static label;
+/// * [`LabelExpr::Table`] — `DL(sel)`: a lookup table indexed by a small
+///   selector signal, as in the Fig. 3 cache-tags example where `way`
+///   selects between trusted and untrusted;
+/// * [`LabelExpr::FromTag`] — the label carried by a packed 8-bit
+///   [`SecurityTag`] signal travelling alongside the data, as in the
+///   per-stage pipeline tags of Fig. 7;
+/// * [`LabelExpr::Join`] / [`LabelExpr::Meet`] — combinations, used e.g. by
+///   the Fig. 8 stall logic (`meet` across all stage labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelExpr {
+    /// A static label.
+    Const(Label),
+    /// A dependent label selected by the value of `sel`: value `k` means
+    /// the label is `entries[k]`. Selector values beyond the table length
+    /// are a design error caught by the checker.
+    Table {
+        /// The selecting signal.
+        sel: NodeId,
+        /// One label per selector value.
+        entries: Vec<Label>,
+    },
+    /// The label carried at runtime by a packed 8-bit tag signal.
+    FromTag(NodeId),
+    /// Join (least upper bound) of two label expressions.
+    Join(Box<LabelExpr>, Box<LabelExpr>),
+    /// Meet (greatest lower bound) of two label expressions.
+    Meet(Box<LabelExpr>, Box<LabelExpr>),
+}
+
+impl LabelExpr {
+    /// Convenience constructor for a dependent two-entry table —
+    /// `DL(sel)` with `entries[0]` and `entries[1]`, the exact shape of the
+    /// paper's Fig. 3.
+    #[must_use]
+    pub fn dl2(sel: NodeId, zero: Label, one: Label) -> LabelExpr {
+        LabelExpr::Table {
+            sel,
+            entries: vec![zero, one],
+        }
+    }
+
+    /// Joins two label expressions, folding constants eagerly.
+    #[must_use]
+    pub fn join(self, other: LabelExpr) -> LabelExpr {
+        match (self, other) {
+            (LabelExpr::Const(a), LabelExpr::Const(b)) => LabelExpr::Const(a.join(b)),
+            (a, b) => LabelExpr::Join(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Meets two label expressions, folding constants eagerly.
+    #[must_use]
+    pub fn meet(self, other: LabelExpr) -> LabelExpr {
+        match (self, other) {
+            (LabelExpr::Const(a), LabelExpr::Const(b)) => LabelExpr::Const(a.meet(b)),
+            (a, b) => LabelExpr::Meet(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// The most restrictive label this expression can denote at runtime —
+    /// the sound upper bound a checker may assume when the expression is a
+    /// *source*.
+    #[must_use]
+    pub fn upper_bound(&self) -> Label {
+        match self {
+            LabelExpr::Const(l) => *l,
+            LabelExpr::Table { entries, .. } => entries
+                .iter()
+                .copied()
+                .fold(Label::PUBLIC_TRUSTED, Label::join),
+            // A tag signal can carry any label.
+            LabelExpr::FromTag(_) => Label::SECRET_UNTRUSTED,
+            LabelExpr::Join(a, b) => a.upper_bound().join(b.upper_bound()),
+            LabelExpr::Meet(a, b) => a.upper_bound().meet(b.upper_bound()),
+        }
+    }
+
+    /// The least restrictive label this expression can denote at runtime —
+    /// the sound lower bound a checker must assume when the expression is a
+    /// *sink*.
+    #[must_use]
+    pub fn lower_bound(&self) -> Label {
+        match self {
+            LabelExpr::Const(l) => *l,
+            LabelExpr::Table { entries, .. } => entries
+                .iter()
+                .copied()
+                .fold(Label::SECRET_UNTRUSTED, Label::meet),
+            LabelExpr::FromTag(_) => Label::PUBLIC_TRUSTED,
+            LabelExpr::Join(a, b) => a.lower_bound().join(b.lower_bound()),
+            LabelExpr::Meet(a, b) => a.lower_bound().meet(b.lower_bound()),
+        }
+    }
+
+    /// Evaluates the expression given a resolver for signal values (used by
+    /// the simulator's runtime tag tracking). `resolve` receives the signal
+    /// and must return its current value.
+    pub fn eval(&self, resolve: &mut dyn FnMut(NodeId) -> u128) -> Label {
+        match self {
+            LabelExpr::Const(l) => *l,
+            LabelExpr::Table { sel, entries } => {
+                let idx = resolve(*sel) as usize;
+                entries.get(idx).copied().unwrap_or_else(|| {
+                    // An out-of-table selector is a design contract
+                    // violation; denote the most restrictive *declared*
+                    // level so runtime evaluation stays consistent with
+                    // the static [`upper_bound`](LabelExpr::upper_bound).
+                    entries
+                        .iter()
+                        .copied()
+                        .fold(Label::PUBLIC_TRUSTED, Label::join)
+                })
+            }
+            LabelExpr::FromTag(sig) => {
+                Label::from(SecurityTag::from_bits(resolve(*sig) as u8))
+            }
+            LabelExpr::Join(a, b) => a.eval(resolve).join(b.eval(resolve)),
+            LabelExpr::Meet(a, b) => a.eval(resolve).meet(b.eval(resolve)),
+        }
+    }
+
+    /// The signals this label expression depends on.
+    pub fn dependencies(&self, out: &mut Vec<NodeId>) {
+        match self {
+            LabelExpr::Const(_) => {}
+            LabelExpr::Table { sel, .. } => out.push(*sel),
+            LabelExpr::FromTag(sig) => out.push(*sig),
+            LabelExpr::Join(a, b) | LabelExpr::Meet(a, b) => {
+                a.dependencies(out);
+                b.dependencies(out);
+            }
+        }
+    }
+}
+
+impl From<Label> for LabelExpr {
+    fn from(label: Label) -> LabelExpr {
+        LabelExpr::Const(label)
+    }
+}
+
+impl fmt::Display for LabelExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelExpr::Const(l) => write!(f, "{l}"),
+            LabelExpr::Table { sel, entries } => {
+                write!(f, "DL({sel:?})[")?;
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("]")
+            }
+            LabelExpr::FromTag(sig) => write!(f, "tag({sig:?})"),
+            LabelExpr::Join(a, b) => write!(f, "({a} ⊔ {b})"),
+            LabelExpr::Meet(a, b) => write!(f, "({a} ⊓ {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifc_lattice::{Conf, Integ};
+
+    fn l(c: u8, i: u8) -> Label {
+        Label::new(Conf::new(c), Integ::new(i))
+    }
+
+    #[test]
+    fn bounds_of_table() {
+        let e = LabelExpr::dl2(NodeId(0), l(0, 15), l(0, 0));
+        assert_eq!(e.upper_bound(), l(0, 0)); // join: less trusted
+        assert_eq!(e.lower_bound(), l(0, 15)); // meet: more trusted
+    }
+
+    #[test]
+    fn eval_table_and_tag() {
+        let table = LabelExpr::dl2(NodeId(0), l(1, 1), l(2, 2));
+        assert_eq!(table.eval(&mut |_| 1), l(2, 2));
+        assert_eq!(table.eval(&mut |_| 0), l(1, 1));
+        // Out-of-range selector is conservatively the join of all entries.
+        assert_eq!(table.eval(&mut |_| 7), l(2, 1));
+
+        let tag = LabelExpr::FromTag(NodeId(3));
+        assert_eq!(tag.eval(&mut |_| 0x59), l(5, 9));
+    }
+
+    #[test]
+    fn const_folding_in_join() {
+        let a = LabelExpr::Const(l(1, 9));
+        let b = LabelExpr::Const(l(4, 2));
+        assert_eq!(a.join(b), LabelExpr::Const(l(4, 2)));
+    }
+
+    #[test]
+    fn dependencies_collects_all() {
+        let e = LabelExpr::FromTag(NodeId(1)).join(LabelExpr::dl2(NodeId(2), l(0, 0), l(1, 1)));
+        let mut deps = Vec::new();
+        e.dependencies(&mut deps);
+        assert_eq!(deps, vec![NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,427 @@
+//! Lowering: structured guarded statements → flat mux-tree netlist.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::design::Design;
+use crate::netlist::{Netlist, WritePort};
+use crate::node::{BinOp, Node, NodeId, UnOp};
+use crate::stmt::{Action, Guard};
+
+/// Errors produced while lowering a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A zero-latency feedback loop through combinational logic. The
+    /// payload names one node on the cycle.
+    CombinationalCycle {
+        /// A node on the detected cycle.
+        node: String,
+    },
+    /// A wire is only driven under conditions and has no default, so its
+    /// value would be undefined when no statement fires.
+    PartiallyDrivenWire {
+        /// The offending wire.
+        wire: String,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through {node}")
+            }
+            LowerError::PartiallyDrivenWire { wire } => {
+                write!(f, "wire {wire} is only conditionally driven and has no default")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+struct Lowerer {
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    labels: Vec<Option<crate::label_expr::LabelExpr>>,
+    /// Cache of synthesised NOT gates and guard-conjunction AND trees so
+    /// repeated guards don't duplicate logic.
+    not_cache: HashMap<NodeId, NodeId>,
+    and_cache: HashMap<(NodeId, NodeId), NodeId>,
+    const_true: Option<NodeId>,
+}
+
+impl Lowerer {
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.names.push(None);
+        self.labels.push(None);
+        id
+    }
+
+    fn const_true(&mut self) -> NodeId {
+        if let Some(id) = self.const_true {
+            return id;
+        }
+        let id = self.push(Node::Const { width: 1, value: 1 });
+        self.const_true = Some(id);
+        id
+    }
+
+    fn not(&mut self, a: NodeId) -> NodeId {
+        if let Some(&id) = self.not_cache.get(&a) {
+            return id;
+        }
+        let id = self.push(Node::Unary { op: UnOp::Not, a });
+        self.not_cache.insert(a, id);
+        id
+    }
+
+    fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if let Some(&id) = self.and_cache.get(&(a, b)) {
+            return id;
+        }
+        let id = self.push(Node::Binary {
+            op: BinOp::And,
+            a,
+            b,
+        });
+        self.and_cache.insert((a, b), id);
+        id
+    }
+
+    /// Merges adjacent statements whose guards are identical except for a
+    /// complementary final literal (the `when_else` pattern) into one
+    /// statement with a mux source. Together the pair covers its guard
+    /// prefix exhaustively, so a wire driven only inside a `when_else` is
+    /// fully driven.
+    fn merge_complementary(&mut self, stmts: &mut Vec<(Vec<Guard>, NodeId)>) {
+        let mut i = 0;
+        while i + 1 < stmts.len() {
+            let (ga, gb) = (&stmts[i].0, &stmts[i + 1].0);
+            let mergeable = !ga.is_empty()
+                && ga.len() == gb.len()
+                && ga[..ga.len() - 1] == gb[..gb.len() - 1]
+                && ga[ga.len() - 1].cond == gb[gb.len() - 1].cond
+                && ga[ga.len() - 1].polarity != gb[gb.len() - 1].polarity;
+            if mergeable {
+                let last = ga[ga.len() - 1];
+                let (t_src, f_src) = if last.polarity {
+                    (stmts[i].1, stmts[i + 1].1)
+                } else {
+                    (stmts[i + 1].1, stmts[i].1)
+                };
+                let merged = self.push(Node::Mux {
+                    sel: last.cond,
+                    t: t_src,
+                    f: f_src,
+                });
+                let prefix = ga[..ga.len() - 1].to_vec();
+                stmts[i] = (prefix, merged);
+                stmts.remove(i + 1);
+                // A merge may enable another with the shortened prefix.
+                i = i.saturating_sub(1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Builds the one-bit enable for a guard conjunction.
+    fn enable(&mut self, guards: &[Guard]) -> NodeId {
+        let mut acc: Option<NodeId> = None;
+        for g in guards {
+            let lit = if g.polarity {
+                g.cond
+            } else {
+                self.not(g.cond)
+            };
+            acc = Some(match acc {
+                None => lit,
+                Some(prev) => self.and(prev, lit),
+            });
+        }
+        match acc {
+            Some(id) => id,
+            None => self.const_true(),
+        }
+    }
+}
+
+pub(crate) fn lower(design: &Design) -> Result<Netlist, LowerError> {
+    let mut lw = Lowerer {
+        nodes: design.nodes().to_vec(),
+        names: (0..design.node_count())
+            .map(|i| design.name_of(NodeId(i as u32)).map(str::to_owned))
+            .collect(),
+        labels: (0..design.node_count())
+            .map(|i| design.label_of(NodeId(i as u32)).cloned())
+            .collect(),
+        not_cache: HashMap::new(),
+        and_cache: HashMap::new(),
+        const_true: None,
+    };
+
+    // Group Connect statements per target, in program order.
+    let mut connects: HashMap<NodeId, Vec<(Vec<Guard>, NodeId)>> = HashMap::new();
+    let mut write_ports = Vec::new();
+    for stmt in design.stmts() {
+        match stmt.action {
+            Action::Connect { dst, src } => {
+                connects
+                    .entry(dst)
+                    .or_default()
+                    .push((stmt.guards.clone(), src));
+            }
+            Action::MemWrite { mem, addr, data } => {
+                let en = lw.enable(&stmt.guards);
+                write_ports.push(WritePort {
+                    mem,
+                    addr,
+                    data,
+                    en,
+                });
+            }
+        }
+    }
+
+    let node_count_orig = design.node_count();
+    let mut wire_driver: Vec<Option<NodeId>> = vec![None; node_count_orig];
+    let mut reg_next: Vec<Option<NodeId>> = vec![None; node_count_orig];
+
+    for idx in 0..node_count_orig {
+        let id = NodeId(idx as u32);
+        match design.node(id) {
+            Node::Wire { default, .. } => {
+                let mut stmts = connects.remove(&id).unwrap_or_default();
+                lw.merge_complementary(&mut stmts);
+                let mut acc: Option<NodeId> = *default;
+                for (guards, src) in stmts {
+                    if guards.is_empty() {
+                        acc = Some(src);
+                    } else {
+                        let base = acc.ok_or_else(|| LowerError::PartiallyDrivenWire {
+                            wire: design.describe(id),
+                        })?;
+                        let en = lw.enable(&guards);
+                        acc = Some(lw.push(Node::Mux {
+                            sel: en,
+                            t: src,
+                            f: base,
+                        }));
+                    }
+                }
+                wire_driver[idx] = Some(acc.ok_or_else(|| LowerError::PartiallyDrivenWire {
+                    wire: design.describe(id),
+                })?);
+            }
+            Node::Reg { .. } => {
+                let mut stmts = connects.remove(&id).unwrap_or_default();
+                lw.merge_complementary(&mut stmts);
+                // Default behaviour: hold current value.
+                let mut acc = id;
+                for (guards, src) in stmts {
+                    if guards.is_empty() {
+                        acc = src;
+                    } else {
+                        let en = lw.enable(&guards);
+                        acc = lw.push(Node::Mux {
+                            sel: en,
+                            t: src,
+                            f: acc,
+                        });
+                    }
+                }
+                if acc != id {
+                    reg_next[idx] = Some(acc);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Extend per-node side tables to cover synthesised nodes.
+    let total = lw.nodes.len();
+    wire_driver.resize(total, None);
+    reg_next.resize(total, None);
+
+    let topo = toposort(&lw.nodes, &wire_driver, |id| {
+        design
+            .name_of(id)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("{id:?}"))
+    })?;
+
+    Ok(Netlist {
+        name: design.name().to_owned(),
+        nodes: lw.nodes,
+        names: lw.names,
+        labels: lw.labels,
+        mems: design.mems().to_vec(),
+        inputs: design.inputs().to_vec(),
+        outputs: design.outputs().to_vec(),
+        wire_driver,
+        reg_next,
+        write_ports,
+        topo,
+    })
+}
+
+/// Topologically sorts the combinational graph. Registers are cut points
+/// (their value is state, not a combinational function), wires read their
+/// resolved driver.
+fn toposort(
+    nodes: &[Node],
+    wire_driver: &[Option<NodeId>],
+    describe: impl Fn(NodeId) -> String,
+) -> Result<Vec<NodeId>, LowerError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; nodes.len()];
+    let mut order = Vec::with_capacity(nodes.len());
+    // Iterative DFS to avoid stack overflow on deep pipelines.
+    for start in 0..nodes.len() {
+        if marks[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(start as u32, false)];
+        while let Some((n, children_done)) = stack.pop() {
+            let ni = n as usize;
+            if children_done {
+                marks[ni] = Mark::Black;
+                order.push(NodeId(n));
+                continue;
+            }
+            match marks[ni] {
+                Mark::Black => continue,
+                Mark::Grey => {
+                    return Err(LowerError::CombinationalCycle {
+                        node: describe(NodeId(n)),
+                    })
+                }
+                Mark::White => {}
+            }
+            marks[ni] = Mark::Grey;
+            stack.push((n, true));
+            let mut visit = |child: NodeId| match marks[child.index()] {
+                Mark::White => stack.push((child.0, false)),
+                Mark::Grey => {
+                    // Will be reported when popped; push a sentinel revisit.
+                    stack.push((child.0, false));
+                }
+                Mark::Black => {}
+            };
+            match &nodes[ni] {
+                // Registers are sequential: no combinational dependency.
+                Node::Reg { .. } | Node::Input { .. } | Node::Const { .. } => {}
+                Node::Wire { .. } => {
+                    if let Some(driver) = wire_driver[ni] {
+                        visit(driver);
+                    }
+                }
+                other => {
+                    for op in other.operands() {
+                        visit(op);
+                    }
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+
+    #[test]
+    fn lowers_counter_to_mux() {
+        let mut m = ModuleBuilder::new("counter");
+        let en = m.input("en", 1);
+        let count = m.reg("count", 8, 0);
+        let one = m.lit(1, 8);
+        let next = m.add(count, one);
+        m.when(en, |m| m.connect(count, next));
+        m.output("count", count);
+        let net = m.finish().lower().unwrap();
+        let next_id = net.reg_next[count.id().index()].unwrap();
+        assert!(matches!(net.node(next_id), Node::Mux { .. }));
+    }
+
+    #[test]
+    fn hold_register_has_no_next() {
+        let mut m = ModuleBuilder::new("hold");
+        let r = m.reg("r", 4, 7);
+        m.output("r", r);
+        let net = m.finish().lower().unwrap();
+        assert_eq!(net.reg_next[r.id().index()], None);
+    }
+
+    #[test]
+    fn detects_combinational_cycle() {
+        let mut m = ModuleBuilder::new("loop");
+        let a = m.wire("a", 1);
+        let b = m.wire("b", 1);
+        let na = m.not(a);
+        m.connect(b, na);
+        let nb = m.not(b);
+        m.connect(a, nb);
+        let err = m.finish().lower().unwrap_err();
+        assert!(matches!(err, LowerError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn partially_driven_wire_is_rejected() {
+        let mut m = ModuleBuilder::new("partial");
+        let c = m.input("c", 1);
+        let w = m.wire("w", 1);
+        let one = m.lit(1, 1);
+        m.when(c, |m| m.connect(w, one));
+        let err = m.finish().lower().unwrap_err();
+        assert!(matches!(err, LowerError::PartiallyDrivenWire { .. }));
+    }
+
+    #[test]
+    fn register_feedback_is_not_a_cycle() {
+        let mut m = ModuleBuilder::new("feedback");
+        let r = m.reg("r", 1, 0);
+        let n = m.not(r);
+        m.connect(r, n);
+        assert!(m.finish().lower().is_ok());
+    }
+
+    #[test]
+    fn last_connect_wins_unconditionally() {
+        let mut m = ModuleBuilder::new("prio");
+        let w = m.wire("w", 4);
+        let a = m.lit(1, 4);
+        let b = m.lit(2, 4);
+        m.connect(w, a);
+        m.connect(w, b);
+        m.output("w", w);
+        let net = m.finish().lower().unwrap();
+        // Unconditional later connect replaces the earlier entirely.
+        assert_eq!(net.wire_driver[w.id().index()], Some(b.id()));
+    }
+
+    #[test]
+    fn mem_write_gets_enable() {
+        let mut m = ModuleBuilder::new("memw");
+        let we = m.input("we", 1);
+        let addr = m.input("addr", 3);
+        let data = m.input("data", 8);
+        let mem = m.mem("scratch", 8, 8, vec![]);
+        m.when(we, |m| m.mem_write(mem, addr, data));
+        let rd = m.mem_read(mem, addr);
+        m.output("q", rd);
+        let net = m.finish().lower().unwrap();
+        assert_eq!(net.write_ports.len(), 1);
+        assert_eq!(net.write_ports[0].en, we.id());
+    }
+}

@@ -1,0 +1,714 @@
+//! The design builder — the user-facing construction API.
+
+use ifc_lattice::{Label, SecurityTag};
+
+use crate::design::{Design, MemInfo, PortInfo};
+use crate::label_expr::LabelExpr;
+use crate::node::{BinOp, MemId, Node, NodeId, UnOp};
+use crate::stmt::{Action, Guard, Stmt};
+use crate::value::{mask, Value, MAX_WIDTH};
+
+/// A handle to a signal: its node id plus cached width.
+///
+/// `Sig` is `Copy`, so handles can be freely passed around while the
+/// builder retains ownership of the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sig {
+    pub(crate) id: NodeId,
+    pub(crate) width: u16,
+}
+
+impl Sig {
+    /// The underlying node id.
+    #[must_use]
+    pub const fn id(self) -> NodeId {
+        self.id
+    }
+
+    /// The signal's bit width.
+    #[must_use]
+    pub const fn width(self) -> u16 {
+        self.width
+    }
+}
+
+/// A handle to a memory array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemHandle {
+    pub(crate) id: MemId,
+    pub(crate) width: u16,
+    pub(crate) addr_width: u16,
+}
+
+impl MemHandle {
+    /// The underlying memory id.
+    #[must_use]
+    pub const fn id(self) -> MemId {
+        self.id
+    }
+}
+
+/// Builds a [`Design`] imperatively, Chisel-style.
+///
+/// All width mismatches are validated eagerly.
+///
+/// # Panics
+///
+/// Builder methods panic on malformed hardware (width mismatches, selects
+/// wider than one bit, out-of-range slices). These are design bugs, not
+/// runtime conditions, so they are not recoverable errors.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    labels: Vec<Option<LabelExpr>>,
+    stmts: Vec<Stmt>,
+    mems: Vec<MemInfo>,
+    inputs: Vec<PortInfo>,
+    outputs: Vec<PortInfo>,
+    guard_stack: Vec<Guard>,
+    scope_stack: Vec<String>,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a design called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> ModuleBuilder {
+        ModuleBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: Vec::new(),
+            labels: Vec::new(),
+            stmts: Vec::new(),
+            mems: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            guard_stack: Vec::new(),
+            scope_stack: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, node: Node, name: Option<String>) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("too many nodes"));
+        self.nodes.push(node);
+        self.names.push(name.map(|n| self.qualified(&n)));
+        self.labels.push(None);
+        id
+    }
+
+    fn qualified(&self, name: &str) -> String {
+        if self.scope_stack.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}.{}", self.scope_stack.join("."), name)
+        }
+    }
+
+    fn width_of(&self, id: NodeId) -> u16 {
+        match &self.nodes[id.index()] {
+            Node::Input { width }
+            | Node::Const { width, .. }
+            | Node::Wire { width, .. }
+            | Node::Reg { width, .. } => *width,
+            Node::MemRead { mem, .. } => self.mems[mem.index()].width,
+            Node::Unary { op, a } => match op {
+                UnOp::Not => self.width_of(*a),
+                UnOp::ReduceOr | UnOp::ReduceAnd | UnOp::ReduceXor => 1,
+            },
+            Node::Binary { op, a, .. } => match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Ge | BinOp::TagLeq => 1,
+                _ => self.width_of(*a),
+            },
+            Node::Mux { t, .. } => self.width_of(*t),
+            Node::Slice { hi, lo, .. } => hi - lo + 1,
+            Node::Cat { hi, lo } => self.width_of(*hi) + self.width_of(*lo),
+            Node::Declassify { data, .. } | Node::Endorse { data, .. } => self.width_of(*data),
+        }
+    }
+
+    fn check_width(context: &str, expected: u16, got: u16) {
+        assert!(
+            expected == got,
+            "{context}: width mismatch (expected {expected}, got {got})"
+        );
+    }
+
+    fn sig(&self, id: NodeId) -> Sig {
+        Sig {
+            id,
+            width: self.width_of(id),
+        }
+    }
+
+    /// Enters a named scope; node names created inside are prefixed with
+    /// `name.`, giving hierarchy for diagnostics and area reports.
+    pub fn scope<R>(&mut self, name: &str, f: impl FnOnce(&mut ModuleBuilder) -> R) -> R {
+        self.scope_stack.push(name.to_owned());
+        let result = f(self);
+        self.scope_stack.pop();
+        result
+    }
+
+    // ----- declarations ---------------------------------------------------
+
+    /// Declares an input port.
+    pub fn input(&mut self, name: &str, width: u16) -> Sig {
+        assert!((1..=MAX_WIDTH).contains(&width), "input width out of range");
+        let id = self.push(Node::Input { width }, Some(name.to_owned()));
+        self.inputs.push(PortInfo {
+            name: self.qualified(name),
+            node: id,
+            label: None,
+        });
+        Sig { id, width }
+    }
+
+    /// Marks `sig` as an output port named `name`, released to the open
+    /// interconnect (label `(P,U)` for checking purposes).
+    pub fn output(&mut self, name: &str, sig: Sig) {
+        self.outputs.push(PortInfo {
+            name: self.qualified(name),
+            node: sig.id,
+            label: None,
+        });
+    }
+
+    /// Marks `sig` as an output port released at a specific label — e.g. a
+    /// supervisor-only status port.
+    pub fn output_labeled(&mut self, name: &str, sig: Sig, label: impl Into<LabelExpr>) {
+        self.outputs.push(PortInfo {
+            name: self.qualified(name),
+            node: sig.id,
+            label: Some(label.into()),
+        });
+    }
+
+    /// A literal constant (masked to `width` bits).
+    pub fn lit(&mut self, value: Value, width: u16) -> Sig {
+        assert!((1..=MAX_WIDTH).contains(&width), "const width out of range");
+        let id = self.push(
+            Node::Const {
+                width,
+                value: mask(value, width),
+            },
+            None,
+        );
+        Sig { id, width }
+    }
+
+    /// Declares a combinational wire. It must be driven by at least one
+    /// [`connect`](Self::connect) (or given a default) before `finish`.
+    pub fn wire(&mut self, name: &str, width: u16) -> Sig {
+        assert!((1..=MAX_WIDTH).contains(&width), "wire width out of range");
+        let id = self.push(
+            Node::Wire {
+                width,
+                default: None,
+            },
+            Some(name.to_owned()),
+        );
+        Sig { id, width }
+    }
+
+    /// Declares a wire with a default driver used when no `connect` fires.
+    pub fn wire_default(&mut self, name: &str, default: Sig) -> Sig {
+        let id = self.push(
+            Node::Wire {
+                width: default.width,
+                default: Some(default.id),
+            },
+            Some(name.to_owned()),
+        );
+        Sig {
+            id,
+            width: default.width,
+        }
+    }
+
+    /// Declares a clocked register with reset value `init`. When no
+    /// `connect` fires on a cycle, it holds its value.
+    pub fn reg(&mut self, name: &str, width: u16, init: Value) -> Sig {
+        assert!((1..=MAX_WIDTH).contains(&width), "reg width out of range");
+        let id = self.push(
+            Node::Reg {
+                width,
+                init: mask(init, width),
+            },
+            Some(name.to_owned()),
+        );
+        Sig { id, width }
+    }
+
+    /// Declares a memory array of `depth` cells of `width` bits, optionally
+    /// initialised (cells beyond `init` reset to zero).
+    pub fn mem(&mut self, name: &str, width: u16, depth: usize, init: Vec<Value>) -> MemHandle {
+        assert!((1..=MAX_WIDTH).contains(&width), "mem width out of range");
+        assert!(depth >= 1, "mem depth must be positive");
+        assert!(init.len() <= depth, "mem init longer than depth");
+        let addr_width = (usize::BITS - (depth - 1).leading_zeros()).max(1) as u16;
+        let id = MemId(u32::try_from(self.mems.len()).expect("too many mems"));
+        self.mems.push(MemInfo {
+            name: self.qualified(name),
+            width,
+            depth,
+            init,
+            label: None,
+        });
+        MemHandle {
+            id,
+            width,
+            addr_width,
+        }
+    }
+
+    // ----- combinational operators ----------------------------------------
+
+    fn unary(&mut self, op: UnOp, a: Sig) -> Sig {
+        let id = self.push(Node::Unary { op, a: a.id }, None);
+        self.sig(id)
+    }
+
+    fn binary(&mut self, op: BinOp, a: Sig, b: Sig) -> Sig {
+        match op {
+            BinOp::TagLeq | BinOp::TagJoin | BinOp::TagMeet => {
+                Self::check_width("tag op lhs", 8, a.width);
+                Self::check_width("tag op rhs", 8, b.width);
+            }
+            _ => Self::check_width("binary op", a.width, b.width),
+        }
+        let id = self.push(
+            Node::Binary {
+                op,
+                a: a.id,
+                b: b.id,
+            },
+            None,
+        );
+        self.sig(id)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: Sig) -> Sig {
+        self.unary(UnOp::Not, a)
+    }
+
+    /// OR-reduction to one bit.
+    pub fn reduce_or(&mut self, a: Sig) -> Sig {
+        self.unary(UnOp::ReduceOr, a)
+    }
+
+    /// AND-reduction to one bit.
+    pub fn reduce_and(&mut self, a: Sig) -> Sig {
+        self.unary(UnOp::ReduceAnd, a)
+    }
+
+    /// XOR-reduction (parity) to one bit.
+    pub fn reduce_xor(&mut self, a: Sig) -> Sig {
+        self.unary(UnOp::ReduceXor, a)
+    }
+
+    /// Bitwise AND.
+    pub fn and(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::And, a, b)
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Or, a, b)
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Xor, a, b)
+    }
+
+    /// Modular addition.
+    pub fn add(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Add, a, b)
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Sub, a, b)
+    }
+
+    /// Equality comparison (one-bit result).
+    pub fn eq(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Eq, a, b)
+    }
+
+    /// Inequality comparison (one-bit result).
+    pub fn ne(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Ne, a, b)
+    }
+
+    /// Unsigned less-than (one-bit result).
+    pub fn lt(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Lt, a, b)
+    }
+
+    /// Unsigned greater-or-equal (one-bit result).
+    pub fn ge(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::Ge, a, b)
+    }
+
+    /// Compares a signal against a literal.
+    pub fn eq_lit(&mut self, a: Sig, value: Value) -> Sig {
+        let lit = self.lit(value, a.width);
+        self.eq(a, lit)
+    }
+
+    /// Two-way multiplexer `if sel { t } else { f }`.
+    pub fn mux(&mut self, sel: Sig, t: Sig, f: Sig) -> Sig {
+        Self::check_width("mux select", 1, sel.width);
+        Self::check_width("mux arms", t.width, f.width);
+        let id = self.push(
+            Node::Mux {
+                sel: sel.id,
+                t: t.id,
+                f: f.id,
+            },
+            None,
+        );
+        self.sig(id)
+    }
+
+    /// Bit slice `a[hi:lo]` (inclusive).
+    pub fn slice(&mut self, a: Sig, hi: u16, lo: u16) -> Sig {
+        assert!(lo <= hi && hi < a.width, "slice out of range");
+        let id = self.push(Node::Slice { a: a.id, hi, lo }, None);
+        self.sig(id)
+    }
+
+    /// Concatenation `{hi, lo}`.
+    pub fn cat(&mut self, hi: Sig, lo: Sig) -> Sig {
+        assert!(
+            hi.width + lo.width <= MAX_WIDTH,
+            "concatenation exceeds max width"
+        );
+        let id = self.push(
+            Node::Cat {
+                hi: hi.id,
+                lo: lo.id,
+            },
+            None,
+        );
+        self.sig(id)
+    }
+
+    /// Security-tag flow check `a ⊑ b` on two packed 8-bit tags — the
+    /// runtime comparator placed in front of tagged storage (Fig. 5).
+    pub fn tag_leq(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::TagLeq, a, b)
+    }
+
+    /// Security-tag join `a ⊔ b` on two packed 8-bit tags.
+    pub fn tag_join(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::TagJoin, a, b)
+    }
+
+    /// Security-tag meet `a ⊓ b` on two packed 8-bit tags — folded over
+    /// pipeline stages by the Fig. 8 stall logic.
+    pub fn tag_meet(&mut self, a: Sig, b: Sig) -> Sig {
+        self.binary(BinOp::TagMeet, a, b)
+    }
+
+    /// A literal tag constant for `label`.
+    pub fn tag_lit(&mut self, label: Label) -> Sig {
+        self.lit(Value::from(SecurityTag::from(label).bits()), 8)
+    }
+
+    /// Combinational read `mem[addr]`.
+    pub fn mem_read(&mut self, mem: MemHandle, addr: Sig) -> Sig {
+        Self::check_width("mem_read address", mem.addr_width, addr.width);
+        let id = self.push(
+            Node::MemRead {
+                mem: mem.id,
+                addr: addr.id,
+            },
+            None,
+        );
+        Sig {
+            id,
+            width: mem.width,
+        }
+    }
+
+    // ----- downgrading ----------------------------------------------------
+
+    /// Declassifies `data` to the static label `to` on behalf of the
+    /// principal whose packed tag is carried by `principal`.
+    ///
+    /// The value passes through unchanged; only the label is lowered. The
+    /// static checker verifies the nonmalleable rule against the inferred
+    /// label of `data`, and the simulator re-checks it each cycle against
+    /// runtime labels.
+    pub fn declassify(&mut self, data: Sig, to: Label, principal: Sig) -> Sig {
+        Self::check_width("declassify principal tag", 8, principal.width);
+        let id = self.push(
+            Node::Declassify {
+                data: data.id,
+                to_tag: SecurityTag::from(to).bits(),
+                principal: principal.id,
+            },
+            None,
+        );
+        self.set_label_id(id, LabelExpr::Const(to));
+        Sig {
+            id,
+            width: data.width,
+        }
+    }
+
+    /// Endorses `data` to the static label `to` on behalf of the principal
+    /// whose packed tag is carried by `principal`. Dual of
+    /// [`declassify`](Self::declassify).
+    pub fn endorse(&mut self, data: Sig, to: Label, principal: Sig) -> Sig {
+        Self::check_width("endorse principal tag", 8, principal.width);
+        let id = self.push(
+            Node::Endorse {
+                data: data.id,
+                to_tag: SecurityTag::from(to).bits(),
+                principal: principal.id,
+            },
+            None,
+        );
+        self.set_label_id(id, LabelExpr::Const(to));
+        Sig {
+            id,
+            width: data.width,
+        }
+    }
+
+    /// Builds the hardware nonmalleable-declassification comparator: a
+    /// one-bit signal asserted when data currently tagged `data_tag` may be
+    /// declassified to `to` by the principal tagged `principal_tag`,
+    /// i.e. `C(data) ⊑C C(to) ⊔C r(I(principal))`.
+    ///
+    /// The protected accelerator gates its final-round output release on
+    /// this signal; it is what rejects encryption with the master key by an
+    /// insufficiently trusted user (the paper's Section 3.2.2).
+    pub fn nm_declassify_ok(&mut self, data_tag: Sig, to: Label, principal_tag: Sig) -> Sig {
+        Self::check_width("nm data tag", 8, data_tag.width);
+        Self::check_width("nm principal tag", 8, principal_tag.width);
+        let c_data = self.slice(data_tag, 7, 4);
+        let i_principal = self.slice(principal_tag, 3, 0);
+        let c_to = self.lit(Value::from(to.conf.raw()), 4);
+        // authority = C(to) ⊔C r(I(p)); the reflection is positional.
+        let wider = self.ge(i_principal, c_to);
+        let authority = self.mux(wider, i_principal, c_to);
+        self.ge(authority, c_data)
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    /// Connects `src` to the wire or register `dst` under the current guard
+    /// context. Later connects take priority (last-connect semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a wire or register, or on width mismatch.
+    pub fn connect(&mut self, dst: Sig, src: Sig) {
+        match &self.nodes[dst.id.index()] {
+            Node::Wire { .. } | Node::Reg { .. } => {}
+            other => panic!("connect target must be a wire or register, got {other:?}"),
+        }
+        Self::check_width("connect", dst.width, src.width);
+        self.stmts.push(Stmt {
+            guards: self.guard_stack.clone(),
+            action: Action::Connect {
+                dst: dst.id,
+                src: src.id,
+            },
+        });
+    }
+
+    /// Writes `data` to `mem[addr]` at the next clock edge, under the
+    /// current guard context.
+    pub fn mem_write(&mut self, mem: MemHandle, addr: Sig, data: Sig) {
+        Self::check_width("mem_write address", mem.addr_width, addr.width);
+        Self::check_width("mem_write data", mem.width, data.width);
+        self.stmts.push(Stmt {
+            guards: self.guard_stack.clone(),
+            action: Action::MemWrite {
+                mem: mem.id,
+                addr: addr.id,
+                data: data.id,
+            },
+        });
+    }
+
+    /// Runs `f` with `cond` (a one-bit signal) added to the guard context.
+    pub fn when(&mut self, cond: Sig, f: impl FnOnce(&mut ModuleBuilder)) {
+        Self::check_width("when condition", 1, cond.width);
+        self.guard_stack.push(Guard {
+            cond: cond.id,
+            polarity: true,
+        });
+        f(self);
+        self.guard_stack.pop();
+    }
+
+    /// Runs `then` with `cond` asserted and `otherwise` with it deasserted.
+    pub fn when_else(
+        &mut self,
+        cond: Sig,
+        then: impl FnOnce(&mut ModuleBuilder),
+        otherwise: impl FnOnce(&mut ModuleBuilder),
+    ) {
+        Self::check_width("when condition", 1, cond.width);
+        self.guard_stack.push(Guard {
+            cond: cond.id,
+            polarity: true,
+        });
+        then(self);
+        self.guard_stack.pop();
+        self.guard_stack.push(Guard {
+            cond: cond.id,
+            polarity: false,
+        });
+        otherwise(self);
+        self.guard_stack.pop();
+    }
+
+    // ----- labels ----------------------------------------------------------
+
+    /// Annotates `sig` with a security label (static or dependent).
+    pub fn set_label(&mut self, sig: Sig, label: impl Into<LabelExpr>) {
+        self.set_label_id(sig.id, label.into());
+    }
+
+    /// Annotates a memory's contents with a security label. For
+    /// tag-protected storage, pass [`LabelExpr::FromTag`] referring to a
+    /// read of the parallel tag array.
+    pub fn set_mem_label(&mut self, mem: MemHandle, label: impl Into<LabelExpr>) {
+        self.mems[mem.id.index()].label = Some(label.into());
+    }
+
+    fn set_label_id(&mut self, id: NodeId, label: LabelExpr) {
+        self.labels[id.index()] = Some(label);
+    }
+
+    // ----- finishing --------------------------------------------------------
+
+    /// Finalises the builder into an immutable [`Design`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wire has neither a default nor any `connect` statement
+    /// (an undriven wire is a design bug).
+    #[must_use]
+    pub fn finish(self) -> Design {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Wire { default: None, .. } = node {
+                let id = NodeId(i as u32);
+                let driven = self.stmts.iter().any(
+                    |s| matches!(s.action, Action::Connect { dst, .. } if dst == id),
+                );
+                assert!(
+                    driven,
+                    "undriven wire {:?} ({})",
+                    id,
+                    self.names[i].as_deref().unwrap_or("<anon>")
+                );
+            }
+        }
+        Design::from_parts(
+            self.name,
+            self.nodes,
+            self.names,
+            self.labels,
+            self.stmts,
+            self.mems,
+            self.inputs,
+            self.outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_counter() {
+        let mut m = ModuleBuilder::new("counter");
+        let en = m.input("en", 1);
+        let count = m.reg("count", 8, 0);
+        let one = m.lit(1, 8);
+        let next = m.add(count, one);
+        m.when(en, |m| m.connect(count, next));
+        m.output("count", count);
+        let d = m.finish();
+        assert_eq!(d.inputs().len(), 1);
+        assert_eq!(d.outputs().len(), 1);
+        assert_eq!(d.stmts().len(), 1);
+        assert_eq!(d.stmts()[0].guards.len(), 1);
+    }
+
+    #[test]
+    fn scope_prefixes_names() {
+        let mut m = ModuleBuilder::new("top");
+        let w = m.scope("engine", |m| {
+            let w = m.wire("state", 4);
+            let z = m.lit(0, 4);
+            m.connect(w, z);
+            w
+        });
+        let d = m.finish();
+        assert_eq!(d.name_of(w.id()), Some("engine.state"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn connect_checks_widths() {
+        let mut m = ModuleBuilder::new("bad");
+        let w = m.wire("w", 8);
+        let v = m.lit(0, 4);
+        m.connect(w, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "undriven wire")]
+    fn finish_rejects_undriven_wire() {
+        let mut m = ModuleBuilder::new("bad");
+        let _w = m.wire("w", 8);
+        let _ = m.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "mux select")]
+    fn mux_select_must_be_one_bit() {
+        let mut m = ModuleBuilder::new("bad");
+        let s = m.input("s", 2);
+        let a = m.lit(0, 4);
+        let b = m.lit(1, 4);
+        let _ = m.mux(s, a, b);
+    }
+
+    #[test]
+    fn slice_and_cat_widths() {
+        let mut m = ModuleBuilder::new("ok");
+        let a = m.input("a", 16);
+        let hi = m.slice(a, 15, 8);
+        let lo = m.slice(a, 7, 0);
+        let back = m.cat(hi, lo);
+        assert_eq!(hi.width(), 8);
+        assert_eq!(back.width(), 16);
+    }
+
+    #[test]
+    fn when_else_records_polarities() {
+        let mut m = ModuleBuilder::new("we");
+        let c = m.input("c", 1);
+        let w = m.wire("w", 1);
+        let zero = m.lit(0, 1);
+        let one = m.lit(1, 1);
+        m.when_else(c, |m| m.connect(w, one), |m| m.connect(w, zero));
+        let d = m.finish();
+        assert_eq!(d.stmts().len(), 2);
+        assert!(d.stmts()[0].guards[0].polarity);
+        assert!(!d.stmts()[1].guards[0].polarity);
+    }
+}

@@ -1,0 +1,90 @@
+//! The lowered, simulation-ready form of a design.
+
+use crate::design::{MemInfo, PortInfo};
+use crate::label_expr::LabelExpr;
+use crate::node::{MemId, Node, NodeId};
+
+/// A lowered memory write port: `when en { mem[addr] := data }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritePort {
+    /// Target memory.
+    pub mem: MemId,
+    /// Address signal.
+    pub addr: NodeId,
+    /// Data signal.
+    pub data: NodeId,
+    /// One-bit write enable.
+    pub en: NodeId,
+}
+
+/// A design lowered to a flat netlist.
+///
+/// All structured `when` blocks have been converted into mux trees and
+/// explicit enables; every wire has exactly one resolved driver and every
+/// register exactly one next-value expression. `topo` lists all nodes in a
+/// valid combinational evaluation order.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    /// All nodes — the original design's, plus muxes/gates synthesised
+    /// during lowering.
+    pub nodes: Vec<Node>,
+    /// Diagnostic names, aligned with `nodes`.
+    pub names: Vec<Option<String>>,
+    /// Label annotations, aligned with `nodes` (copied from the design).
+    pub labels: Vec<Option<LabelExpr>>,
+    /// Memory declarations.
+    pub mems: Vec<MemInfo>,
+    /// Input ports.
+    pub inputs: Vec<PortInfo>,
+    /// Output ports.
+    pub outputs: Vec<PortInfo>,
+    /// For each node index: the resolved driver if the node is a wire.
+    pub wire_driver: Vec<Option<NodeId>>,
+    /// For each node index: the resolved next-value if the node is a
+    /// register (`None` means the register never changes).
+    pub reg_next: Vec<Option<NodeId>>,
+    /// Lowered memory write ports, in statement order (later ports win on
+    /// same-cycle, same-address conflicts).
+    pub write_ports: Vec<WritePort>,
+    /// All nodes in combinational evaluation order.
+    pub topo: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// The node behind an id.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The diagnostic name of a node, if any.
+    #[must_use]
+    pub fn name_of(&self, id: NodeId) -> Option<&str> {
+        self.names[id.index()].as_deref()
+    }
+
+    /// Finds an input port node by name.
+    #[must_use]
+    pub fn input(&self, name: &str) -> Option<NodeId> {
+        self.inputs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.node)
+    }
+
+    /// Finds an output port node by name.
+    #[must_use]
+    pub fn output(&self, name: &str) -> Option<NodeId> {
+        self.outputs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.node)
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+}

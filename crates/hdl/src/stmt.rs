@@ -1,0 +1,51 @@
+//! Guarded statements: the behavioural half of a design.
+
+use crate::node::{MemId, NodeId};
+
+/// One literal of a statement's guard condition: the one-bit signal `cond`
+/// must equal `polarity` for the statement to fire.
+///
+/// Guards come from nested [`ModuleBuilder::when`](crate::ModuleBuilder::when)
+/// /[`otherwise`](crate::ModuleBuilder::when_else) blocks. The IFC checker
+/// uses them for two purposes: the *pc* label of implicit flows, and
+/// dependent-label refinement (inside `when(way == 0)`, a `DL(way)` label
+/// refines to its entry 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The one-bit condition signal.
+    pub cond: NodeId,
+    /// Required value of `cond` for the statement to be active.
+    pub polarity: bool,
+}
+
+/// The effect of a statement once its guards are satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Drives a wire (combinationally) or a register (at the next clock
+    /// edge). Later statements take priority over earlier ones
+    /// (Chisel-style last-connect semantics).
+    Connect {
+        /// The wire or register being driven.
+        dst: NodeId,
+        /// The value driving it.
+        src: NodeId,
+    },
+    /// Writes `data` to `mem[addr]` at the next clock edge.
+    MemWrite {
+        /// Target memory.
+        mem: MemId,
+        /// Address signal.
+        addr: NodeId,
+        /// Data signal.
+        data: NodeId,
+    },
+}
+
+/// A guarded statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Conjunction of guard literals (empty = always active).
+    pub guards: Vec<Guard>,
+    /// What happens when all guards hold.
+    pub action: Action,
+}

@@ -1,0 +1,46 @@
+//! Bit-vector values.
+//!
+//! Signals are at most 128 bits wide, so a plain `u128` carries any value;
+//! wider quantities (e.g. 192/256-bit AES keys) are modelled as several
+//! signals, mirroring how the accelerator's host interface moves them in
+//! 64-bit words.
+
+/// A signal value: the low `width` bits of a `u128`.
+pub type Value = u128;
+
+/// Maximum supported signal width in bits.
+pub const MAX_WIDTH: u16 = 128;
+
+/// Masks `value` to its low `width` bits.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds [`MAX_WIDTH`].
+#[must_use]
+pub const fn mask(value: Value, width: u16) -> Value {
+    assert!(width >= 1 && width <= MAX_WIDTH, "width out of range");
+    if width == MAX_WIDTH {
+        value
+    } else {
+        value & ((1u128 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_truncates() {
+        assert_eq!(mask(0xff, 4), 0x0f);
+        assert_eq!(mask(0x100, 8), 0);
+        assert_eq!(mask(u128::MAX, 128), u128::MAX);
+        assert_eq!(mask(5, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn mask_rejects_zero_width() {
+        let _ = mask(0, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for dependent label expressions: the static bounds must
+//! always bracket the runtime evaluation.
+
+use hdl::{LabelExpr, NodeId};
+use ifc_lattice::{Conf, Integ, Label};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    (0u8..16, 0u8..16).prop_map(|(c, i)| Label::new(Conf::new(c), Integ::new(i)))
+}
+
+fn arb_expr() -> impl Strategy<Value = LabelExpr> {
+    let leaf = prop_oneof![
+        arb_label().prop_map(LabelExpr::Const),
+        (0u32..8).prop_map(|n| LabelExpr::FromTag(NodeId::from_raw(n))),
+        (0u32..8, proptest::collection::vec(arb_label(), 1..5))
+            .prop_map(|(sel, entries)| LabelExpr::Table {
+                sel: NodeId::from_raw(sel),
+                entries,
+            }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.join(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.meet(b)),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn bounds_bracket_every_evaluation(expr in arb_expr(), seed in any::<u64>()) {
+        // Resolve every referenced signal to a deterministic pseudo-random
+        // value (tag bytes / small selector indices).
+        let mut resolve = |sig: NodeId| -> u128 {
+            let h = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(u64::from(sig.index() as u32));
+            u128::from(h % 256)
+        };
+        let value = expr.eval(&mut resolve);
+        let lo = expr.lower_bound();
+        let hi = expr.upper_bound();
+        prop_assert!(
+            lo.flows_to(value),
+            "lower bound {lo} must flow to runtime {value} for {expr}"
+        );
+        prop_assert!(
+            value.flows_to(hi),
+            "runtime {value} must flow to upper bound {hi} for {expr}"
+        );
+    }
+
+    #[test]
+    fn const_expressions_have_tight_bounds(l in arb_label()) {
+        let e = LabelExpr::Const(l);
+        prop_assert_eq!(e.lower_bound(), l);
+        prop_assert_eq!(e.upper_bound(), l);
+        prop_assert_eq!(e.eval(&mut |_| 0), l);
+    }
+
+    #[test]
+    fn join_of_bounds_is_monotone(a in arb_expr(), b in arb_expr()) {
+        let joined = a.clone().join(b.clone());
+        prop_assert!(a.upper_bound().flows_to(joined.upper_bound()));
+        prop_assert!(b.upper_bound().flows_to(joined.upper_bound()));
+        prop_assert!(joined.lower_bound().flows_to(a.lower_bound().join(b.lower_bound())));
+    }
+
+    #[test]
+    fn dependencies_cover_eval_queries(expr in arb_expr(), seed in any::<u64>()) {
+        let mut deps = Vec::new();
+        expr.dependencies(&mut deps);
+        let mut queried = Vec::new();
+        let _ = expr.eval(&mut |sig| {
+            queried.push(sig);
+            u128::from(seed % 7)
+        });
+        for q in queried {
+            prop_assert!(deps.contains(&q), "eval queried undeclared dependency {q:?}");
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Guard-context extraction: value bindings and runtime-check permissions.
+
+use std::collections::HashMap;
+
+use hdl::{BinOp, Design, Guard, LabelExpr, Node, NodeId, UnOp};
+use ifc_lattice::{Label, SecurityTag};
+
+/// Facts established by a statement's guard conjunction.
+///
+/// * `bindings` — signals known to hold a specific value inside the guarded
+///   block (from `when(sel == k)` or a one-bit `when(flag)`); used to
+///   refine dependent `DL(sel)` labels, as ChiselFlow does for the Fig. 3
+///   cache-tags module.
+/// * `perms` — tag-flow permissions `tag(a) ⊑ tag(b)` established by a
+///   `TagLeq` comparator in the guard; this is how the checker proves that
+///   the runtime tag checks the paper requires (Fig. 5's scratchpad) are
+///   actually wired in front of tagged storage.
+#[derive(Debug, Clone, Default)]
+pub struct GuardCtx {
+    /// Signals with a known constant value inside the guard.
+    pub bindings: HashMap<NodeId, u128>,
+    /// `TagLeq(a, b)` facts known true inside the guard.
+    pub perms: Vec<(NodeId, NodeId)>,
+}
+
+impl GuardCtx {
+    /// Extracts the context implied by a guard conjunction.
+    #[must_use]
+    pub fn from_guards(design: &Design, guards: &[Guard]) -> GuardCtx {
+        let mut ctx = GuardCtx::default();
+        for g in guards {
+            ctx.add_literal(design, g.cond, g.polarity);
+        }
+        ctx
+    }
+
+    fn add_literal(&mut self, design: &Design, cond: NodeId, polarity: bool) {
+        match design.node(cond) {
+            Node::Unary { op: UnOp::Not, a } => self.add_literal(design, *a, !polarity),
+            Node::Binary {
+                op: BinOp::And,
+                a,
+                b,
+            } if polarity => {
+                self.add_literal(design, *a, true);
+                self.add_literal(design, *b, true);
+            }
+            Node::Binary { op: BinOp::Eq, a, b } => {
+                let (sig, value) = if let Node::Const { value, .. } = design.node(*b) {
+                    (*a, *value)
+                } else if let Node::Const { value, .. } = design.node(*a) {
+                    (*b, *value)
+                } else {
+                    return;
+                };
+                if polarity {
+                    self.bindings.insert(sig, value);
+                } else if design.width_of(sig) == 1 {
+                    // `!(sel == k)` on a one-bit selector implies the other
+                    // value — this is what makes the `otherwise` branch of
+                    // the Fig. 3 cache-tags module refine.
+                    self.bindings.insert(sig, 1 - (value & 1));
+                }
+            }
+            Node::Binary { op: BinOp::Ne, a, b } if !polarity => {
+                if let Node::Const { value, .. } = design.node(*b) {
+                    self.bindings.insert(*a, *value);
+                } else if let Node::Const { value, .. } = design.node(*a) {
+                    self.bindings.insert(*b, *value);
+                }
+            }
+            Node::Binary {
+                op: BinOp::TagLeq,
+                a,
+                b,
+            } if polarity => {
+                self.perms.push((*a, *b));
+            }
+            _ => {
+                // A bare one-bit signal used directly as a guard binds its
+                // own value.
+                if design.width_of(cond) == 1 {
+                    self.bindings.insert(cond, u128::from(polarity));
+                }
+            }
+        }
+    }
+
+    /// Looks up the bound value of a signal, if any.
+    #[must_use]
+    pub fn binding(&self, sig: NodeId) -> Option<u128> {
+        self.bindings.get(&sig).copied()
+    }
+
+    /// Whether the guard establishes `tag(src) ⊑ tag(dst)` at runtime,
+    /// treating constant tag nodes by value.
+    #[must_use]
+    pub fn permits_tag_flow(&self, design: &Design, src: NodeId, dst: NodeId) -> bool {
+        self.perms.iter().any(|&(a, b)| {
+            tag_matches(design, a, src) && tag_matches(design, b, dst)
+        })
+    }
+
+    /// Whether the guard establishes `tag(src) ⊑ L` for a static sink
+    /// label: a `TagLeq(src, k)` fact where `k` is a constant whose decoded
+    /// label flows to `L`.
+    #[must_use]
+    pub fn permits_tag_to_static(&self, design: &Design, src: NodeId, sink: Label) -> bool {
+        self.perms.iter().any(|&(a, b)| {
+            tag_matches(design, a, src)
+                && const_tag(design, b).is_some_and(|l| l.flows_to(sink))
+        })
+    }
+
+    /// Whether the guard establishes `L ⊑ tag(dst)` for a static source
+    /// label: a `TagLeq(k, dst)` fact where `k` is a constant whose decoded
+    /// label dominates `L`.
+    #[must_use]
+    pub fn permits_static_to_tag(&self, design: &Design, source: Label, dst: NodeId) -> bool {
+        self.perms.iter().any(|&(a, b)| {
+            tag_matches(design, b, dst)
+                && const_tag(design, a).is_some_and(|l| source.flows_to(l))
+        })
+    }
+}
+
+/// Whether guard operand `a` denotes the same tag as `want` — directly, or
+/// through a wire alias.
+fn tag_matches(design: &Design, a: NodeId, want: NodeId) -> bool {
+    if a == want {
+        return true;
+    }
+    // Follow single-source wire aliases in both directions, one level deep
+    // on each side (enough for the builder idioms used by the accelerator).
+    alias_source(design, a) == Some(want)
+        || alias_source(design, want) == Some(a)
+        || matches!(
+            (alias_source(design, a), alias_source(design, want)),
+            (Some(x), Some(y)) if x == y
+        )
+}
+
+/// If `node` is a wire driven by exactly one unconditional connect (and no
+/// conditional ones), the driver; otherwise `None`.
+pub(crate) fn wire_alias(design: &Design, node: NodeId) -> Option<NodeId> {
+    if !matches!(design.node(node), Node::Wire { .. }) {
+        return None;
+    }
+    let mut unconditional = None;
+    for s in design.stmts() {
+        if let hdl::Action::Connect { dst, src } = s.action {
+            if dst == node {
+                if !s.guards.is_empty() || unconditional.is_some() {
+                    return None;
+                }
+                unconditional = Some(src);
+            }
+        }
+    }
+    unconditional
+}
+
+fn alias_source(design: &Design, node: NodeId) -> Option<NodeId> {
+    wire_alias(design, node)
+}
+
+/// Resolves a memory's label annotation for an access at `addr`.
+///
+/// Tagged storage (the Fig. 5 scratchpad) is annotated with
+/// `FromTag(tag_read)` where `tag_read` is *one* read of the parallel tag
+/// array. Semantically the label of cell `i` is `tag_array[i]`, so an
+/// access at a different address must be paired with the tag-array read at
+/// *its own* address: if the design contains `MemRead(tag_mem, addr)` for
+/// this access's address node, the annotation is rewritten to refer to it.
+pub fn resolve_mem_label(
+    design: &Design,
+    mem: hdl::MemId,
+    addr: NodeId,
+) -> Option<LabelExpr> {
+    let expr = design.mems()[mem.index()].label.clone()?;
+    let LabelExpr::FromTag(t) = &expr else {
+        return Some(expr);
+    };
+    let Node::MemRead { mem: tag_mem, .. } = design.node(*t) else {
+        return Some(expr);
+    };
+    let tag_mem = *tag_mem;
+    let correlated = design.node_ids().find(|&id| {
+        matches!(
+            design.node(id),
+            Node::MemRead { mem: m2, addr: a2 } if *m2 == tag_mem && *a2 == addr
+        )
+    });
+    Some(LabelExpr::FromTag(correlated.unwrap_or(*t)))
+}
+
+/// Decodes a constant 8-bit node as a security label.
+pub fn const_tag(design: &Design, node: NodeId) -> Option<Label> {
+    match design.node(node) {
+        Node::Const { width: 8, value } => {
+            Some(Label::from(SecurityTag::from_bits(*value as u8)))
+        }
+        _ => None,
+    }
+}
+
+/// Refines a label annotation used as a **source** under a guard context:
+/// dependent tables resolve through the guard's value bindings, and
+/// runtime tags become symbolic components of the abstract label.
+#[allow(clippy::only_used_in_recursion)] // `design` is kept for future refinements
+pub fn refine_source(
+    design: &Design,
+    expr: &LabelExpr,
+    ctx: &GuardCtx,
+) -> crate::alabel::AbstractLabel {
+    use crate::alabel::AbstractLabel;
+    match expr {
+        LabelExpr::Const(l) => AbstractLabel::of(*l),
+        LabelExpr::Table { sel, entries } => match ctx.binding(*sel) {
+            Some(k) => AbstractLabel::of(
+                entries
+                    .get(k as usize)
+                    .copied()
+                    .unwrap_or(Label::SECRET_UNTRUSTED),
+            ),
+            None => AbstractLabel::of(expr.upper_bound()),
+        },
+        LabelExpr::FromTag(t) => AbstractLabel::of_tag(*t),
+        LabelExpr::Join(a, b) => {
+            refine_source(design, a, ctx).join(&refine_source(design, b, ctx))
+        }
+        // A meet of label expressions as a source: sound to take the
+        // expression's static upper bound.
+        LabelExpr::Meet(..) => AbstractLabel::of(expr.upper_bound()),
+    }
+}
+
+/// A label annotation refined for use as a **sink**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkLabel {
+    /// The sink accepts flows up to this static label.
+    Static(Label),
+    /// The sink's capacity is the runtime value of this tag signal.
+    Tag(NodeId),
+}
+
+/// Refines a label annotation used as a **sink** under a guard context.
+pub fn refine_sink(expr: &LabelExpr, ctx: &GuardCtx) -> SinkLabel {
+    match expr {
+        LabelExpr::Const(l) => SinkLabel::Static(*l),
+        LabelExpr::Table { sel, entries } => match ctx.binding(*sel) {
+            Some(k) => SinkLabel::Static(
+                entries
+                    .get(k as usize)
+                    .copied()
+                    // Out-of-table selector: nothing may be written.
+                    .unwrap_or(Label::PUBLIC_TRUSTED),
+            ),
+            // Unrefined dependent sink must accept every possible runtime
+            // level, so its capacity is the meet of all entries.
+            None => SinkLabel::Static(expr.lower_bound()),
+        },
+        LabelExpr::FromTag(t) => SinkLabel::Tag(*t),
+        // Compound sink annotations: conservative static capacity.
+        LabelExpr::Join(..) | LabelExpr::Meet(..) => SinkLabel::Static(expr.lower_bound()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl::ModuleBuilder;
+    use ifc_lattice::{Conf, Integ};
+
+    #[test]
+    fn extracts_eq_binding() {
+        let mut m = ModuleBuilder::new("t");
+        let way = m.input("way", 1);
+        let is0 = m.eq_lit(way, 0);
+        let w = m.wire("w", 1);
+        let z = m.lit(0, 1);
+        m.when(is0, |m| m.connect(w, z));
+        let d = m.finish();
+        let stmt = &d.stmts()[0];
+        let ctx = GuardCtx::from_guards(&d, &stmt.guards);
+        assert_eq!(ctx.binding(way.id()), Some(0));
+    }
+
+    #[test]
+    fn extracts_tagleq_permission() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let ok = m.tag_leq(a, b);
+        let w = m.wire("w", 8);
+        m.connect(w, b);
+        m.when(ok, |m| m.connect(w, a));
+        let d = m.finish();
+        let ctx = GuardCtx::from_guards(&d, &d.stmts()[1].guards);
+        assert!(ctx.permits_tag_flow(&d, a.id(), b.id()));
+        assert!(!ctx.permits_tag_flow(&d, b.id(), a.id()));
+    }
+
+    #[test]
+    fn const_tag_permissions() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.input("a", 8);
+        let secret = Label::new(Conf::SECRET, Integ::new(3));
+        let lim = m.tag_lit(secret);
+        let ok = m.tag_leq(a, lim);
+        let w = m.wire("w", 8);
+        m.connect(w, a);
+        m.when(ok, |m| m.connect(w, a));
+        let d = m.finish();
+        let ctx = GuardCtx::from_guards(&d, &d.stmts()[1].guards);
+        assert!(ctx.permits_tag_to_static(&d, a.id(), secret));
+        assert!(!ctx.permits_tag_to_static(
+            &d,
+            a.id(),
+            Label::new(Conf::PUBLIC, Integ::new(3))
+        ));
+    }
+
+    #[test]
+    fn bare_flag_binds_its_value() {
+        let mut m = ModuleBuilder::new("t");
+        let flag = m.input("flag", 1);
+        let w = m.wire("w", 1);
+        let z = m.lit(0, 1);
+        m.connect(w, z);
+        m.when(flag, |m| m.connect(w, z));
+        let d = m.finish();
+        let ctx = GuardCtx::from_guards(&d, &d.stmts()[1].guards);
+        assert_eq!(ctx.binding(flag.id()), Some(1));
+    }
+}

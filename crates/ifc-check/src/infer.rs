@@ -1,0 +1,219 @@
+//! Global label inference: a monotone fixpoint over the design.
+
+use hdl::{Action, Design, Node, NodeId};
+
+use crate::alabel::AbstractLabel;
+use crate::ctx::{refine_source, GuardCtx};
+
+/// The result of label inference.
+#[derive(Debug, Clone)]
+pub struct Inference {
+    /// Inferred abstract label per node (indexed by [`NodeId::index`]).
+    pub node_labels: Vec<AbstractLabel>,
+    /// Inferred abstract label per memory (whole-array, conservative).
+    pub mem_labels: Vec<AbstractLabel>,
+    /// Number of fixpoint iterations performed.
+    pub iterations: usize,
+    /// Non-fatal observations (e.g. unlabelled inputs assumed public).
+    pub warnings: Vec<String>,
+}
+
+impl Inference {
+    /// The inferred label of a node.
+    #[must_use]
+    pub fn label(&self, id: NodeId) -> &AbstractLabel {
+        &self.node_labels[id.index()]
+    }
+}
+
+/// Runs label inference to a fixpoint.
+///
+/// Annotated nodes are *contracts*: their label is the (unrefined)
+/// annotation, and flows into them are verified separately by the checker.
+/// Unannotated nodes accumulate the join of everything that flows into
+/// them, including the guard (*pc*) labels of the statements that drive
+/// them — this is what propagates timing dependences into handshake
+/// signals.
+pub fn infer(design: &Design) -> Inference {
+    let n = design.node_count();
+    let empty_ctx = GuardCtx::default();
+    let mut labels: Vec<AbstractLabel> = vec![AbstractLabel::bottom(); n];
+    let mut mem_labels: Vec<AbstractLabel> =
+        vec![AbstractLabel::bottom(); design.mems().len()];
+    let mut warnings = Vec::new();
+
+    // Fixed contracts from annotations.
+    let mut fixed = vec![false; n];
+    for id in design.node_ids() {
+        if let Some(expr) = design.label_of(id) {
+            labels[id.index()] = refine_source(design, expr, &empty_ctx);
+            fixed[id.index()] = true;
+        } else if matches!(design.node(id), Node::Input { .. }) {
+            warnings.push(format!(
+                "input {} has no label annotation; assuming (P,T)",
+                design.describe(id)
+            ));
+        }
+    }
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        assert!(iterations < 10_000, "label inference failed to converge");
+        let mut changed = false;
+
+        // Combinational / structural propagation.
+        for id in design.node_ids() {
+            let idx = id.index();
+            if fixed[idx] {
+                continue;
+            }
+            let candidate = match design.node(id) {
+                Node::Input { .. } | Node::Const { .. } => continue,
+                // Wires and registers are driven by statements (below).
+                Node::Reg { .. } => continue,
+                Node::Wire { default, .. } => {
+                    if let Some(d) = default {
+                        labels[d.index()].clone()
+                    } else {
+                        continue;
+                    }
+                }
+                Node::MemRead { mem, addr } => {
+                    let mem_part = match crate::ctx::resolve_mem_label(design, *mem, *addr) {
+                        Some(expr) => refine_source(design, &expr, &empty_ctx),
+                        None => mem_labels[mem.index()].clone(),
+                    };
+                    mem_part.join(&labels[addr.index()])
+                }
+                other => {
+                    let mut acc = AbstractLabel::bottom();
+                    for op in other.operands() {
+                        acc = acc.join(&labels[op.index()]);
+                    }
+                    acc
+                }
+            };
+            changed |= labels[idx].join_assign(&candidate);
+        }
+
+        // Statement-driven propagation (explicit + implicit flows).
+        for stmt in design.stmts() {
+            let mut pc = AbstractLabel::bottom();
+            for g in &stmt.guards {
+                pc = pc.join(&labels[g.cond.index()]);
+            }
+            match stmt.action {
+                Action::Connect { dst, src } => {
+                    if fixed[dst.index()] {
+                        continue;
+                    }
+                    let eff = labels[src.index()].join(&pc);
+                    changed |= labels[dst.index()].join_assign(&eff);
+                }
+                Action::MemWrite { mem, addr, data } => {
+                    if design.mems()[mem.index()].label.is_some() {
+                        continue;
+                    }
+                    let eff = labels[data.index()]
+                        .join(&labels[addr.index()])
+                        .join(&pc);
+                    changed |= mem_labels[mem.index()].join_assign(&eff);
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    Inference {
+        node_labels: labels,
+        mem_labels,
+        iterations,
+        warnings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl::ModuleBuilder;
+    use ifc_lattice::{Conf, Integ, Label};
+
+    #[test]
+    fn propagates_through_ops() {
+        let mut m = ModuleBuilder::new("t");
+        let k = m.input("k", 8);
+        m.set_label(k, Label::SECRET_TRUSTED);
+        let p = m.input("p", 8);
+        m.set_label(p, Label::new(Conf::new(3), Integ::new(3)));
+        let x = m.xor(k, p);
+        m.output("x", x);
+        let d = m.finish();
+        let inf = infer(&d);
+        let lbl = &inf.node_labels[x.id().index()];
+        assert_eq!(lbl.base.conf, Conf::SECRET);
+        assert_eq!(lbl.base.integ, Integ::new(3));
+    }
+
+    #[test]
+    fn implicit_flow_taints_through_guard() {
+        // The Fig. 6 shape: a public-intended valid signal driven under a
+        // key-dependent condition picks up the key's confidentiality.
+        let mut m = ModuleBuilder::new("t");
+        let key = m.input("key", 8);
+        m.set_label(key, Label::new(Conf::SECRET, Integ::new(3)));
+        let is_weak = m.eq_lit(key, 0);
+        let valid = m.reg("valid", 1, 0);
+        let one = m.lit(1, 1);
+        m.when(is_weak, |m| m.connect(valid, one));
+        m.output("valid", valid);
+        let d = m.finish();
+        let inf = infer(&d);
+        assert_eq!(inf.node_labels[valid.id().index()].base.conf, Conf::SECRET);
+    }
+
+    #[test]
+    fn memory_accumulates_writes_and_feeds_reads() {
+        let mut m = ModuleBuilder::new("t");
+        let secret = m.input("s", 8);
+        m.set_label(secret, Label::SECRET_TRUSTED);
+        let addr = m.input("a", 2);
+        let mem = m.mem("buf", 8, 4, vec![]);
+        m.mem_write(mem, addr, secret);
+        let q = m.mem_read(mem, addr);
+        m.output("q", q);
+        let d = m.finish();
+        let inf = infer(&d);
+        assert_eq!(inf.mem_labels[0].base.conf, Conf::SECRET);
+        assert_eq!(inf.node_labels[q.id().index()].base.conf, Conf::SECRET);
+    }
+
+    #[test]
+    fn register_feedback_converges() {
+        let mut m = ModuleBuilder::new("t");
+        let secret = m.input("s", 1);
+        m.set_label(secret, Label::SECRET_UNTRUSTED);
+        let r1 = m.reg("r1", 1, 0);
+        let r2 = m.reg("r2", 1, 0);
+        let mixed = m.xor(r2, secret);
+        m.connect(r1, mixed);
+        m.connect(r2, r1);
+        m.output("r2", r2);
+        let d = m.finish();
+        let inf = infer(&d);
+        assert_eq!(inf.node_labels[r2.id().index()].base, Label::SECRET_UNTRUSTED);
+        assert!(inf.iterations < 20);
+    }
+
+    #[test]
+    fn unlabelled_input_warns() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.input("a", 1);
+        m.output("a", a);
+        let inf = infer(&m.finish());
+        assert_eq!(inf.warnings.len(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Two-dimensional security labels.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::lattice::Lattice;
+use crate::level::{Conf, Integ, ParseLevelError, SecurityTag};
+
+/// A two-dimensional security label `(confidentiality, integrity)`.
+///
+/// This is ChiselFlow's 2-tuple label format `l = (c, i)` (the paper's
+/// Section 2.3). The product flow order combines both dimensions:
+/// `l ⊑ l'` iff `C(l) ⊑C C(l')` **and** `I(l) ⊑I I(l')`.
+///
+/// The least restrictive label is [`Label::PUBLIC_TRUSTED`] and the most
+/// restrictive is [`Label::SECRET_UNTRUSTED`].
+///
+/// ```
+/// use ifc_lattice::{Conf, Integ, Label};
+///
+/// let secret = Label::new(Conf::SECRET, Integ::TRUSTED);
+/// let public = Label::PUBLIC_TRUSTED;
+/// assert!(public.flows_to(secret));
+/// assert!(!secret.flows_to(public));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label {
+    /// The confidentiality component.
+    pub conf: Conf,
+    /// The integrity component.
+    pub integ: Integ,
+}
+
+impl Label {
+    /// `(⊥, ⊤)` — public and fully trusted; the least restrictive label.
+    /// Configuration registers in the accelerator carry this label.
+    pub const PUBLIC_TRUSTED: Label = Label::new(Conf::PUBLIC, Integ::TRUSTED);
+    /// `(⊥, ⊥)` — public and untrusted; the label of the open interconnect.
+    pub const PUBLIC_UNTRUSTED: Label = Label::new(Conf::PUBLIC, Integ::UNTRUSTED);
+    /// `(⊤, ⊤)` — secret and fully trusted; the master key's label.
+    pub const SECRET_TRUSTED: Label = Label::new(Conf::SECRET, Integ::TRUSTED);
+    /// `(⊤, ⊥)` — the most restrictive label: nothing may flow out of it
+    /// and everything may flow into it.
+    pub const SECRET_UNTRUSTED: Label = Label::new(Conf::SECRET, Integ::UNTRUSTED);
+
+    /// Creates a label from its two components.
+    #[must_use]
+    pub const fn new(conf: Conf, integ: Integ) -> Label {
+        Label { conf, integ }
+    }
+
+    /// `self ⊑ other` in the product flow order: data labelled `self` may
+    /// flow to a sink labelled `other`.
+    #[must_use]
+    pub const fn flows_to(self, other: Label) -> bool {
+        self.conf.flows_to(other.conf) && self.integ.flows_to(other.integ)
+    }
+
+    /// `self ⊔ other`: least upper bound — the label of data derived from
+    /// both sources (more confidential, less trusted).
+    #[must_use]
+    pub const fn join(self, other: Label) -> Label {
+        Label::new(self.conf.join(other.conf), self.integ.join(other.integ))
+    }
+
+    /// `self ⊓ other`: greatest lower bound (less confidential, more
+    /// trusted) — used e.g. by the pipeline stall logic of Fig. 8 to find
+    /// the lowest confidentiality across all stages.
+    #[must_use]
+    pub const fn meet(self, other: Label) -> Label {
+        Label::new(self.conf.meet(other.conf), self.integ.meet(other.integ))
+    }
+
+    /// Replaces only the confidentiality component.
+    #[must_use]
+    pub const fn with_conf(self, conf: Conf) -> Label {
+        Label::new(conf, self.integ)
+    }
+
+    /// Replaces only the integrity component.
+    #[must_use]
+    pub const fn with_integ(self, integ: Integ) -> Label {
+        Label::new(self.conf, integ)
+    }
+
+    /// `self ⊔C other`: joins only the confidentiality dimension, keeping
+    /// `self`'s integrity. The paper writes this `⊔C`.
+    #[must_use]
+    pub const fn join_conf(self, other: Label) -> Label {
+        Label::new(self.conf.join(other.conf), self.integ)
+    }
+
+    /// `self ⊔I other`: joins only the integrity dimension, keeping `self`'s
+    /// confidentiality. The paper writes this `⊔I`; note that the integrity
+    /// join yields the **less** trusted level.
+    #[must_use]
+    pub const fn join_integ(self, other: Label) -> Label {
+        Label::new(self.conf, self.integ.join(other.integ))
+    }
+}
+
+impl Default for Label {
+    /// The default label is the least restrictive one, `(⊥, ⊤)`.
+    fn default() -> Label {
+        Label::PUBLIC_TRUSTED
+    }
+}
+
+impl Lattice for Label {
+    const BOTTOM: Label = Label::PUBLIC_TRUSTED;
+    const TOP: Label = Label::SECRET_UNTRUSTED;
+
+    fn join(self, other: Label) -> Label {
+        Label::join(self, other)
+    }
+
+    fn meet(self, other: Label) -> Label {
+        Label::meet(self, other)
+    }
+
+    fn leq(self, other: Label) -> bool {
+        self.flows_to(other)
+    }
+}
+
+impl From<SecurityTag> for Label {
+    fn from(tag: SecurityTag) -> Label {
+        Label::new(tag.conf(), tag.integ())
+    }
+}
+
+impl From<Label> for SecurityTag {
+    fn from(label: Label) -> SecurityTag {
+        SecurityTag::from_bits((label.conf.raw() << 4) | label.integ.raw())
+    }
+}
+
+impl From<(Conf, Integ)> for Label {
+    fn from((conf, integ): (Conf, Integ)) -> Label {
+        Label::new(conf, integ)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({self})")
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.conf, self.integ)
+    }
+}
+
+/// Parses labels in the `(C,I)` syntax used by [`Display`](fmt::Display),
+/// e.g. `"(P,T)"`, `"(S,U)"`, `"(C3,I7)"`.
+impl FromStr for Label {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Label, ParseLevelError> {
+        let invalid = || ParseLevelError::for_text(s);
+        let inner = s
+            .strip_prefix('(')
+            .and_then(|s| s.strip_suffix(')'))
+            .ok_or_else(invalid)?;
+        let (c, i) = inner.split_once(',').ok_or_else(invalid)?;
+        Ok(Label::new(c.trim().parse()?, i.trim().parse()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const fn l(c: u8, i: u8) -> Label {
+        Label::new(Conf::new(c), Integ::new(i))
+    }
+
+    #[test]
+    fn product_order_requires_both_dimensions() {
+        // Conf OK, integrity not:
+        assert!(!l(0, 0).flows_to(l(5, 5)));
+        // Integrity OK, conf not:
+        assert!(!l(5, 5).flows_to(l(0, 0)));
+        // Both OK:
+        assert!(l(0, 5).flows_to(l(5, 0)));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let a = l(3, 9);
+        let b = l(7, 2);
+        let j = a.join(b);
+        assert_eq!(j, l(7, 2));
+        assert!(a.flows_to(j) && b.flows_to(j));
+    }
+
+    #[test]
+    fn meet_matches_fig8_stall_semantics() {
+        // Meet over pipeline stage labels returns the lowest
+        // confidentiality across stages.
+        let stages = [l(4, 8), l(0, 15), l(9, 3)];
+        let m = stages.iter().copied().fold(Label::TOP, Label::meet);
+        assert_eq!(m.conf, Conf::PUBLIC);
+        assert_eq!(m.integ, Integ::TRUSTED);
+    }
+
+    #[test]
+    fn dimension_restricted_joins() {
+        // (P,U) ⊔C (S,U) ⇒ (S,U)
+        assert_eq!(
+            Label::PUBLIC_UNTRUSTED.join_conf(Label::SECRET_UNTRUSTED),
+            Label::SECRET_UNTRUSTED
+        );
+        // (P,U) ⊔I (P,T) ⇒ (P,U)
+        assert_eq!(
+            Label::PUBLIC_UNTRUSTED.join_integ(Label::PUBLIC_TRUSTED),
+            Label::PUBLIC_UNTRUSTED
+        );
+    }
+
+    #[test]
+    fn tag_conversion_round_trips() {
+        for bits in 0..=u8::MAX {
+            let tag = SecurityTag::from_bits(bits);
+            assert_eq!(SecurityTag::from(Label::from(tag)), tag);
+        }
+    }
+
+    #[test]
+    fn parse_label_syntax() {
+        assert_eq!("(P,T)".parse::<Label>().unwrap(), Label::PUBLIC_TRUSTED);
+        assert_eq!("(S,U)".parse::<Label>().unwrap(), Label::SECRET_UNTRUSTED);
+        assert_eq!("(C3, I7)".parse::<Label>().unwrap(), l(3, 7));
+        assert!("P,T".parse::<Label>().is_err());
+        assert!("(P;T)".parse::<Label>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for c in [0u8, 1, 7, 15] {
+            for i in [0u8, 1, 7, 15] {
+                let label = l(c, i);
+                assert_eq!(label.to_string().parse::<Label>().unwrap(), label);
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The generic bounded-lattice abstraction.
+
+/// A bounded lattice with a flow (restrictiveness) order.
+///
+/// Implemented by [`Label`](crate::Label); the IFC checker and simulator are
+/// generic over it where possible so alternative lattices (e.g. a two-point
+/// lattice, or a product of more dimensions) can be plugged in.
+///
+/// # Laws
+///
+/// Implementations must satisfy the usual lattice laws (these are checked
+/// by property tests in this crate for [`Label`](crate::Label)):
+///
+/// * `join`/`meet` are commutative, associative, and idempotent;
+/// * absorption: `a.join(a.meet(b)) == a` and `a.meet(a.join(b)) == a`;
+/// * consistency with the order: `a.leq(b)` iff `a.join(b) == b` iff
+///   `a.meet(b) == a`;
+/// * bounds: `BOTTOM.leq(a)` and `a.leq(TOP)` for all `a`.
+pub trait Lattice: Copy + Eq {
+    /// The least restrictive element (information may flow anywhere from
+    /// it).
+    const BOTTOM: Self;
+    /// The most restrictive element (information may flow into it from
+    /// anywhere).
+    const TOP: Self;
+
+    /// Least upper bound.
+    #[must_use]
+    fn join(self, other: Self) -> Self;
+
+    /// Greatest lower bound.
+    #[must_use]
+    fn meet(self, other: Self) -> Self;
+
+    /// The partial order: `self.leq(other)` means information labelled
+    /// `self` may flow to a sink labelled `other`.
+    fn leq(self, other: Self) -> bool;
+
+    /// Folds `join` over an iterator, starting from [`Lattice::BOTTOM`].
+    #[must_use]
+    fn join_all<I: IntoIterator<Item = Self>>(items: I) -> Self
+    where
+        Self: Sized,
+    {
+        items.into_iter().fold(Self::BOTTOM, Self::join)
+    }
+
+    /// Folds `meet` over an iterator, starting from [`Lattice::TOP`].
+    #[must_use]
+    fn meet_all<I: IntoIterator<Item = Self>>(items: I) -> Self
+    where
+        Self: Sized,
+    {
+        items.into_iter().fold(Self::TOP, Self::meet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Label;
+
+    #[test]
+    fn join_all_of_empty_is_bottom() {
+        assert_eq!(Label::join_all(std::iter::empty()), Label::BOTTOM);
+    }
+
+    #[test]
+    fn meet_all_of_empty_is_top() {
+        assert_eq!(Label::meet_all(std::iter::empty()), Label::TOP);
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let a = "(C3,I9)".parse::<Label>().unwrap();
+        assert!(Label::BOTTOM.leq(a));
+        assert!(a.leq(Label::TOP));
+    }
+}

@@ -1,0 +1,387 @@
+//! Per-dimension security levels and the packed 8-bit runtime tag.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of distinct levels per dimension (4-bit encoding, as in the
+/// paper's FPGA prototype: "8-bit security tags, 4 bits for confidentiality
+/// and 4 bits for integrity").
+pub const LEVEL_COUNT: u8 = 16;
+
+/// Maximum raw level value (`⊤` on the confidentiality scale, fully trusted
+/// on the integrity scale).
+pub const MAX_LEVEL: u8 = LEVEL_COUNT - 1;
+
+/// A confidentiality level.
+///
+/// `Conf::PUBLIC` (`⊥`, level 0) is readable by everyone; `Conf::SECRET`
+/// (`⊤`, level 15) is readable only by the supervisor. Information may flow
+/// from lower to higher confidentiality: `a.flows_to(b)` iff `a ≤ b`.
+///
+/// ```
+/// use ifc_lattice::Conf;
+/// assert!(Conf::PUBLIC.flows_to(Conf::SECRET));
+/// assert!(!Conf::SECRET.flows_to(Conf::PUBLIC));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Conf(u8);
+
+/// An integrity level.
+///
+/// `Integ::TRUSTED` (level 15) is the most trustworthy; `Integ::UNTRUSTED`
+/// (level 0) the least. Information may flow from **higher** to **lower**
+/// integrity (trusted data can be given to an untrusted consumer, not the
+/// other way around): `a.flows_to(b)` iff `a ≥ b`.
+///
+/// ```
+/// use ifc_lattice::Integ;
+/// assert!(Integ::TRUSTED.flows_to(Integ::UNTRUSTED));
+/// assert!(!Integ::UNTRUSTED.flows_to(Integ::TRUSTED));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Integ(u8);
+
+impl Conf {
+    /// The least confidential level, `⊥` (readable by everyone).
+    pub const PUBLIC: Conf = Conf(0);
+    /// The most confidential level, `⊤` (supervisor only).
+    pub const SECRET: Conf = Conf(MAX_LEVEL);
+
+    /// Creates a confidentiality level from a raw 4-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`MAX_LEVEL`].
+    #[must_use]
+    pub const fn new(level: u8) -> Conf {
+        assert!(level <= MAX_LEVEL, "confidentiality level out of range");
+        Conf(level)
+    }
+
+    /// The raw 4-bit level value.
+    #[must_use]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// `self ⊑C other`: information at `self` may flow to a sink at `other`.
+    #[must_use]
+    pub const fn flows_to(self, other: Conf) -> bool {
+        self.0 <= other.0
+    }
+
+    /// `self ⊔C other`: least upper bound (the more confidential of the two).
+    #[must_use]
+    pub const fn join(self, other: Conf) -> Conf {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `self ⊓C other`: greatest lower bound (the less confidential of the
+    /// two).
+    #[must_use]
+    pub const fn meet(self, other: Conf) -> Conf {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Integ {
+    /// The least trustworthy level, completely untrusted.
+    pub const UNTRUSTED: Integ = Integ(0);
+    /// The most trustworthy level, completely trusted (supervisor).
+    pub const TRUSTED: Integ = Integ(MAX_LEVEL);
+
+    /// Creates an integrity level from a raw 4-bit value
+    /// (0 = untrusted .. 15 = trusted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds [`MAX_LEVEL`].
+    #[must_use]
+    pub const fn new(level: u8) -> Integ {
+        assert!(level <= MAX_LEVEL, "integrity level out of range");
+        Integ(level)
+    }
+
+    /// The raw 4-bit level value (0 = untrusted .. 15 = trusted).
+    #[must_use]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// `self ⊑I other`: information at `self` may flow to a sink at `other`
+    /// — i.e. `self` has at least the integrity of `other`.
+    #[must_use]
+    pub const fn flows_to(self, other: Integ) -> bool {
+        self.0 >= other.0
+    }
+
+    /// `self ⊔I other`: least upper bound in the flow order — the **less**
+    /// trusted of the two (mixing trusted and untrusted data yields
+    /// untrusted data).
+    ///
+    /// ```
+    /// use ifc_lattice::Integ;
+    /// assert_eq!(Integ::UNTRUSTED.join(Integ::TRUSTED), Integ::UNTRUSTED);
+    /// ```
+    #[must_use]
+    pub const fn join(self, other: Integ) -> Integ {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `self ⊓I other`: greatest lower bound in the flow order — the
+    /// **more** trusted of the two.
+    #[must_use]
+    pub const fn meet(self, other: Integ) -> Integ {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for Conf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Conf({self})")
+    }
+}
+
+impl fmt::Display for Conf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Conf::PUBLIC => f.write_str("P"),
+            Conf::SECRET => f.write_str("S"),
+            Conf(n) => write!(f, "C{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Integ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Integ({self})")
+    }
+}
+
+impl fmt::Display for Integ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Integ::UNTRUSTED => f.write_str("U"),
+            Integ::TRUSTED => f.write_str("T"),
+            Integ(n) => write!(f, "I{n}"),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Conf`] or [`Integ`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError {
+    text: String,
+}
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid security level syntax: {:?}", self.text)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+impl ParseLevelError {
+    /// Builds an error recording the offending input text (also reused by
+    /// the whole-label parser).
+    pub(crate) fn for_text(text: &str) -> ParseLevelError {
+        ParseLevelError {
+            text: text.to_owned(),
+        }
+    }
+}
+
+impl FromStr for Conf {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Conf, ParseLevelError> {
+        match s {
+            "P" | "public" => Ok(Conf::PUBLIC),
+            "S" | "secret" => Ok(Conf::SECRET),
+            _ => s
+                .strip_prefix('C')
+                .and_then(|n| n.parse::<u8>().ok())
+                .filter(|&n| n <= MAX_LEVEL)
+                .map(Conf)
+                .ok_or_else(|| ParseLevelError { text: s.to_owned() }),
+        }
+    }
+}
+
+impl FromStr for Integ {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Integ, ParseLevelError> {
+        match s {
+            "U" | "untrusted" => Ok(Integ::UNTRUSTED),
+            "T" | "trusted" => Ok(Integ::TRUSTED),
+            _ => s
+                .strip_prefix('I')
+                .and_then(|n| n.parse::<u8>().ok())
+                .filter(|&n| n <= MAX_LEVEL)
+                .map(Integ)
+                .ok_or_else(|| ParseLevelError { text: s.to_owned() }),
+        }
+    }
+}
+
+/// The packed 8-bit hardware security tag: confidentiality in the high
+/// nibble, integrity in the low nibble.
+///
+/// This is the runtime representation carried alongside data through the
+/// accelerator's pipeline stages, data buffers, and scratchpad tag arrays —
+/// "compatible with a state-of-the-art information flow enforced processor"
+/// (the paper's Section 4).
+///
+/// ```
+/// use ifc_lattice::{Conf, Integ, Label, SecurityTag};
+///
+/// let label = Label::new(Conf::new(5), Integ::new(9));
+/// let tag = SecurityTag::from(label);
+/// assert_eq!(tag.bits(), 0x59);
+/// assert_eq!(Label::from(tag), label);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SecurityTag(u8);
+
+impl SecurityTag {
+    /// Creates a tag from its raw 8-bit encoding.
+    #[must_use]
+    pub const fn from_bits(bits: u8) -> SecurityTag {
+        SecurityTag(bits)
+    }
+
+    /// The raw 8-bit encoding.
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// The confidentiality component (high nibble).
+    #[must_use]
+    pub const fn conf(self) -> Conf {
+        Conf(self.0 >> 4)
+    }
+
+    /// The integrity component (low nibble).
+    #[must_use]
+    pub const fn integ(self) -> Integ {
+        Integ(self.0 & 0x0f)
+    }
+}
+
+impl fmt::Debug for SecurityTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecurityTag({:#04x})", self.0)
+    }
+}
+
+impl fmt::Display for SecurityTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.conf(), self.integ())
+    }
+}
+
+impl fmt::LowerHex for SecurityTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for SecurityTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for SecurityTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conf_ordering_matches_flow() {
+        assert!(Conf::PUBLIC.flows_to(Conf::PUBLIC));
+        assert!(Conf::PUBLIC.flows_to(Conf::new(7)));
+        assert!(Conf::new(7).flows_to(Conf::SECRET));
+        assert!(!Conf::SECRET.flows_to(Conf::new(14)));
+    }
+
+    #[test]
+    fn integ_ordering_is_reversed() {
+        assert!(Integ::TRUSTED.flows_to(Integ::UNTRUSTED));
+        assert!(Integ::new(9).flows_to(Integ::new(4)));
+        assert!(!Integ::new(4).flows_to(Integ::new(9)));
+    }
+
+    #[test]
+    fn integ_join_takes_lower_trust() {
+        // The paper's example: (P,U) ⊔I (P,T) ⇒ (P,U).
+        assert_eq!(Integ::UNTRUSTED.join(Integ::TRUSTED), Integ::UNTRUSTED);
+        assert_eq!(Integ::new(3).join(Integ::new(11)), Integ::new(3));
+    }
+
+    #[test]
+    fn conf_join_takes_higher_level() {
+        // The paper's example: (P,U) ⊔C (S,U) ⇒ (S,U).
+        assert_eq!(Conf::PUBLIC.join(Conf::SECRET), Conf::SECRET);
+    }
+
+    #[test]
+    fn tag_round_trips() {
+        for bits in 0..=u8::MAX {
+            let tag = SecurityTag::from_bits(bits);
+            assert_eq!(tag.conf().raw(), bits >> 4);
+            assert_eq!(tag.integ().raw(), bits & 0x0f);
+        }
+    }
+
+    #[test]
+    fn parse_levels() {
+        assert_eq!("P".parse::<Conf>().unwrap(), Conf::PUBLIC);
+        assert_eq!("secret".parse::<Conf>().unwrap(), Conf::SECRET);
+        assert_eq!("C9".parse::<Conf>().unwrap(), Conf::new(9));
+        assert_eq!("T".parse::<Integ>().unwrap(), Integ::TRUSTED);
+        assert_eq!("I2".parse::<Integ>().unwrap(), Integ::new(2));
+        assert!("C99".parse::<Conf>().is_err());
+        assert!("x".parse::<Integ>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips_via_fromstr() {
+        for n in 0..=MAX_LEVEL {
+            let c = Conf::new(n);
+            assert_eq!(c.to_string().parse::<Conf>().unwrap(), c);
+            let i = Integ::new(n);
+            assert_eq!(i.to_string().parse::<Integ>().unwrap(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidentiality level out of range")]
+    fn conf_new_rejects_out_of_range() {
+        let _ = Conf::new(16);
+    }
+}

@@ -1,0 +1,56 @@
+//! Security label lattice for hardware-level information flow control.
+//!
+//! This crate implements the label algebra used by the DAC'19 paper
+//! *Designing Secure Cryptographic Accelerators with Information Flow
+//! Enforcement: A Case Study on AES* (Jiang, Jin, Suh, Zhang):
+//!
+//! * two-dimensional labels `(confidentiality, integrity)` in the style of
+//!   ChiselFlow / HyperFlow ([`Label`]),
+//! * a bounded 16-level scale per dimension ([`Conf`], [`Integ`]) matching
+//!   the paper's 8-bit runtime tags (4 bits per dimension, [`SecurityTag`]),
+//! * per-dimension and whole-label lattice operations (`join`, `meet`,
+//!   `flows_to`),
+//! * the reflection operator `r(·)` projecting one dimension onto the other
+//!   ([`reflect_conf`]/[`reflect_integ`]),
+//! * nonmalleable downgrading — declassification and endorsement guarded by
+//!   the paper's Equation (1) ([`declassify`]/[`endorse`]).
+//!
+//! # Ordering conventions
+//!
+//! Following the paper (Section 2.3): `l ⊑C l'` means `l'` has **higher
+//! confidentiality**, and `l ⊑I l'` means `l` has **higher integrity**.
+//! Thus information may flow from low to high confidentiality and from high
+//! to low integrity. The least restrictive label is `(PUBLIC, TRUSTED)` and
+//! the most restrictive is `(SECRET, UNTRUSTED)`.
+//!
+//! # Example
+//!
+//! ```
+//! use ifc_lattice::{Conf, Integ, Label};
+//!
+//! let alice = Label::new(Conf::new(3), Integ::new(3));
+//! let public = Label::new(Conf::PUBLIC, Integ::UNTRUSTED);
+//!
+//! // Alice's plaintext must not flow to a public, untrusted sink.
+//! assert!(!alice.flows_to(public));
+//! // The public sink's data may flow into Alice's domain... except that an
+//! // untrusted source cannot contaminate her trusted registers either:
+//! assert!(!public.flows_to(alice));
+//! // It could flow to an equally untrusted register at her clearance:
+//! assert!(public.flows_to(Label::new(Conf::new(3), Integ::UNTRUSTED)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod downgrade;
+mod label;
+mod lattice;
+mod level;
+mod reflect;
+
+pub use downgrade::{declassify, endorse, DowngradeError, DowngradeKind, Principal};
+pub use label::Label;
+pub use lattice::Lattice;
+pub use level::{Conf, Integ, ParseLevelError, SecurityTag, LEVEL_COUNT, MAX_LEVEL};
+pub use reflect::{reflect_conf, reflect_integ};

@@ -1,0 +1,84 @@
+//! The reflection operator `r(·)` between the two label dimensions.
+//!
+//! Nonmalleable IFC relates confidentiality and integrity through a
+//! *reflection* that projects a level of one dimension onto the other
+//! (the paper's Section 2.4). With the two-level lattice the paper uses as
+//! an illustration, `r(P) = U` and `r(U) = P`: the public confidentiality
+//! level reflects to the untrusted integrity level and vice versa. On our
+//! 16-level scale the reflection is the positional identity — level `k` of
+//! one dimension reflects to level `k` of the other — which reproduces both
+//! of the paper's worked examples:
+//!
+//! * an untrusted user (`I(p) = U`) cannot declassify `(S,U)` to `(P,U)`
+//!   because `S ⋢C P ⊔C r(U) = P`;
+//! * only the supervisor (`I(p) = ⊤`, so `r(I(p)) = ⊤C`) can declassify a
+//!   ciphertext computed with the master key (`ck = ⊤`).
+
+use crate::level::{Conf, Integ};
+
+/// Projects an integrity level onto the confidentiality scale: `r(i)`.
+///
+/// A principal trusted at `i` has the authority ("voice") to speak for data
+/// up to confidentiality `r(i)`; the nonmalleable declassification rule
+/// allows `C(l) →p C(l')` only when `C(l) ⊑C C(l') ⊔C r(I(p))`.
+///
+/// ```
+/// use ifc_lattice::{reflect_integ, Conf, Integ};
+/// assert_eq!(reflect_integ(Integ::UNTRUSTED), Conf::PUBLIC);
+/// assert_eq!(reflect_integ(Integ::TRUSTED), Conf::SECRET);
+/// ```
+#[must_use]
+pub const fn reflect_integ(i: Integ) -> Conf {
+    Conf::new(i.raw())
+}
+
+/// Projects a confidentiality level onto the integrity scale: `r(c)`.
+///
+/// The nonmalleable endorsement rule allows `I(l) →p I(l')` only when
+/// `I(l) ⊑I I(l') ⊔I r(C(p))`.
+///
+/// ```
+/// use ifc_lattice::{reflect_conf, Conf, Integ};
+/// assert_eq!(reflect_conf(Conf::PUBLIC), Integ::UNTRUSTED);
+/// assert_eq!(reflect_conf(Conf::SECRET), Integ::TRUSTED);
+/// ```
+#[must_use]
+pub const fn reflect_conf(c: Conf) -> Integ {
+    Integ::new(c.raw())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reflection_is_an_order_isomorphism() {
+        // Reflection preserves the positional order in both directions.
+        for a in 0..16u8 {
+            for b in 0..16u8 {
+                let (ia, ib) = (Integ::new(a), Integ::new(b));
+                assert_eq!(
+                    reflect_integ(ia).flows_to(reflect_integ(ib)),
+                    a <= b,
+                    "conf order must mirror raw positions"
+                );
+                let (ca, cb) = (Conf::new(a), Conf::new(b));
+                assert_eq!(reflect_conf(ca).raw() <= reflect_conf(cb).raw(), a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn reflection_round_trips() {
+        for k in 0..16u8 {
+            assert_eq!(reflect_conf(reflect_integ(Integ::new(k))), Integ::new(k));
+            assert_eq!(reflect_integ(reflect_conf(Conf::new(k))), Conf::new(k));
+        }
+    }
+
+    #[test]
+    fn two_point_examples_from_paper() {
+        assert_eq!(reflect_integ(Integ::UNTRUSTED), Conf::PUBLIC);
+        assert_eq!(reflect_conf(Conf::PUBLIC), Integ::UNTRUSTED);
+    }
+}

@@ -1,0 +1,106 @@
+//! Edge-case tests for nonmalleable downgrading: the exact boundaries of
+//! Equation (1) across the 16-level scale.
+
+use ifc_lattice::{
+    declassify, endorse, reflect_integ, Conf, DowngradeKind, Integ, Label, MAX_LEVEL,
+};
+
+fn l(c: u8, i: u8) -> Label {
+    Label::new(Conf::new(c), Integ::new(i))
+}
+
+#[test]
+fn declassification_authority_boundary_is_exact() {
+    // A principal with integrity i may declassify confidentiality up to
+    // r(i) — and not one level more.
+    for authority in 0..=MAX_LEVEL {
+        let principal = Label::new(Conf::PUBLIC, Integ::new(authority));
+        let to = Label::new(Conf::PUBLIC, Integ::UNTRUSTED);
+        // Exactly at the authority: allowed.
+        let at = Label::new(reflect_integ(Integ::new(authority)), Integ::UNTRUSTED);
+        assert!(
+            declassify(at, to, principal).is_ok(),
+            "authority {authority} covers its own level"
+        );
+        // One above (when it exists): rejected.
+        if authority < MAX_LEVEL {
+            let above = Label::new(Conf::new(authority + 1), Integ::UNTRUSTED);
+            let err = declassify(above, to, principal).unwrap_err();
+            assert_eq!(err.kind, DowngradeKind::Declassify);
+        }
+    }
+}
+
+#[test]
+fn declassification_target_adds_to_authority() {
+    // C(l) ⊑ C(to) ⊔ r(I(p)): the target's confidentiality joins the
+    // principal's authority, so even a one-level drop needs authority for
+    // the *source* level when the target sits below it.
+    let weak_principal = l(0, 3); // authority r(I3) = C3
+    assert!(declassify(l(9, 1), l(9, 1), weak_principal).is_ok(), "no-op");
+    assert!(
+        declassify(l(9, 1), l(8, 1), weak_principal).is_err(),
+        "9 ⋢ 8 ⊔ 3: even a one-level drop exceeds the authority"
+    );
+    // A target at or above the source never needs authority.
+    assert!(declassify(l(9, 1), l(12, 1), weak_principal).is_ok());
+}
+
+#[test]
+fn declassify_to_intermediate_level() {
+    // Lowering S only partially (to C7) needs authority ≥ ... the rule is
+    // C(from) ⊑ C(to) ⊔C r(I(p)); with to = C7, a principal of integrity
+    // I7 cannot release S (15 ⋢ 7⊔7), but releasing C7-data to C3 works
+    // for an I7 principal (7 ⊑ 3⊔7).
+    let p7 = l(0, 7);
+    assert!(declassify(l(15, 0), l(7, 0), p7).is_err());
+    assert!(declassify(l(7, 0), l(3, 0), p7).is_ok());
+}
+
+#[test]
+fn endorsement_boundary_is_exact() {
+    // I(l) ⊑I I(to) ⊔I r(C(p)): the endorsement cap is min(I(to), r(C(p))).
+    // A principal of confidentiality c caps the reachable trust at... data
+    // of trust t can be endorsed to to_trust iff t >= min(to_trust, c).
+    for c in 0..=MAX_LEVEL {
+        let principal = Label::new(Conf::new(c), Integ::UNTRUSTED);
+        let from = l(0, c); // data trust exactly c
+        let to = l(0, MAX_LEVEL);
+        assert!(
+            endorse(from, to, principal).is_ok(),
+            "trust {c} endorsable by conf-{c} principal"
+        );
+        if c > 0 {
+            let weaker = l(0, c - 1);
+            assert!(
+                endorse(weaker, to, principal).is_err(),
+                "trust {} not endorsable by conf-{c} principal",
+                c - 1
+            );
+        }
+    }
+}
+
+#[test]
+fn downgrade_error_fields_are_faithful() {
+    let from = l(12, 2);
+    let to = l(0, 2);
+    let p = l(0, 1);
+    let err = declassify(from, to, p).unwrap_err();
+    assert_eq!(err.from, from);
+    assert_eq!(err.to, to);
+    assert_eq!(err.principal, p);
+    assert_eq!(err.kind, DowngradeKind::Declassify);
+}
+
+#[test]
+fn no_op_downgrades_always_succeed() {
+    for c in [0u8, 5, 15] {
+        for i in [0u8, 5, 15] {
+            let label = l(c, i);
+            let nobody = Label::PUBLIC_UNTRUSTED;
+            assert_eq!(declassify(label, label, nobody), Ok(label));
+            assert_eq!(endorse(label, label, nobody), Ok(label));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the lattice laws and downgrading invariants.
+
+use ifc_lattice::{
+    declassify, endorse, reflect_conf, reflect_integ, Conf, Integ, Label, Lattice,
+};
+use proptest::prelude::*;
+
+fn arb_conf() -> impl Strategy<Value = Conf> {
+    (0u8..16).prop_map(Conf::new)
+}
+
+fn arb_integ() -> impl Strategy<Value = Integ> {
+    (0u8..16).prop_map(Integ::new)
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    (arb_conf(), arb_integ()).prop_map(|(c, i)| Label::new(c, i))
+}
+
+proptest! {
+    #[test]
+    fn join_commutative(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.join(b), b.join(a));
+    }
+
+    #[test]
+    fn meet_commutative(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.meet(b), b.meet(a));
+    }
+
+    #[test]
+    fn join_associative(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+    }
+
+    #[test]
+    fn meet_associative(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+    }
+
+    #[test]
+    fn join_idempotent(a in arb_label()) {
+        prop_assert_eq!(a.join(a), a);
+    }
+
+    #[test]
+    fn absorption(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.join(a.meet(b)), a);
+        prop_assert_eq!(a.meet(a.join(b)), a);
+    }
+
+    #[test]
+    fn order_consistency(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(a.flows_to(b), a.join(b) == b);
+        prop_assert_eq!(a.flows_to(b), a.meet(b) == a);
+    }
+
+    #[test]
+    fn bounds(a in arb_label()) {
+        prop_assert!(Label::BOTTOM.flows_to(a));
+        prop_assert!(a.flows_to(Label::TOP));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let j = a.join(b);
+        prop_assert!(a.flows_to(j) && b.flows_to(j));
+        // Any other upper bound is above the join.
+        if a.flows_to(c) && b.flows_to(c) {
+            prop_assert!(j.flows_to(c));
+        }
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound(a in arb_label(), b in arb_label(), c in arb_label()) {
+        let m = a.meet(b);
+        prop_assert!(m.flows_to(a) && m.flows_to(b));
+        if c.flows_to(a) && c.flows_to(b) {
+            prop_assert!(c.flows_to(m));
+        }
+    }
+
+    #[test]
+    fn flow_order_is_antisymmetric(a in arb_label(), b in arb_label()) {
+        if a.flows_to(b) && b.flows_to(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn flow_order_is_transitive(a in arb_label(), b in arb_label(), c in arb_label()) {
+        if a.flows_to(b) && b.flows_to(c) {
+            prop_assert!(a.flows_to(c));
+        }
+    }
+
+    #[test]
+    fn reflection_monotone(a in arb_integ(), b in arb_integ()) {
+        if a.flows_to(b) {
+            // Integ a ⊒ b on the trust scale maps to conf a ⊒ b positionally,
+            // i.e. r(b) ⊑C r(a).
+            prop_assert!(reflect_integ(b).flows_to(reflect_integ(a)));
+        }
+    }
+
+    #[test]
+    fn reflection_round_trip(c in arb_conf(), i in arb_integ()) {
+        prop_assert_eq!(reflect_integ(reflect_conf(c)), c);
+        prop_assert_eq!(reflect_conf(reflect_integ(i)), i);
+    }
+
+    #[test]
+    fn permitted_flows_always_downgrade(a in arb_label(), b in arb_label(), p in arb_label()) {
+        // Downgrading is a relaxation: every plain flow is accepted by both
+        // declassify and endorse regardless of principal.
+        if a.flows_to(b) {
+            prop_assert!(declassify(a, b, p).is_ok());
+            prop_assert!(endorse(a, b, p).is_ok());
+        }
+    }
+
+    #[test]
+    fn supervisor_declassifies_anything_conf(a in arb_label(), c in arb_conf(), p_i in arb_integ()) {
+        // Fully trusted principals have full declassification authority on
+        // the confidentiality dimension (integrity must still flow).
+        let supervisor = Label::new(Conf::PUBLIC, Integ::TRUSTED);
+        let to = Label::new(c, a.integ);
+        prop_assert!(declassify(a, to, supervisor).is_ok());
+        // And the authority is monotone in the principal's integrity: if a
+        // less trusted principal succeeds, so does a more trusted one.
+        let weaker = Label::new(Conf::PUBLIC, p_i);
+        if declassify(a, to, weaker).is_ok() {
+            prop_assert!(declassify(a, to, supervisor).is_ok());
+        }
+    }
+
+    #[test]
+    fn declassify_never_raises_integrity(a in arb_label(), b in arb_label(), p in arb_label()) {
+        if declassify(a, b, p).is_ok() {
+            prop_assert!(a.integ.flows_to(b.integ));
+        }
+    }
+
+    #[test]
+    fn endorse_never_lowers_confidentiality(a in arb_label(), b in arb_label(), p in arb_label()) {
+        if endorse(a, b, p).is_ok() {
+            prop_assert!(a.conf.flows_to(b.conf));
+        }
+    }
+
+    #[test]
+    fn tag_pack_unpack_identity(a in arb_label()) {
+        let tag = ifc_lattice::SecurityTag::from(a);
+        prop_assert_eq!(Label::from(tag), a);
+    }
+
+    #[test]
+    fn display_parse_round_trip(a in arb_label()) {
+        prop_assert_eq!(a.to_string().parse::<Label>().unwrap(), a);
+    }
+}

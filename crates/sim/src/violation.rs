@@ -1,0 +1,77 @@
+//! Runtime enforcement events.
+
+use std::fmt;
+
+use hdl::NodeId;
+use ifc_lattice::Label;
+
+/// A security event raised by the runtime tracking logic during
+/// simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeViolation {
+    /// A downgrade node's nonmalleable rule failed against the runtime
+    /// principal tag — e.g. a regular user attempting to release a
+    /// ciphertext computed with the `(⊤,⊤)` master key. The downgrade is
+    /// refused: the data keeps its original label.
+    DowngradeRejected {
+        /// Cycle at which the rejection occurred.
+        cycle: u64,
+        /// The downgrade node.
+        node: NodeId,
+        /// The data's runtime label before downgrading.
+        from: Label,
+        /// The requested target label.
+        to: Label,
+        /// The principal's runtime label (decoded from its tag signal).
+        principal: Label,
+    },
+    /// An output port carried data whose runtime label does not flow to
+    /// the port's release label — the tracking logic's release gate.
+    OutputLeak {
+        /// Cycle at which the leak was caught.
+        cycle: u64,
+        /// The leaking port's name.
+        port: String,
+        /// The data's runtime label.
+        label: Label,
+        /// The port's release label.
+        allowed: Label,
+    },
+}
+
+impl RuntimeViolation {
+    /// The cycle at which the event was raised.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match self {
+            RuntimeViolation::DowngradeRejected { cycle, .. }
+            | RuntimeViolation::OutputLeak { cycle, .. } => *cycle,
+        }
+    }
+}
+
+impl fmt::Display for RuntimeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeViolation::DowngradeRejected {
+                cycle,
+                node,
+                from,
+                to,
+                principal,
+            } => write!(
+                f,
+                "cycle {cycle}: downgrade at {node:?} rejected: {from} → {to} by principal {principal}"
+            ),
+            RuntimeViolation::OutputLeak {
+                cycle,
+                port,
+                label,
+                allowed,
+            } => write!(
+                f,
+                "cycle {cycle}: output {port} would leak {label} data through a {allowed} port"
+            ),
+        }
+    }
+}

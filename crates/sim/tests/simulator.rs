@@ -1,0 +1,382 @@
+//! Behavioural tests of the cycle-accurate simulator and its runtime
+//! tag-tracking logic.
+
+use hdl::{LabelExpr, ModuleBuilder, Netlist};
+use ifc_lattice::{Conf, Integ, Label};
+use sim::{RuntimeViolation, Simulator, TrackMode};
+
+fn l(c: u8, i: u8) -> Label {
+    Label::new(Conf::new(c), Integ::new(i))
+}
+
+fn lower(m: ModuleBuilder) -> Netlist {
+    m.finish().lower().expect("lowering failed")
+}
+
+#[test]
+fn counter_counts() {
+    let mut m = ModuleBuilder::new("counter");
+    let en = m.input("en", 1);
+    let count = m.reg("count", 8, 0);
+    let one = m.lit(1, 8);
+    let next = m.add(count, one);
+    m.when(en, |m| m.connect(count, next));
+    m.output("count", count);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.set("en", 1);
+    sim.run(3);
+    assert_eq!(sim.peek("count"), 3);
+    sim.set("en", 0);
+    sim.run(5);
+    assert_eq!(sim.peek("count"), 3);
+}
+
+#[test]
+fn counter_wraps_at_width() {
+    let mut m = ModuleBuilder::new("counter");
+    let count = m.reg("count", 4, 0);
+    let one = m.lit(1, 4);
+    let next = m.add(count, one);
+    m.connect(count, next);
+    m.output("count", count);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.run(17);
+    assert_eq!(sim.peek("count"), 1);
+}
+
+#[test]
+fn when_else_priority() {
+    let mut m = ModuleBuilder::new("mux");
+    let sel = m.input("sel", 1);
+    let a = m.input("a", 8);
+    let b = m.input("b", 8);
+    let y = m.wire("y", 8);
+    m.connect(y, a);
+    m.when(sel, |m| m.connect(y, b));
+    m.output("y", y);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.set("a", 0x11);
+    sim.set("b", 0x22);
+    sim.set("sel", 0);
+    assert_eq!(sim.peek("y"), 0x11);
+    sim.set("sel", 1);
+    assert_eq!(sim.peek("y"), 0x22);
+}
+
+#[test]
+fn memory_write_then_read() {
+    let mut m = ModuleBuilder::new("mem");
+    let we = m.input("we", 1);
+    let addr = m.input("addr", 2);
+    let data = m.input("data", 8);
+    let mem = m.mem("buf", 8, 4, vec![]);
+    m.when(we, |m| m.mem_write(mem, addr, data));
+    let q = m.mem_read(mem, addr);
+    m.output("q", q);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.set("we", 1);
+    sim.set("addr", 2);
+    sim.set("data", 0xab);
+    sim.tick();
+    sim.set("we", 0);
+    assert_eq!(sim.peek("q"), 0xab);
+    sim.set("addr", 1);
+    assert_eq!(sim.peek("q"), 0);
+}
+
+#[test]
+fn memory_init_is_visible() {
+    let mut m = ModuleBuilder::new("rom");
+    let addr = m.input("addr", 2);
+    let rom = m.mem("rom", 8, 4, vec![10, 20, 30, 40]);
+    let q = m.mem_read(rom, addr);
+    m.output("q", q);
+
+    let mut sim = Simulator::new(lower(m));
+    for (a, want) in [(0, 10), (1, 20), (2, 30), (3, 40)] {
+        sim.set("addr", a);
+        assert_eq!(sim.peek("q"), want);
+    }
+}
+
+#[test]
+fn slices_cats_reduce_ops() {
+    let mut m = ModuleBuilder::new("bits");
+    let a = m.input("a", 8);
+    let hi = m.slice(a, 7, 4);
+    let lo = m.slice(a, 3, 0);
+    let swapped = m.cat(lo, hi);
+    let any = m.reduce_or(a);
+    let all = m.reduce_and(a);
+    let parity = m.reduce_xor(a);
+    m.output("swapped", swapped);
+    m.output("any", any);
+    m.output("all", all);
+    m.output("parity", parity);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.set("a", 0xa5);
+    assert_eq!(sim.peek("swapped"), 0x5a);
+    assert_eq!(sim.peek("any"), 1);
+    assert_eq!(sim.peek("all"), 0);
+    assert_eq!(sim.peek("parity"), 0);
+    sim.set("a", 0xff);
+    assert_eq!(sim.peek("all"), 1);
+}
+
+#[test]
+fn tag_ops_compute_lattice_operations() {
+    let mut m = ModuleBuilder::new("tags");
+    let a = m.input("a", 8);
+    let b = m.input("b", 8);
+    let leq = m.tag_leq(a, b);
+    let join = m.tag_join(a, b);
+    let meet = m.tag_meet(a, b);
+    m.output("leq", leq);
+    m.output("join", join);
+    m.output("meet", meet);
+
+    let mut sim = Simulator::new(lower(m));
+    // a = (C3, I9), b = (C5, I2)
+    sim.set("a", 0x39);
+    sim.set("b", 0x52);
+    assert_eq!(sim.peek("leq"), 1); // 3 <= 5 and 9 >= 2
+    assert_eq!(sim.peek("join"), 0x52); // (C5, I2)
+    assert_eq!(sim.peek("meet"), 0x39); // (C3, I9)
+    // Reverse direction fails the flow check.
+    sim.set("a", 0x52);
+    sim.set("b", 0x39);
+    assert_eq!(sim.peek("leq"), 0);
+}
+
+#[test]
+fn labels_propagate_through_logic() {
+    let mut m = ModuleBuilder::new("taint");
+    let k = m.input("k", 8);
+    let p = m.input("p", 8);
+    let x = m.xor(k, p);
+    m.output("x", x);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.set("k", 0xaa);
+    sim.set_label("k", l(15, 15));
+    sim.set("p", 0x55);
+    sim.set_label("p", l(3, 3));
+    assert_eq!(sim.peek("x"), 0xff);
+    assert_eq!(sim.peek_label("x"), l(15, 3));
+}
+
+#[test]
+fn labels_persist_through_registers() {
+    let mut m = ModuleBuilder::new("reg");
+    let d = m.input("d", 8);
+    let r = m.reg("r", 8, 0);
+    m.connect(r, d);
+    m.output("r", r);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.set("d", 7);
+    sim.set_label("d", Label::SECRET_UNTRUSTED);
+    sim.tick();
+    sim.set("d", 0);
+    sim.set_label("d", Label::PUBLIC_TRUSTED);
+    assert_eq!(sim.peek("r"), 7);
+    assert_eq!(sim.peek_label("r"), Label::SECRET_UNTRUSTED);
+    sim.tick();
+    assert_eq!(sim.peek_label("r"), Label::PUBLIC_TRUSTED);
+}
+
+#[test]
+fn memory_cells_carry_labels() {
+    let mut m = ModuleBuilder::new("mem");
+    let we = m.input("we", 1);
+    let addr = m.input("addr", 2);
+    let data = m.input("data", 8);
+    let mem = m.mem("buf", 8, 4, vec![]);
+    m.when(we, |m| m.mem_write(mem, addr, data));
+    let q = m.mem_read(mem, addr);
+    m.output("q", q);
+
+    let mut sim = Simulator::new(lower(m));
+    sim.set("we", 1);
+    sim.set("addr", 3);
+    sim.set("data", 9);
+    sim.set_label("data", l(7, 7));
+    sim.tick();
+    assert_eq!(sim.mem_cell(0, 3), 9);
+    assert_eq!(sim.mem_cell_label(0, 3), l(7, 7));
+    sim.set("we", 0);
+    assert_eq!(sim.peek_label("q"), l(7, 7));
+    // Other cells stay public.
+    sim.set("addr", 0);
+    assert_eq!(sim.peek_label("q"), Label::PUBLIC_TRUSTED);
+}
+
+#[test]
+fn precise_mode_is_less_tainting_than_conservative() {
+    let build = || {
+        let mut m = ModuleBuilder::new("mux");
+        let sel = m.input("sel", 1);
+        let secret = m.input("secret", 8);
+        let public = m.input("public", 8);
+        let y = m.mux(sel, secret, public);
+        m.output("y", y);
+        lower(m)
+    };
+
+    let mut conservative = Simulator::with_tracking(build(), TrackMode::Conservative);
+    conservative.set("sel", 0);
+    conservative.set_label("secret", Label::SECRET_TRUSTED);
+    // Conservative: the unselected secret arm still taints.
+    assert_eq!(
+        conservative.peek_label("y").conf,
+        Conf::SECRET
+    );
+
+    let mut precise = Simulator::with_tracking(build(), TrackMode::Precise);
+    precise.set("sel", 0);
+    precise.set_label("secret", Label::SECRET_TRUSTED);
+    // Precise: selecting the public arm keeps the output public.
+    assert_eq!(precise.peek_label("y").conf, Conf::PUBLIC);
+}
+
+#[test]
+fn off_mode_records_no_violations() {
+    let mut m = ModuleBuilder::new("leaky");
+    let secret = m.input("secret", 8);
+    m.output("out", secret);
+    let mut sim = Simulator::with_tracking(lower(m), TrackMode::Off);
+    sim.set("secret", 1);
+    sim.set_label("secret", Label::SECRET_TRUSTED);
+    sim.tick();
+    assert!(sim.violations().is_empty());
+}
+
+#[test]
+fn output_leak_is_caught_by_release_gate() {
+    let mut m = ModuleBuilder::new("leaky");
+    let secret = m.input("secret", 8);
+    m.output("out", secret);
+    let mut sim = Simulator::new(lower(m));
+    sim.set("secret", 1);
+    sim.set_label("secret", l(9, 0));
+    sim.tick();
+    assert_eq!(sim.violations().len(), 1);
+    assert!(matches!(
+        sim.violations()[0],
+        RuntimeViolation::OutputLeak { .. }
+    ));
+}
+
+#[test]
+fn labeled_output_port_permits_matching_label() {
+    let mut m = ModuleBuilder::new("ok");
+    let secret = m.input("secret", 8);
+    let sup_port = m.wire("sup_port", 8);
+    m.connect(sup_port, secret);
+    m.output_labeled("out", sup_port, Label::SECRET_TRUSTED);
+    let mut sim = Simulator::new(lower(m));
+    sim.set("secret", 1);
+    sim.set_label("secret", Label::new(Conf::SECRET, Integ::TRUSTED));
+    sim.tick();
+    assert!(sim.violations().is_empty());
+}
+
+#[test]
+fn runtime_declassify_allows_authorized_principal() {
+    let mut m = ModuleBuilder::new("dg");
+    let data = m.input("data", 8);
+    let principal = m.input("principal", 8);
+    let released = m.declassify(data, l(0, 5), principal);
+    m.output("out", released);
+    let mut sim = Simulator::new(lower(m));
+    sim.set("data", 0x42);
+    sim.set_label("data", l(5, 5));
+    // Principal (C5, I5): authority r(I5) = C5 covers the data.
+    sim.set("principal", 0x55);
+    sim.tick();
+    assert_eq!(sim.peek("out"), 0x42);
+    assert_eq!(sim.peek_label("out"), l(0, 5));
+    assert!(sim.violations().is_empty());
+}
+
+#[test]
+fn runtime_declassify_rejects_master_key_misuse() {
+    // Section 3.2.2: data encrypted with the (S,T) master key cannot be
+    // released by a regular user's authority.
+    let mut m = ModuleBuilder::new("dg");
+    let data = m.input("data", 8);
+    let principal = m.input("principal", 8);
+    let released = m.declassify(data, l(0, 5), principal);
+    m.output("out", released);
+    let mut sim = Simulator::new(lower(m));
+    sim.set("data", 0x42);
+    sim.set_label("data", Label::new(Conf::SECRET, Integ::new(5)));
+    sim.set("principal", 0x55); // (C5, I5) regular user
+    sim.tick();
+    // The downgrade was refused and the release gate caught the leak.
+    assert!(sim
+        .violations()
+        .iter()
+        .any(|v| matches!(v, RuntimeViolation::DowngradeRejected { .. })));
+    assert!(sim
+        .violations()
+        .iter()
+        .any(|v| matches!(v, RuntimeViolation::OutputLeak { .. })));
+    // The data still has its restrictive label.
+    assert_eq!(sim.peek_label("out").conf, Conf::SECRET);
+}
+
+#[test]
+fn runtime_declassify_allows_supervisor_for_master_key() {
+    let mut m = ModuleBuilder::new("dg");
+    let data = m.input("data", 8);
+    let principal = m.input("principal", 8);
+    let released = m.declassify(data, Label::PUBLIC_UNTRUSTED, principal);
+    m.output("out", released);
+    let mut sim = Simulator::new(lower(m));
+    sim.set("data", 0x42);
+    sim.set_label("data", Label::new(Conf::SECRET, Integ::UNTRUSTED));
+    sim.set("principal", 0xff); // (S,T) supervisor
+    sim.tick();
+    assert!(sim.violations().is_empty());
+    assert_eq!(sim.peek_label("out"), Label::PUBLIC_UNTRUSTED);
+}
+
+#[test]
+fn dependent_output_label_is_evaluated_at_runtime() {
+    // An output whose release label follows a tag signal.
+    let mut m = ModuleBuilder::new("dyn_port");
+    let data = m.input("data", 8);
+    let tag = m.input("tag", 8);
+    let out = m.wire("out", 8);
+    m.connect(out, data);
+    m.output_labeled("out", out, LabelExpr::FromTag(tag.id()));
+    let mut sim = Simulator::new(lower(m));
+    sim.set("data", 1);
+    sim.set_label("data", l(9, 4));
+    sim.set("tag", 0x94); // release capacity (C9, I4): fine
+    sim.tick();
+    assert!(sim.violations().is_empty());
+    sim.set("tag", 0x14); // release capacity (C1, I4): leak
+    sim.tick();
+    assert_eq!(sim.violations().len(), 1);
+}
+
+#[test]
+fn eval_is_idempotent_and_tick_counts() {
+    let mut m = ModuleBuilder::new("t");
+    let a = m.input("a", 4);
+    m.output("a_out", a);
+    let mut sim = Simulator::new(lower(m));
+    sim.set("a", 3);
+    assert_eq!(sim.peek("a_out"), 3);
+    assert_eq!(sim.peek("a_out"), 3);
+    assert_eq!(sim.cycle(), 0);
+    sim.run(4);
+    assert_eq!(sim.cycle(), 4);
+}

@@ -1,0 +1,48 @@
+//! Runs the full attack library against the baseline and the protected
+//! accelerator, printing the matrix the paper's evaluation asserts: every
+//! vulnerability exploitable on the unprotected design, every one blocked
+//! by the information-flow enforcement — plus the static label errors
+//! that would have caught them before tape-out.
+//!
+//! ```text
+//! cargo run --example attack_demo
+//! ```
+
+use secure_aes_ifc::attacks::{attack_matrix, static_findings, usability_checks};
+
+fn main() {
+    println!("Running the attack suite against both designs...\n");
+    for row in attack_matrix() {
+        println!("== {} ==", row.name());
+        println!("  baseline : {:?} — {}", row.baseline.outcome, row.baseline.detail);
+        println!(
+            "  protected: {:?} — {}",
+            row.protected.outcome, row.protected.detail
+        );
+        assert!(
+            row.protection_effective(),
+            "the protection must stop this attack"
+        );
+        println!();
+    }
+
+    for row in usability_checks() {
+        println!("== {} ==", row.name());
+        println!("  baseline : {:?} — {}", row.baseline.outcome, row.baseline.detail);
+        println!(
+            "  protected: {:?} — {}",
+            row.protected.outcome, row.protected.detail
+        );
+        println!();
+    }
+
+    let findings = static_findings();
+    println!(
+        "Design-time verdict on the annotated baseline: {} label error(s).",
+        findings.violations.len()
+    );
+    for v in &findings.violations {
+        println!("  - {v}");
+    }
+    println!("\nAll attacks blocked at runtime, all flaws flagged at design time ✓");
+}

@@ -1,0 +1,23 @@
+//! Facade crate for the `secure-aes-ifc` workspace.
+//!
+//! Re-exports every subsystem crate so examples and integration tests can
+//! depend on a single package:
+//!
+//! * [`ifc_lattice`] — security labels, lattice operations, nonmalleable
+//!   downgrading;
+//! * [`hdl`] — the security-typed embedded RTL IR and builder;
+//! * [`ifc_check`] — the static information-flow verifier;
+//! * [`sim`] — the cycle-accurate simulator with runtime tag tracking;
+//! * [`aes_core`] — the AES reference implementation;
+//! * [`accel`] — the baseline and protected AES accelerator designs;
+//! * [`attacks`] — the attack scenario library;
+//! * [`fpga_model`] — structural FPGA area/timing estimation.
+
+pub use accel;
+pub use aes_core;
+pub use attacks;
+pub use fpga_model;
+pub use hdl;
+pub use ifc_check;
+pub use ifc_lattice;
+pub use sim;

@@ -1,0 +1,74 @@
+//! Downstream-artifact integration tests: Verilog emission and VCD
+//! recording over the real accelerator designs.
+
+use secure_aes_ifc::accel::driver::{AccelDriver, Request};
+use secure_aes_ifc::accel::{baseline, protected, user_label, Protection};
+use secure_aes_ifc::hdl::verilog::to_verilog;
+use secure_aes_ifc::hdl::{dot, Node};
+use secure_aes_ifc::sim::VcdRecorder;
+
+#[test]
+fn protected_design_emits_structurally_complete_verilog() {
+    let design = protected();
+    let net = design.lower().expect("lowers");
+    let v = to_verilog(&net);
+
+    assert!(v.contains("module aes_accel_protected ("));
+    // Every register declared in the netlist appears as a Verilog reg.
+    let reg_count = net
+        .node_ids()
+        .filter(|&id| matches!(net.node(id), Node::Reg { .. }))
+        .count();
+    let declared = v.lines().filter(|l| l.trim_start().starts_with("reg ")).count();
+    // Memories are regs too; at least every register must be present.
+    assert!(
+        declared >= reg_count,
+        "{declared} reg declarations for {reg_count} registers"
+    );
+    // Security labels survive as structured comments.
+    assert!(v.contains("// @label"));
+    assert!(v.contains("dbg_out_o: (S,U)"), "port label comment");
+    // The scratchpad memories are initialised (master key provisioning).
+    assert!(v.contains("mem_scratchpad_cells[6]"));
+    assert!(v.ends_with("endmodule\n"));
+}
+
+#[test]
+fn baseline_verilog_is_smaller_and_unlabelled() {
+    let vb = to_verilog(&baseline().lower().expect("lowers"));
+    let vp = to_verilog(&protected().lower().expect("lowers"));
+    assert!(vp.len() > vb.len());
+    assert!(!vb.contains("// @label"), "the baseline carries no labels");
+}
+
+#[test]
+fn dot_export_covers_the_accelerator_hierarchy() {
+    let d = dot::to_dot(&protected());
+    assert!(d.starts_with("digraph aes_accel_protected {"));
+    for name in ["pipe.data0", "pipe.tag29", "cfg.reg", "scratchpad.cells"] {
+        assert!(d.contains(&format!("\"{name}\"")), "missing {name}");
+    }
+}
+
+#[test]
+fn vcd_records_a_real_pipeline_run_with_label_traces() {
+    let mut drv = AccelDriver::new(Protection::Full);
+    let alice = user_label(1);
+    drv.load_key(0, [5u8; 16], alice);
+    let mut vcd = VcdRecorder::new(drv.sim(), &["out_valid", "pipe.tag5", "pipe.data5"], true);
+    drv.submit(&Request {
+        block: [9u8; 16],
+        key_slot: 0,
+        user: alice,
+    });
+    for _ in 0..40 {
+        vcd.sample(drv.sim_mut());
+        drv.idle_cycle();
+    }
+    let doc = vcd.render("tb");
+    assert_eq!(vcd.len(), 40);
+    assert!(doc.contains("$var wire 128"));
+    assert!(doc.contains("pipe_tag5__label"));
+    // Alice's tag value 0x55 shows up once her block passes stage 5.
+    assert!(doc.contains("b1010101 "), "tag value trace present");
+}

@@ -1,0 +1,42 @@
+//! E-atk integration test: every discussed vulnerability is exploitable
+//! on the baseline, blocked on the protected design, and flagged at
+//! design time.
+
+use secure_aes_ifc::attacks::{attack_matrix, static_findings, usability_checks};
+
+#[test]
+fn protection_is_effective_for_every_scenario() {
+    let matrix = attack_matrix();
+    assert_eq!(matrix.len(), 7, "seven vulnerability classes (incl. the hardware Trojan)");
+    for row in &matrix {
+        assert!(
+            row.baseline.succeeded(),
+            "{} must be exploitable on the baseline: {}",
+            row.name(),
+            row.baseline.detail
+        );
+        assert!(
+            !row.protected.succeeded(),
+            "{} must be blocked on the protected design: {}",
+            row.name(),
+            row.protected.detail
+        );
+    }
+}
+
+#[test]
+fn legitimate_flows_keep_working() {
+    for row in usability_checks() {
+        assert!(row.baseline.succeeded(), "{}", row.baseline.detail);
+        assert!(row.protected.succeeded(), "{}", row.protected.detail);
+    }
+}
+
+#[test]
+fn all_vulnerabilities_are_flagged_at_design_time() {
+    let report = static_findings();
+    assert!(!report.is_secure());
+    // Key/plaintext disclosure at the public output, the debug port, and
+    // the configuration integrity hole.
+    assert!(report.violations.len() >= 3, "{report}");
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the iterative engine family: Fig. 6's
+//! constant-time/leaky pair, the E/D engine, and the multi-key-size
+//! engine (Fig. 1's N = 10/12/14 in hardware).
+
+use secure_aes_ifc::accel::engine::{iterative_ed_engine, iterative_engine};
+use secure_aes_ifc::accel::multi::{multi_engine, EngineKeySize};
+use secure_aes_ifc::aes_core::{block_to_u128, u128_to_block, Aes};
+use secure_aes_ifc::ifc_check;
+use secure_aes_ifc::sim::Simulator;
+
+#[test]
+fn all_engines_statically_verify_except_the_leaky_one() {
+    assert!(ifc_check::check(&iterative_engine(false)).is_secure());
+    assert!(!ifc_check::check(&iterative_engine(true)).is_secure());
+    assert!(ifc_check::check(&iterative_ed_engine()).is_secure());
+    assert!(ifc_check::check(&multi_engine()).is_secure());
+}
+
+#[test]
+fn fig1_round_counts_in_hardware() {
+    // Fig. 1: N = 10 / 12 / 14 — the multi engine's latency steps by
+    // exactly the extra schedule words plus the extra rounds.
+    let lat = |size: EngineKeySize, key: &[u8]| -> u32 {
+        let mut sim = Simulator::new(multi_engine().lower().expect("lowers"));
+        let mut hi = [0u8; 16];
+        let mut lo = [0u8; 16];
+        hi.copy_from_slice(&key[..16]);
+        lo[..key.len() - 16].copy_from_slice(&key[16..]);
+        sim.set("key_hi", block_to_u128(hi));
+        sim.set("key_lo", block_to_u128(lo));
+        sim.set("key_size", size as u128);
+        sim.set("block", 0);
+        sim.set("start", 1);
+        sim.tick();
+        sim.set("start", 0);
+        let mut cycles = 1;
+        while sim.peek("valid") == 0 {
+            sim.tick();
+            cycles += 1;
+            assert!(cycles < 200);
+        }
+        cycles
+    };
+    let l128 = lat(EngineKeySize::Aes128, &[1u8; 16]);
+    let l192 = lat(EngineKeySize::Aes192, &[1u8; 24]);
+    let l256 = lat(EngineKeySize::Aes256, &[1u8; 32]);
+    assert_eq!(l128, EngineKeySize::Aes128.latency());
+    assert_eq!(l192, EngineKeySize::Aes192.latency());
+    assert_eq!(l256, EngineKeySize::Aes256.latency());
+    // Two extra rounds cost 2 round cycles + 8 schedule words each.
+    assert_eq!(l192 - l128, 10);
+    assert_eq!(l256 - l192, 10);
+}
+
+#[test]
+fn ed_engine_agrees_with_multi_engine_on_aes128() {
+    let key = [0x5au8; 16];
+    let pt = [0xc3u8; 16];
+    let reference = Aes::new_128(key).encrypt_block(pt);
+
+    let mut ed = Simulator::new(iterative_ed_engine().lower().expect("lowers"));
+    ed.set("key", block_to_u128(key));
+    ed.set("block", block_to_u128(pt));
+    ed.set("decrypt", 0);
+    ed.set("start", 1);
+    ed.tick();
+    ed.set("start", 0);
+    while ed.peek("valid") == 0 {
+        ed.tick();
+    }
+    assert_eq!(u128_to_block(ed.peek("result")), reference);
+
+    let mut multi = Simulator::new(multi_engine().lower().expect("lowers"));
+    multi.set("key_hi", block_to_u128(key));
+    multi.set("key_lo", 0);
+    multi.set("key_size", EngineKeySize::Aes128 as u128);
+    multi.set("block", block_to_u128(pt));
+    multi.set("decrypt", 0);
+    multi.set("start", 1);
+    multi.tick();
+    multi.set("start", 0);
+    while multi.peek("valid") == 0 {
+        multi.tick();
+    }
+    assert_eq!(u128_to_block(multi.peek("result")), reference);
+}

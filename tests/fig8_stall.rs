@@ -1,0 +1,42 @@
+//! Fig. 8 integration test: stall only when the pipeline holds no
+//! lower-confidentiality data; otherwise divert to the holding buffer.
+
+use bench::experiments::fig8;
+
+#[test]
+fn stall_policy_behaves_as_fig8() {
+    let samples = fig8();
+    let uniform = samples
+        .iter()
+        .find(|s| !s.mixed_pipeline)
+        .expect("uniform sample");
+    let mixed = samples
+        .iter()
+        .find(|s| s.mixed_pipeline)
+        .expect("mixed sample");
+
+    // Uniform level: the requester is allowed to stall the pipeline.
+    assert!(
+        uniform.stalled_cycles > 0,
+        "a single-level pipeline may stall: {uniform:?}"
+    );
+    assert_eq!(
+        uniform.peak_buffer, 0,
+        "nothing needs buffering when stalling is permitted"
+    );
+
+    // Mixed levels: the stall is denied; the output is buffered and the
+    // lower-level user never observes backpressure.
+    assert_eq!(
+        mixed.stalled_cycles, 0,
+        "a mixed pipeline must not stall: {mixed:?}"
+    );
+    assert!(
+        mixed.peak_buffer > 0,
+        "the held output lands in the extra buffer: {mixed:?}"
+    );
+
+    // Nothing is lost either way.
+    assert_eq!(uniform.completed, 1);
+    assert_eq!(mixed.completed, 5);
+}

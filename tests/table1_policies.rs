@@ -1,0 +1,37 @@
+//! Table 1 integration test: the six security requirements audited
+//! against both designs.
+
+use secure_aes_ifc::accel::{baseline, policies, protected};
+use secure_aes_ifc::ifc_check::check_policies;
+
+#[test]
+fn baseline_violates_all_six_requirements() {
+    let design = baseline();
+    let outcomes = check_policies(&design, &policies::default_table1(&design));
+    assert_eq!(outcomes.len(), 6);
+    for o in &outcomes {
+        assert!(o.violated(), "baseline must violate: {o}");
+        assert!(o.flow_exists);
+    }
+}
+
+#[test]
+fn protected_enforces_all_six_requirements() {
+    let design = protected();
+    let outcomes = check_policies(&design, &policies::default_table1(&design));
+    assert_eq!(outcomes.len(), 6);
+    for o in &outcomes {
+        assert!(!o.violated(), "protected must enforce: {o}");
+    }
+}
+
+#[test]
+fn requirements_cover_both_dimensions() {
+    use secure_aes_ifc::ifc_check::PolicyKind;
+    let design = protected();
+    let policies = policies::default_table1(&design);
+    assert!(policies
+        .iter()
+        .any(|p| p.kind == PolicyKind::Confidentiality));
+    assert!(policies.iter().any(|p| p.kind == PolicyKind::Integrity));
+}
