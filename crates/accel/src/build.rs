@@ -24,8 +24,7 @@ const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x
 /// The device master key, provisioned at manufacturing time into
 /// scratchpad cells 6 and 7 with the `(⊤,⊤)` label.
 pub const MASTER_KEY: [u8; 16] = [
-    0xc0, 0xff, 0xee, 0x42, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd,
-    0xef,
+    0xc0, 0xff, 0xee, 0x42, 0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
 ];
 
 /// Reference ciphertext oracle for the master key (used by attack checks).
@@ -142,8 +141,7 @@ pub fn trojaned(p: Protection) -> Design {
 
 /// The plaintext block that arms the Trojan.
 pub const TROJAN_TRIGGER: [u8; 16] = [
-    0x13, 0x37, 0xc0, 0xde, 0xde, 0xad, 0xbe, 0xef, 0x0b, 0xad, 0xf0, 0x0d, 0xca, 0xfe, 0xd0,
-    0x0d,
+    0x13, 0x37, 0xc0, 0xde, 0xde, 0xad, 0xbe, 0xef, 0x0b, 0xad, 0xf0, 0x0d, 0xca, 0xfe, 0xd0, 0x0d,
 ];
 
 #[must_use]
@@ -323,7 +321,9 @@ fn build_full(p: Protection, params: AccelParams, mech: Mechanisms, trojan: bool
         "prep.rcon_rom",
         8,
         16,
-        vec![0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0, 0, 0, 0, 0, 0],
+        vec![
+            0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0, 0, 0, 0, 0, 0,
+        ],
     );
     let one4p = m.lit(1, 4);
     let cnt_m1 = m.sub(prep_cnt, one4p);
@@ -454,7 +454,10 @@ fn build_full(p: Protection, params: AccelParams, mech: Mechanisms, trojan: bool
         // Fig. 8: the stall requester (the block at the output stage) may
         // stall the pipeline only when no stage holds data of lower
         // confidentiality: C(req) ⊑C C(⊓ stage labels).
-        let top_tag = m.lit(u128::from(SecurityTag::from(Label::SECRET_TRUSTED).bits()), 8);
+        let top_tag = m.lit(
+            u128::from(SecurityTag::from(Label::SECRET_TRUSTED).bits()),
+            8,
+        );
         let mut level: Vec<Sig> = (0..PIPELINE_DEPTH)
             .map(|i| m.mux(valid[i], tag[i], top_tag))
             .collect();

@@ -82,7 +82,12 @@ pub fn mix_columns_hw(m: &mut ModuleBuilder, s: Sig) -> Sig {
     let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
     let mut out = [bytes[0]; 16];
     for c in 0..4 {
-        let col = [bytes[4 * c], bytes[4 * c + 1], bytes[4 * c + 2], bytes[4 * c + 3]];
+        let col = [
+            bytes[4 * c],
+            bytes[4 * c + 1],
+            bytes[4 * c + 2],
+            bytes[4 * c + 3],
+        ];
         let x2: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, col[i]));
         let x3: [Sig; 4] = core::array::from_fn(|i| m.xor(x2[i], col[i]));
         // out0 = 2·b0 ⊕ 3·b1 ⊕ b2 ⊕ b3, and rotations thereof.
@@ -159,7 +164,12 @@ pub fn inv_mix_columns_hw(m: &mut ModuleBuilder, s: Sig) -> Sig {
     let bytes: [Sig; 16] = core::array::from_fn(|i| byte_of(m, s, i));
     let mut out = [bytes[0]; 16];
     for c in 0..4 {
-        let col = [bytes[4 * c], bytes[4 * c + 1], bytes[4 * c + 2], bytes[4 * c + 3]];
+        let col = [
+            bytes[4 * c],
+            bytes[4 * c + 1],
+            bytes[4 * c + 2],
+            bytes[4 * c + 3],
+        ];
         let x2: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, col[i]));
         let x4: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, x2[i]));
         let x8: [Sig; 4] = core::array::from_fn(|i| xtime_hw(m, x4[i]));
@@ -278,10 +288,7 @@ mod tests {
         let mut sim = harness(|m, _, s| shift_rows_hw(m, s));
         let block: [u8; 16] = core::array::from_fn(|i| i as u8);
         sim.set("in", block_to_u128(block));
-        assert_eq!(
-            u128_to_block(sim.peek("out")),
-            aes_core::shift_rows(block)
-        );
+        assert_eq!(u128_to_block(sim.peek("out")), aes_core::shift_rows(block));
     }
 
     #[test]
@@ -290,10 +297,7 @@ mod tests {
         for seed in [0u8, 1, 0x5a, 0xff] {
             let block: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(31) ^ seed);
             sim.set("in", block_to_u128(block));
-            assert_eq!(
-                u128_to_block(sim.peek("out")),
-                aes_core::mix_columns(block)
-            );
+            assert_eq!(u128_to_block(sim.peek("out")), aes_core::mix_columns(block));
         }
     }
 
@@ -325,9 +329,18 @@ mod tests {
         for seed in [0u8, 7, 0x5a, 0xff] {
             let block: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(29) ^ seed);
             sim.set("in", block_to_u128(block));
-            assert_eq!(u128_to_block(sim.peek("isb")), aes_core::inv_sub_bytes(block));
-            assert_eq!(u128_to_block(sim.peek("isr")), aes_core::inv_shift_rows(block));
-            assert_eq!(u128_to_block(sim.peek("imc")), aes_core::inv_mix_columns(block));
+            assert_eq!(
+                u128_to_block(sim.peek("isb")),
+                aes_core::inv_sub_bytes(block)
+            );
+            assert_eq!(
+                u128_to_block(sim.peek("isr")),
+                aes_core::inv_shift_rows(block)
+            );
+            assert_eq!(
+                u128_to_block(sim.peek("imc")),
+                aes_core::inv_mix_columns(block)
+            );
         }
     }
 

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 use aes_core::{block_to_u128, u128_to_block};
 use hdl::Design;
 use ifc_lattice::{Label, SecurityTag};
-use sim::{RuntimeViolation, Simulator, TrackMode};
+use sim::{RuntimeViolation, SimBackend, Simulator, TrackMode};
 
 use crate::build::{baseline, protected, Protection};
 use crate::params::MASTER_KEY_SLOT;
@@ -59,9 +59,16 @@ struct Pending {
 }
 
 /// Drives a simulated accelerator at the transaction level.
+///
+/// Generic over the simulation backend: the default [`Simulator`] is the
+/// interpreting reference engine; instantiate with
+/// [`CompiledSim`](sim::CompiledSim) (via
+/// [`from_design_on`](Self::from_design_on) /
+/// [`new_on`](Self::new_on)) for the compiled-tape throughput engine.
+/// All transaction-level behaviour is identical across backends.
 #[derive(Debug)]
-pub struct AccelDriver {
-    sim: Simulator,
+pub struct AccelDriver<B: SimBackend = Simulator> {
+    sim: B,
     pending: VecDeque<Pending>,
     /// Completed encryptions, in order.
     pub responses: Vec<Response>,
@@ -71,15 +78,45 @@ pub struct AccelDriver {
 }
 
 impl AccelDriver {
-    /// Wraps an already-built accelerator design.
+    /// Wraps an already-built accelerator design using the interpreting
+    /// [`Simulator`] backend.
     ///
     /// # Panics
     ///
     /// Panics if the design fails to lower (the shipped designs never do).
     #[must_use]
     pub fn from_design(design: &Design, mode: TrackMode) -> AccelDriver {
+        AccelDriver::from_design_on(design, mode)
+    }
+
+    /// Builds and wraps a fresh design at the given protection level, with
+    /// mux-precise runtime tracking (what the protected hardware's
+    /// tracking logic implements).
+    #[must_use]
+    pub fn new(protection: Protection) -> AccelDriver {
+        AccelDriver::new_on(protection)
+    }
+}
+
+impl<B: SimBackend> AccelDriver<B> {
+    /// Wraps an already-built accelerator design on an explicit backend,
+    /// e.g. `AccelDriver::<CompiledSim>::from_design_on(&design, mode)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design fails to lower (the shipped designs never do).
+    #[must_use]
+    pub fn from_design_on(design: &Design, mode: TrackMode) -> AccelDriver<B> {
         let net = design.lower().expect("accelerator design lowers");
-        let mut sim = Simulator::with_tracking(net, mode);
+        AccelDriver::from_netlist_on(net, mode)
+    }
+
+    /// Wraps an already-lowered netlist on an explicit backend. Lowering
+    /// is the expensive part of construction, so fleets of identical
+    /// sessions lower once and hand each driver a clone of the netlist.
+    #[must_use]
+    pub fn from_netlist_on(net: hdl::Netlist, mode: TrackMode) -> AccelDriver<B> {
+        let mut sim = B::from_netlist(net, mode);
         // The factory-provisioned master key in scratchpad cells 6/7
         // carries the (⊤,⊤) label from power-on.
         if let Some(mem) = sim.mem_index("scratchpad.cells") {
@@ -95,27 +132,26 @@ impl AccelDriver {
         }
     }
 
-    /// Builds and wraps a fresh design at the given protection level, with
-    /// mux-precise runtime tracking (what the protected hardware's
-    /// tracking logic implements).
+    /// Builds and wraps a fresh design at the given protection level on an
+    /// explicit backend, with mux-precise runtime tracking.
     #[must_use]
-    pub fn new(protection: Protection) -> AccelDriver {
+    pub fn new_on(protection: Protection) -> AccelDriver<B> {
         let design = match protection {
             Protection::Full => protected(),
             Protection::Off => baseline(),
             Protection::Annotated => crate::build::baseline_annotated(),
         };
-        AccelDriver::from_design(&design, TrackMode::Precise)
+        AccelDriver::from_design_on(&design, TrackMode::Precise)
     }
 
     /// The wrapped simulator (for assertions on labels and violations).
-    pub fn sim_mut(&mut self) -> &mut Simulator {
+    pub fn sim_mut(&mut self) -> &mut B {
         &mut self.sim
     }
 
     /// Shared view of the wrapped simulator.
     #[must_use]
-    pub fn sim(&self) -> &Simulator {
+    pub fn sim(&self) -> &B {
         &self.sim
     }
 
@@ -152,8 +188,7 @@ impl AccelDriver {
         self.sim.set_label("in_block", Label::PUBLIC_TRUSTED);
         self.sim.set("key_data", 0);
         self.sim.set_label("key_data", Label::PUBLIC_TRUSTED);
-        self.sim
-            .set("out_ready", u128::from(self.receiver_ready));
+        self.sim.set("out_ready", u128::from(self.receiver_ready));
     }
 
     /// Finishes the current cycle: samples the output interface, updates
@@ -307,8 +342,10 @@ impl AccelDriver {
     /// `owner` (four cycles).
     pub fn load_key(&mut self, slot: usize, key: [u8; 16], owner: Label) {
         assert!(slot < 4, "four key slots");
-        assert!(slot != MASTER_KEY_SLOT || owner == Label::SECRET_TRUSTED,
-            "only the supervisor may touch the master-key slot");
+        assert!(
+            slot != MASTER_KEY_SLOT || owner == Label::SECRET_TRUSTED,
+            "only the supervisor may touch the master-key slot"
+        );
         let hi = u64::from_be_bytes(key[..8].try_into().expect("8 bytes"));
         let lo = u64::from_be_bytes(key[8..].try_into().expect("8 bytes"));
         self.alloc_cell(2 * slot, owner);
@@ -325,11 +362,16 @@ impl AccelDriver {
         self.clear_cycle_inputs();
         self.sim.set("cfg_we", 1);
         self.sim.set("cfg_data", u128::from(value));
-        self.sim.set_label("cfg_data", Label::new(Label::PUBLIC_TRUSTED.conf, writer.integ));
-        self.sim
-            .set("cfg_wr_tag", u128::from(SecurityTag::from(
-                Label::new(Label::PUBLIC_TRUSTED.conf, writer.integ),
-            ).bits()));
+        self.sim.set_label(
+            "cfg_data",
+            Label::new(Label::PUBLIC_TRUSTED.conf, writer.integ),
+        );
+        self.sim.set(
+            "cfg_wr_tag",
+            u128::from(
+                SecurityTag::from(Label::new(Label::PUBLIC_TRUSTED.conf, writer.integ)).bits(),
+            ),
+        );
         self.finish_cycle();
     }
 

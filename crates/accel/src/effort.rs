@@ -35,7 +35,10 @@ impl ProtectionDelta {
     /// lines (declaration-level edits, not generated hardware).
     #[must_use]
     pub fn estimated_changed_lines(&self) -> usize {
-        self.annotations / 4 + self.checker_nodes + self.tag_registers / 8 + self.extra_mems
+        self.annotations / 4
+            + self.checker_nodes
+            + self.tag_registers / 8
+            + self.extra_mems
             + self.extra_regs
     }
 }
@@ -45,7 +48,11 @@ fn count_annotations(design: &Design) -> usize {
         .node_ids()
         .filter(|&id| design.label_of(id).is_some())
         .count();
-    let port_labels = design.outputs().iter().filter(|p| p.label.is_some()).count();
+    let port_labels = design
+        .outputs()
+        .iter()
+        .filter(|p| p.label.is_some())
+        .count();
     let mem_labels = design.mems().iter().filter(|m| m.label.is_some()).count();
     node_labels + port_labels + mem_labels
 }
@@ -79,8 +86,7 @@ fn count_regs(design: &Design, prefix: &str) -> usize {
 /// Measures the structural protection delta between two designs.
 #[must_use]
 pub fn protection_delta(baseline: &Design, protected: &Design) -> ProtectionDelta {
-    let annotations =
-        count_annotations(protected).saturating_sub(count_annotations(baseline));
+    let annotations = count_annotations(protected).saturating_sub(count_annotations(baseline));
     let checker_nodes =
         count_checker_nodes(protected).saturating_sub(count_checker_nodes(baseline));
     let tag_registers = count_regs(protected, "pipe.tag");

@@ -19,8 +19,7 @@ use ifc_lattice::{Conf, Integ, Label};
 
 use crate::bytes::{
     add_round_key_hw, inv_mix_columns_hw, inv_sbox_rom, inv_shift_rows_hw, inv_sub_bytes_hw,
-    key_expand_dyn_hw, key_unexpand_dyn_hw, mix_columns_hw, sbox_rom, shift_rows_hw,
-    sub_bytes_hw,
+    key_expand_dyn_hw, key_unexpand_dyn_hw, mix_columns_hw, sbox_rom, shift_rows_hw, sub_bytes_hw,
 };
 
 /// Builds the iterative AES-128 engine.
@@ -67,7 +66,9 @@ pub fn iterative_engine(leaky: bool) -> Design {
         "rcon_rom",
         8,
         16,
-        vec![0, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0, 0, 0, 0, 0],
+        vec![
+            0, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0, 0, 0, 0, 0,
+        ],
     );
 
     let zero1 = m.lit(0, 1);
@@ -169,7 +170,9 @@ pub fn iterative_ed_engine() -> Design {
         "rcon_rom",
         8,
         16,
-        vec![0, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0, 0, 0, 0, 0],
+        vec![
+            0, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0, 0, 0, 0, 0,
+        ],
     );
 
     let state = m.reg("state", 128, 0);
@@ -331,8 +334,10 @@ mod tests {
 
     #[test]
     fn ed_engine_encrypts_like_the_reference() {
-        let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-            0x09, 0xcf, 0x4f, 0x3c];
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
         let pt = *b"\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34";
         let (ct, cycles) = run_ed(false, key, pt);
         assert_eq!(ct, Aes::new_128(key).encrypt_block(pt));
@@ -341,8 +346,10 @@ mod tests {
 
     #[test]
     fn ed_engine_decrypts_like_the_reference() {
-        let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-            0x09, 0xcf, 0x4f, 0x3c];
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
         let pt = *b"\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34";
         let ct = Aes::new_128(key).encrypt_block(pt);
         let (recovered, cycles) = run_ed(true, key, ct);
@@ -381,8 +388,10 @@ mod tests {
     #[test]
     fn constant_time_engine_encrypts_correctly() {
         let mut sim = Simulator::new(iterative_engine(false).lower().unwrap());
-        let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-            0x09, 0xcf, 0x4f, 0x3c];
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
         let pt = *b"\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34";
         sim.set("key", block_to_u128(key));
         sim.set("block", block_to_u128(pt));

@@ -1,0 +1,238 @@
+//! Parallel multi-session throughput harness.
+//!
+//! An SoC deployment of the accelerator serves many mutually distrusting
+//! principals at once; for simulation-based evaluation the natural way to
+//! scale is *sessions*, not cycles: N fully independent accelerator
+//! instances, each with its own keys and request stream, running on N OS
+//! threads. Netlist lowering happens once; every session receives a clone
+//! of the lowered netlist and builds its own simulation backend
+//! ([`Simulator`](sim::Simulator) or the compiled tape backend
+//! [`CompiledSim`](sim::CompiledSim) — the harness is generic over
+//! [`SimBackend`]).
+//!
+//! [`run_fleet`] drives a deterministic encrypt workload through every
+//! session, checks each ciphertext against the software AES oracle, and
+//! aggregates per-session statistics. The benchmark suite uses it to
+//! measure 1-vs-N-session scaling for both backends.
+
+use aes_core::Aes;
+use hdl::Netlist;
+use ifc_lattice::Label;
+use sim::{SimBackend, TrackMode};
+use std::thread;
+
+use crate::build::{protected, Protection};
+use crate::driver::{AccelDriver, Request};
+use crate::params::user_label;
+
+/// Workload configuration for one fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of independent accelerator sessions (one thread each).
+    pub sessions: usize,
+    /// Encryption requests submitted per session.
+    pub blocks_per_session: usize,
+    /// Tracking mode every session's backend runs.
+    pub mode: TrackMode,
+    /// Seed mixed into each session's key and plaintext stream.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            sessions: 4,
+            blocks_per_session: 32,
+            mode: TrackMode::Precise,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// What one session observed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Completed encryptions.
+    pub responses: usize,
+    /// Requests refused by the release check.
+    pub rejections: usize,
+    /// Runtime violations the tracking logic recorded.
+    pub violations: usize,
+    /// Cycles the session's simulator ran.
+    pub cycles: u64,
+    /// Ciphertexts that matched the software AES oracle.
+    pub verified: usize,
+}
+
+/// Aggregated results of a fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetStats {
+    /// Per-session statistics, in session order.
+    pub sessions: Vec<SessionStats>,
+}
+
+impl FleetStats {
+    /// Total completed encryptions across all sessions.
+    #[must_use]
+    pub fn total_responses(&self) -> usize {
+        self.sessions.iter().map(|s| s.responses).sum()
+    }
+
+    /// Total runtime violations across all sessions.
+    #[must_use]
+    pub fn total_violations(&self) -> usize {
+        self.sessions.iter().map(|s| s.violations).sum()
+    }
+
+    /// Total simulated cycles across all sessions.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.sessions.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Whether every ciphertext in every session matched the software
+    /// AES oracle.
+    #[must_use]
+    pub fn all_verified(&self) -> bool {
+        self.sessions
+            .iter()
+            .all(|s| s.verified == s.responses && s.responses > 0)
+    }
+}
+
+/// Deterministic per-session key/plaintext derivation (SplitMix64).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn block_from(seed: u64, i: u64) -> [u8; 16] {
+    let hi = mix(seed ^ (2 * i));
+    let lo = mix(seed ^ (2 * i + 1));
+    let mut b = [0u8; 16];
+    b[..8].copy_from_slice(&hi.to_be_bytes());
+    b[8..].copy_from_slice(&lo.to_be_bytes());
+    b
+}
+
+/// Runs one session's workload on an existing driver: load a key, submit
+/// `blocks` encryptions under `user`, drain, and verify every ciphertext
+/// against the software oracle.
+pub fn run_session<B: SimBackend>(
+    driver: &mut AccelDriver<B>,
+    blocks: usize,
+    user: Label,
+    seed: u64,
+) -> SessionStats {
+    let key = block_from(seed, 0x4b45_5953);
+    driver.load_key(0, key, user);
+    for i in 0..blocks {
+        driver.submit(&Request {
+            block: block_from(seed, i as u64),
+            key_slot: 0,
+            user,
+        });
+    }
+    driver.drain(10_000);
+
+    let oracle = Aes::new(&key).expect("16-byte key");
+    let verified = driver
+        .responses
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| oracle.encrypt_block(block_from(seed, *i as u64)) == r.block)
+        .count();
+    SessionStats {
+        responses: driver.responses.len(),
+        rejections: driver.rejections.len(),
+        violations: driver.violations().len(),
+        cycles: driver.cycle(),
+        verified,
+    }
+}
+
+/// Runs `config.sessions` independent accelerator instances in parallel
+/// (one OS thread each) over clones of `net`, on backend `B`.
+///
+/// Sessions are fully isolated — separate netlist clone, separate
+/// simulator state, separate key material — so this measures how
+/// simulation throughput scales with independent instances, the
+/// deployment shape of a multi-tenant SoC evaluation.
+#[must_use]
+pub fn run_fleet_on_netlist<B: SimBackend + Send>(
+    net: &Netlist,
+    config: FleetConfig,
+) -> FleetStats {
+    let sessions = thread::scope(|s| {
+        let handles: Vec<_> = (0..config.sessions)
+            .map(|i| {
+                let net = net.clone();
+                s.spawn(move || {
+                    let mut driver = AccelDriver::<B>::from_netlist_on(net, config.mode);
+                    let user = user_label(i % 4);
+                    let seed = mix(config.seed ^ (i as u64) << 8);
+                    run_session(&mut driver, config.blocks_per_session, user, seed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    FleetStats { sessions }
+}
+
+/// Convenience wrapper: lowers a freshly built design at the given
+/// protection level, then calls [`run_fleet_on_netlist`].
+///
+/// # Panics
+///
+/// Panics if the design fails to lower (the shipped designs never do).
+#[must_use]
+pub fn run_fleet<B: SimBackend + Send>(protection: Protection, config: FleetConfig) -> FleetStats {
+    let design = match protection {
+        Protection::Full => protected(),
+        Protection::Off => crate::build::baseline(),
+        Protection::Annotated => crate::build::baseline_annotated(),
+    };
+    let net = design.lower().expect("accelerator design lowers");
+    run_fleet_on_netlist::<B>(&net, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::{CompiledSim, Simulator};
+
+    #[test]
+    fn fleet_runs_parallel_sessions_and_verifies() {
+        let config = FleetConfig {
+            sessions: 3,
+            blocks_per_session: 4,
+            mode: TrackMode::Precise,
+            seed: 7,
+        };
+        let stats = run_fleet::<CompiledSim>(Protection::Full, config);
+        assert_eq!(stats.sessions.len(), 3);
+        assert_eq!(stats.total_responses(), 12);
+        assert!(stats.all_verified(), "{stats:?}");
+        assert_eq!(stats.total_violations(), 0, "{stats:?}");
+    }
+
+    #[test]
+    fn fleet_matches_across_backends() {
+        let config = FleetConfig {
+            sessions: 2,
+            blocks_per_session: 3,
+            mode: TrackMode::Conservative,
+            seed: 99,
+        };
+        let a = run_fleet::<Simulator>(Protection::Full, config);
+        let b = run_fleet::<CompiledSim>(Protection::Full, config);
+        assert_eq!(a.sessions, b.sessions);
+        assert!(a.all_verified());
+    }
+}

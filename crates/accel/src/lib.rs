@@ -30,17 +30,18 @@
 
 mod build;
 mod bytes;
-pub mod engine;
-pub mod multi;
 pub mod driver;
 pub mod effort;
+pub mod engine;
+pub mod fleet;
+pub mod multi;
 pub mod offload;
 mod params;
 pub mod policies;
 
 pub use build::{
-    baseline, baseline_annotated, build, build_with, master_key_encrypt, protected,
-    protected_with, trojaned, Mechanisms, Protection, MASTER_KEY, TROJAN_TRIGGER,
+    baseline, baseline_annotated, build, build_with, master_key_encrypt, protected, protected_with,
+    trojaned, Mechanisms, Protection, MASTER_KEY, TROJAN_TRIGGER,
 };
 pub use params::{
     master_key_label, supervisor_label, user_label, AccelParams, MASTER_KEY_SLOT, PIPELINE_DEPTH,

@@ -104,7 +104,9 @@ pub fn multi_engine() -> Design {
         "rcon0_rom",
         8,
         16,
-        vec![0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0, 0, 0, 0, 0],
+        vec![
+            0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36, 0x6c, 0, 0, 0, 0, 0,
+        ],
     );
     // The round-key register file: up to 60 words of 32 bits.
     let rkmem = m.mem("rk_file", 32, 64, vec![]);

@@ -110,10 +110,7 @@ pub fn cbc_encrypt(
 ///
 /// Panics if the hardware refuses part of any stream.
 #[must_use]
-pub fn cbc_encrypt_interleaved(
-    drv: &mut AccelDriver,
-    streams: &[CbcStream],
-) -> Vec<Vec<[u8; 16]>> {
+pub fn cbc_encrypt_interleaved(drv: &mut AccelDriver, streams: &[CbcStream]) -> Vec<Vec<[u8; 16]>> {
     let n = streams.len();
     let mut prev: Vec<[u8; 16]> = streams.iter().map(|((_, _, iv), _)| *iv).collect();
     let mut next_block: Vec<usize> = vec![0; n];
@@ -152,7 +149,9 @@ pub fn cbc_encrypt_interleaved(
         }
         // Collect completions — responses arrive in submission order.
         while completed < drv.responses.len() {
-            let s = in_flight.pop_front().expect("completion without submission");
+            let s = in_flight
+                .pop_front()
+                .expect("completion without submission");
             let resp = drv.responses[completed].block;
             prev[s] = resp;
             out[s].push(resp);
@@ -210,8 +209,9 @@ mod tests {
         let streams: Vec<CbcStream> = (0..3)
             .map(|s| {
                 let iv = [s as u8; 16];
-                let blocks: Vec<[u8; 16]> =
-                    (0..6u8).map(|i| [i.wrapping_mul(7) ^ s as u8; 16]).collect();
+                let blocks: Vec<[u8; 16]> = (0..6u8)
+                    .map(|i| [i.wrapping_mul(7) ^ s as u8; 16])
+                    .collect();
                 ((s, users[s], iv), blocks)
             })
             .collect();
@@ -247,8 +247,9 @@ mod tests {
             }
             let streams: Vec<CbcStream> = (0..3)
                 .map(|s| {
-                    let blocks: Vec<[u8; 16]> =
-                        (0..blocks_per_stream as u8).map(|i| [i ^ s as u8; 16]).collect();
+                    let blocks: Vec<[u8; 16]> = (0..blocks_per_stream as u8)
+                        .map(|i| [i ^ s as u8; 16])
+                        .collect();
                     ((s, users[s], [s as u8; 16]), blocks)
                 })
                 .collect();

@@ -39,7 +39,11 @@ pub fn node_named(design: &Design, name: &str) -> NodeId {
     design
         .input(name)
         .or_else(|| design.output(name))
-        .or_else(|| design.node_ids().find(|&id| design.name_of(id) == Some(name)))
+        .or_else(|| {
+            design
+                .node_ids()
+                .find(|&id| design.name_of(id) == Some(name))
+        })
         .unwrap_or_else(|| panic!("design {} has no node named {name:?}", design.name()))
 }
 

@@ -12,8 +12,10 @@ fn fresh(protection: Protection) -> AccelDriver {
 #[test]
 fn baseline_encrypts_one_block_correctly() {
     let mut drv = fresh(Protection::Off);
-    let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
-        0xcf, 0x4f, 0x3c];
+    let key = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
     let alice = user_label(1);
     drv.load_key(0, key, alice);
     let pt = *b"\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34";

@@ -68,7 +68,8 @@ pub fn inv_mix_columns(s: [u8; 16]) -> [u8; 16] {
     let mut out = [0u8; 16];
     for c in 0..4 {
         let col = &s[4 * c..4 * c + 4];
-        out[4 * c] = gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+        out[4 * c] =
+            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
         out[4 * c + 1] =
             gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
         out[4 * c + 2] =

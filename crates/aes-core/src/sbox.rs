@@ -8,7 +8,9 @@ const fn affine(b: u8) -> u8 {
     let mut out = 0u8;
     let mut i = 0;
     while i < 8 {
-        let bit = ((b >> i) ^ (b >> ((i + 4) % 8)) ^ (b >> ((i + 5) % 8))
+        let bit = ((b >> i)
+            ^ (b >> ((i + 4) % 8))
+            ^ (b >> ((i + 5) % 8))
             ^ (b >> ((i + 6) % 8))
             ^ (b >> ((i + 7) % 8))
             ^ (0x63 >> i))

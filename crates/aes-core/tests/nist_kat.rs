@@ -24,23 +24,71 @@ fn check(key_hex: &str, pt_hex: &str, ct_hex: &str) {
 #[test]
 fn aesavs_gfsbox_128() {
     let key = "00000000000000000000000000000000";
-    check(key, "f34481ec3cc627bacd5dc3fb08f273e6", "0336763e966d92595a567cc9ce537f5e");
-    check(key, "9798c4640bad75c7c3227db910174e72", "a9a1631bf4996954ebc093957b234589");
-    check(key, "96ab5c2ff612d9dfaae8c31f30c42168", "ff4f8391a6a40ca5b25d23bedd44a597");
-    check(key, "6a118a874519e64e9963798a503f1d35", "dc43be40be0e53712f7e2bf5ca707209");
-    check(key, "cb9fceec81286ca3e989bd979b0cb284", "92beedab1895a94faa69b632e5cc47ce");
-    check(key, "b26aeb1874e47ca8358ff22378f09144", "459264f4798f6a78bacb89c15ed3d601");
-    check(key, "58c8e00b2631686d54eab84b91f0aca1", "08a4e2efec8a8e3312ca7460b9040bbf");
+    check(
+        key,
+        "f34481ec3cc627bacd5dc3fb08f273e6",
+        "0336763e966d92595a567cc9ce537f5e",
+    );
+    check(
+        key,
+        "9798c4640bad75c7c3227db910174e72",
+        "a9a1631bf4996954ebc093957b234589",
+    );
+    check(
+        key,
+        "96ab5c2ff612d9dfaae8c31f30c42168",
+        "ff4f8391a6a40ca5b25d23bedd44a597",
+    );
+    check(
+        key,
+        "6a118a874519e64e9963798a503f1d35",
+        "dc43be40be0e53712f7e2bf5ca707209",
+    );
+    check(
+        key,
+        "cb9fceec81286ca3e989bd979b0cb284",
+        "92beedab1895a94faa69b632e5cc47ce",
+    );
+    check(
+        key,
+        "b26aeb1874e47ca8358ff22378f09144",
+        "459264f4798f6a78bacb89c15ed3d601",
+    );
+    check(
+        key,
+        "58c8e00b2631686d54eab84b91f0aca1",
+        "08a4e2efec8a8e3312ca7460b9040bbf",
+    );
 }
 
 #[test]
 fn aesavs_keysbox_128() {
     let pt = "00000000000000000000000000000000";
-    check("10a58869d74be5a374cf867cfb473859", pt, "6d251e6944b051e04eaa6fb4dbf78465");
-    check("caea65cdbb75e9169ecd22ebe6e54675", pt, "6e29201190152df4ee058139def610bb");
-    check("a2e2fa9baf7d20822ca9f0542f764a41", pt, "c3b44b95d9d2f25670eee9a0de099fa3");
-    check("b6364ac4e1de1e285eaf144a2415f7a0", pt, "5d9b05578fc944b3cf1ccf0e746cd581");
-    check("64cf9c7abc50b888af65f49d521944b2", pt, "f7efc89d5dba578104016ce5ad659c05");
+    check(
+        "10a58869d74be5a374cf867cfb473859",
+        pt,
+        "6d251e6944b051e04eaa6fb4dbf78465",
+    );
+    check(
+        "caea65cdbb75e9169ecd22ebe6e54675",
+        pt,
+        "6e29201190152df4ee058139def610bb",
+    );
+    check(
+        "a2e2fa9baf7d20822ca9f0542f764a41",
+        pt,
+        "c3b44b95d9d2f25670eee9a0de099fa3",
+    );
+    check(
+        "b6364ac4e1de1e285eaf144a2415f7a0",
+        pt,
+        "5d9b05578fc944b3cf1ccf0e746cd581",
+    );
+    check(
+        "64cf9c7abc50b888af65f49d521944b2",
+        pt,
+        "f7efc89d5dba578104016ce5ad659c05",
+    );
 }
 
 #[test]
@@ -65,17 +113,41 @@ fn aesavs_vartxt_varkey_128() {
 #[test]
 fn aesavs_gfsbox_192() {
     let key = "000000000000000000000000000000000000000000000000";
-    check(key, "1b077a6af4b7f98229de786d7516b639", "275cfc0413d8ccb70513c3859b1d0f72");
-    check(key, "9c2d8842e5f48f57648205d39a239af1", "c9b8135ff1b5adc413dfd053b21bd96d");
-    check(key, "bff52510095f518ecca60af4205444bb", "4a3650c3371ce2eb35e389a171427440");
+    check(
+        key,
+        "1b077a6af4b7f98229de786d7516b639",
+        "275cfc0413d8ccb70513c3859b1d0f72",
+    );
+    check(
+        key,
+        "9c2d8842e5f48f57648205d39a239af1",
+        "c9b8135ff1b5adc413dfd053b21bd96d",
+    );
+    check(
+        key,
+        "bff52510095f518ecca60af4205444bb",
+        "4a3650c3371ce2eb35e389a171427440",
+    );
 }
 
 #[test]
 fn aesavs_gfsbox_256() {
     let key = "0000000000000000000000000000000000000000000000000000000000000000";
-    check(key, "014730f80ac625fe84f026c60bfd547d", "5c9d844ed46f9885085e5d6a4f94c7d7");
-    check(key, "0b24af36193ce4665f2825d7b4749c98", "a9ff75bd7cf6613d3731c77c3b6d0c04");
-    check(key, "761c1fe41a18acf20d241650611d90f1", "623a52fcea5d443e48d9181ab32c7421");
+    check(
+        key,
+        "014730f80ac625fe84f026c60bfd547d",
+        "5c9d844ed46f9885085e5d6a4f94c7d7",
+    );
+    check(
+        key,
+        "0b24af36193ce4665f2825d7b4749c98",
+        "a9ff75bd7cf6613d3731c77c3b6d0c04",
+    );
+    check(
+        key,
+        "761c1fe41a18acf20d241650611d90f1",
+        "623a52fcea5d443e48d9181ab32c7421",
+    );
 }
 
 #[test]

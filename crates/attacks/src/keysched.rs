@@ -54,8 +54,10 @@ mod tests {
 
     #[test]
     fn inverts_every_expansion_step() {
-        let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-            0x09, 0xcf, 0x4f, 0x3c];
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
         let ks = KeySchedule::expand(&key).unwrap();
         for r in 0..10 {
             assert_eq!(

@@ -28,11 +28,11 @@ pub mod trojan;
 
 pub use keysched::invert_key_expansion;
 pub use lesion::{lesion_study, Lesion, LesionOutcome};
-pub use noninterference::{eve_trace, eve_trace_on, noninterference_holds, EveTrace};
-pub use trojan::{trojan_exfiltration, trojan_static_detection};
 pub use matrix::{attack_matrix, static_findings, usability_checks, AttackReport};
+pub use noninterference::{eve_trace, eve_trace_on, noninterference_holds, EveTrace};
 pub use scenarios::{
-    config_tamper, debug_key_disclosure, design_for, master_key_misuse,
-    partial_result_disclosure, run_scenario_on, scratchpad_overrun,
-    supervisor_master_key_use, timing_channel, AttackKind, AttackOutcome, AttackResult,
+    config_tamper, debug_key_disclosure, design_for, master_key_misuse, partial_result_disclosure,
+    run_scenario_on, scratchpad_overrun, supervisor_master_key_use, timing_channel, AttackKind,
+    AttackOutcome, AttackResult,
 };
+pub use trojan::{trojan_exfiltration, trojan_static_detection};

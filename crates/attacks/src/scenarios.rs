@@ -199,7 +199,11 @@ pub fn scratchpad_overrun_on(design: &Design) -> AttackResult {
         outcome,
         detail: format!(
             "Alice's ciphertext {} the reference after Eve's out-of-bounds write",
-            if got == Some(expected) { "matches" } else { "DIFFERS from" }
+            if got == Some(expected) {
+                "matches"
+            } else {
+                "DIFFERS from"
+            }
         ),
     }
 }

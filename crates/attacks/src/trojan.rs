@@ -78,7 +78,11 @@ pub fn trojan_exfiltration() -> AttackResult {
         },
         detail: format!(
             "functional tests {}; side channel {}",
-            if functional { "pass (Trojan invisible)" } else { "fail" },
+            if functional {
+                "pass (Trojan invisible)"
+            } else {
+                "fail"
+            },
             if leaked {
                 format!("leaked Alice's key {recovered:02x?}")
             } else {
@@ -108,7 +112,11 @@ pub fn trojan_static_detection() -> AttackResult {
         detail: format!(
             "{} label error(s); Trojan flow {}",
             report.violations.len(),
-            if flagged { "flagged before tape-out" } else { "MISSED" }
+            if flagged {
+                "flagged before tape-out"
+            } else {
+                "MISSED"
+            }
         ),
     }
 }

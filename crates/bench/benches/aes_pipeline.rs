@@ -1,19 +1,28 @@
 //! Simulation throughput of the accelerator pipeline (baseline vs
-//! protected) and the software reference for context. The cycle-accurate
-//! numbers behind the paper's throughput claim come from
+//! protected) and the software reference for context — on both
+//! simulation backends, plus parallel multi-session scaling. The
+//! cycle-accurate numbers behind the paper's throughput claim come from
 //! `cargo run -p bench --bin throughput`; this bench tracks the
 //! *simulator's* wall-clock cost per encrypted block.
+//!
+//! The netlists are lowered once up front; each iteration clones the
+//! lowered netlist and rebuilds the backend, so the measurement is
+//! dominated by simulation (hundreds of cycles over the full design),
+//! not by design construction.
 
 use accel::driver::{AccelDriver, Request};
-use accel::{user_label, Protection};
+use accel::fleet::{run_fleet_on_netlist, FleetConfig};
+use accel::{baseline, protected, user_label};
 use aes_core::Aes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hdl::Netlist;
+use sim::{CompiledSim, SimBackend, Simulator, TrackMode};
 use std::hint::black_box;
 
 const BLOCKS: u64 = 32;
 
-fn pipeline_stream(protection: Protection) -> u64 {
-    let mut drv = AccelDriver::new(protection);
+fn pipeline_stream<B: SimBackend>(net: &Netlist, mode: TrackMode) -> u64 {
+    let mut drv = AccelDriver::<B>::from_netlist_on(net.clone(), mode);
     let alice = user_label(1);
     drv.load_key(0, [9u8; 16], alice);
     for i in 0..BLOCKS {
@@ -30,16 +39,89 @@ fn pipeline_stream(protection: Protection) -> u64 {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
+    let baseline_net = baseline().lower().expect("baseline lowers");
+    let protected_net = protected().lower().expect("protected lowers");
+
     let mut group = c.benchmark_group("aes_pipeline");
     group.sample_size(10);
     group.throughput(Throughput::Elements(BLOCKS));
     group.bench_function("baseline_sim", |b| {
-        b.iter(|| black_box(pipeline_stream(Protection::Off)));
+        b.iter(|| {
+            black_box(pipeline_stream::<Simulator>(
+                &baseline_net,
+                TrackMode::Precise,
+            ));
+        });
     });
     group.bench_function("protected_sim", |b| {
-        b.iter(|| black_box(pipeline_stream(Protection::Full)));
+        b.iter(|| {
+            black_box(pipeline_stream::<Simulator>(
+                &protected_net,
+                TrackMode::Precise,
+            ));
+        });
+    });
+    group.bench_function("baseline_compiled", |b| {
+        b.iter(|| {
+            black_box(pipeline_stream::<CompiledSim>(
+                &baseline_net,
+                TrackMode::Precise,
+            ));
+        });
+    });
+    group.bench_function("protected_compiled", |b| {
+        b.iter(|| {
+            black_box(pipeline_stream::<CompiledSim>(
+                &protected_net,
+                TrackMode::Precise,
+            ));
+        });
     });
     group.finish();
+
+    // The backend face-off: interpreter vs compiled tape on the
+    // pipelined AES with conservative tracking.
+    let mut backends = c.benchmark_group("sim_backends");
+    backends.sample_size(10);
+    backends.throughput(Throughput::Elements(BLOCKS));
+    backends.bench_function("interpreter_conservative", |b| {
+        b.iter(|| {
+            black_box(pipeline_stream::<Simulator>(
+                &protected_net,
+                TrackMode::Conservative,
+            ));
+        });
+    });
+    backends.bench_function("compiled_conservative", |b| {
+        b.iter(|| {
+            black_box(pipeline_stream::<CompiledSim>(
+                &protected_net,
+                TrackMode::Conservative,
+            ));
+        });
+    });
+    backends.finish();
+
+    // Parallel multi-session scaling on the compiled backend.
+    let mut fleet = c.benchmark_group("parallel_sessions");
+    fleet.sample_size(10);
+    for sessions in [1usize, 2, 4, 8] {
+        let config = FleetConfig {
+            sessions,
+            blocks_per_session: 8,
+            mode: TrackMode::Precise,
+            seed: 42,
+        };
+        fleet.throughput(Throughput::Elements((sessions * 8) as u64));
+        fleet.bench_function(&format!("compiled_x{sessions}"), |b| {
+            b.iter(|| {
+                let stats = run_fleet_on_netlist::<CompiledSim>(&protected_net, config);
+                assert!(stats.all_verified());
+                black_box(stats.total_responses())
+            });
+        });
+    }
+    fleet.finish();
 
     let mut sw = c.benchmark_group("aes_software_reference");
     sw.throughput(Throughput::Elements(BLOCKS));

@@ -2,17 +2,20 @@
 //! tracking (what the baseline hardware does), conservative RTL-level
 //! propagation (RTLIFT-style), and mux-precise propagation
 //! (GLIFT-flavoured; what the protected design's tag logic needs to avoid
-//! false release blocks).
+//! false release blocks) — measured on both simulation backends. On the
+//! compiled backend `TrackMode::Off` is monomorphised with label code
+//! compiled out, so the off/tracked gap shows the true label-tracking
+//! overhead rather than interpreter dispatch noise.
 
 use accel::driver::{AccelDriver, Request};
 use accel::{protected, user_label};
 use criterion::{criterion_group, criterion_main, Criterion};
-use sim::TrackMode;
+use hdl::Netlist;
+use sim::{CompiledSim, SimBackend, Simulator, TrackMode};
 use std::hint::black_box;
 
-fn run(mode: TrackMode) -> usize {
-    let design = protected();
-    let mut drv = AccelDriver::from_design(&design, mode);
+fn run<B: SimBackend>(net: &Netlist, mode: TrackMode) -> usize {
+    let mut drv = AccelDriver::<B>::from_netlist_on(net.clone(), mode);
     let alice = user_label(1);
     drv.load_key(0, [5u8; 16], alice);
     for i in 0..16u64 {
@@ -29,15 +32,21 @@ fn run(mode: TrackMode) -> usize {
 }
 
 fn bench_tracking(c: &mut Criterion) {
+    let net = protected().lower().expect("protected lowers");
     let mut group = c.benchmark_group("tracking_modes");
     group.sample_size(10);
-    group.bench_function("off", |b| b.iter(|| black_box(run(TrackMode::Off))));
-    group.bench_function("conservative", |b| {
-        b.iter(|| black_box(run(TrackMode::Conservative)));
-    });
-    group.bench_function("precise", |b| {
-        b.iter(|| black_box(run(TrackMode::Precise)));
-    });
+    for (name, mode) in [
+        ("off", TrackMode::Off),
+        ("conservative", TrackMode::Conservative),
+        ("precise", TrackMode::Precise),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run::<Simulator>(&net, mode)));
+        });
+        group.bench_function(&format!("{name}_compiled"), |b| {
+            b.iter(|| black_box(run::<CompiledSim>(&net, mode)));
+        });
+    }
     group.finish();
 }
 

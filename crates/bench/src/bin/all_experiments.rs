@@ -59,13 +59,21 @@ fn main() {
 
     // --- figures ---------------------------------------------------------------
     let f6 = fig6();
-    println!("\n[Fig 6] leaky engine: {} static error(s); timing {} vs {} cycles",
-        f6.leaky_violations.len(), f6.weak_key_latency, f6.strong_key_latency);
+    println!(
+        "\n[Fig 6] leaky engine: {} static error(s); timing {} vs {} cycles",
+        f6.leaky_violations.len(),
+        f6.weak_key_latency,
+        f6.strong_key_latency
+    );
 
     for s in fig8() {
         println!(
             "[Fig 8] {}: {} stalled cycles, peak buffer {}",
-            if s.mixed_pipeline { "mixed levels " } else { "uniform level" },
+            if s.mixed_pipeline {
+                "mixed levels "
+            } else {
+                "uniform level"
+            },
             s.stalled_cycles,
             s.peak_buffer
         );
@@ -99,9 +107,11 @@ fn main() {
     );
 
     // --- extensions -------------------------------------------------------------------
-    println!("\n[noninterference] baseline holds: {}, protected holds: {}",
+    println!(
+        "\n[noninterference] baseline holds: {}, protected holds: {}",
         noninterference_holds(Protection::Off),
-        noninterference_holds(Protection::Full));
+        noninterference_holds(Protection::Full)
+    );
 
     println!("\n[buffer depth] drops during a receiver outage:");
     for s in bench::experiments::buffer_depth_sweep(&[2, 16, 32]) {
@@ -113,7 +123,11 @@ fn main() {
         println!(
             "  {:<34} {} ({} static error(s))",
             o.lesion.to_string(),
-            if o.exploitable { "EXPLOITABLE" } else { "blocked" },
+            if o.exploitable {
+                "EXPLOITABLE"
+            } else {
+                "blocked"
+            },
             o.static_violations
         );
     }

@@ -21,7 +21,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["scenario", "baseline", "protected", "protected detail"], &rows)
+        render(
+            &["scenario", "baseline", "protected", "protected detail"],
+            &rows
+        )
     );
 
     println!("usability (must succeed everywhere):");

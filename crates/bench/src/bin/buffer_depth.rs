@@ -24,7 +24,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render(&["buffer depth", "dropped blocks", "completed", "verdict"], &rows)
+        render(
+            &["buffer depth", "dropped blocks", "completed", "verdict"],
+            &rows
+        )
     );
     println!("The stall policy trades availability for isolation; the holding");
     println!("buffer buys both back once it covers the expected receiver outage.");

@@ -18,8 +18,14 @@ fn main() {
         println!("  - {v}");
     }
     println!("\ndynamic confirmation of the flagged channel (leaky engine):");
-    println!("  weak key   (low byte 0x00): {} cycles", r.weak_key_latency);
-    println!("  strong key (low byte 0x5a): {} cycles", r.strong_key_latency);
+    println!(
+        "  weak key   (low byte 0x00): {} cycles",
+        r.weak_key_latency
+    );
+    println!(
+        "  strong key (low byte 0x5a): {} cycles",
+        r.strong_key_latency
+    );
     println!(
         "  => the handshake leaks {} cycle(s) of key-dependent timing",
         r.strong_key_latency - r.weak_key_latency

@@ -24,7 +24,12 @@ fn main() {
     println!(
         "{}",
         render(
-            &["pipeline contents", "stalled cycles", "peak buffer", "completed"],
+            &[
+                "pipeline contents",
+                "stalled cycles",
+                "peak buffer",
+                "completed"
+            ],
             &rows
         )
     );

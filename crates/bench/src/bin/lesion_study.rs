@@ -30,7 +30,12 @@ fn main() {
     println!(
         "{}",
         render(
-            &["lesion", "guarded attack", "dynamic result", "static detection"],
+            &[
+                "lesion",
+                "guarded attack",
+                "dynamic result",
+                "static detection"
+            ],
             &rows
         )
     );

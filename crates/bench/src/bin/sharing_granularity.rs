@@ -22,7 +22,12 @@ fn main() {
     println!(
         "{}",
         render(
-            &["switch period", "fine-grained blk/cyc", "coarse-grained blk/cyc", "speedup"],
+            &[
+                "switch period",
+                "fine-grained blk/cyc",
+                "coarse-grained blk/cyc",
+                "speedup"
+            ],
             &rows
         )
     );

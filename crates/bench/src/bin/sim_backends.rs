@@ -1,0 +1,172 @@
+//! Measures interpreter-vs-compiled simulation throughput and parallel
+//! multi-session scaling, and records the numbers in `BENCH_sim.json`.
+//!
+//! Workload: the full protected pipelined AES accelerator encrypting a
+//! request stream through [`AccelDriver`], per backend and tracking
+//! mode; then fleets of 1/2/4/8 independent sessions on the compiled
+//! backend. Wall-clock medians over several repetitions.
+//!
+//! Usage: `cargo run --release -p bench --bin sim_backends [out.json]`
+
+use std::time::{Duration, Instant};
+
+use accel::driver::{AccelDriver, Request};
+use accel::fleet::{run_fleet_on_netlist, FleetConfig};
+use accel::{protected, user_label};
+use bench::table::render;
+use hdl::Netlist;
+use sim::{CompiledSim, SimBackend, Simulator, TrackMode};
+
+const BLOCKS: u64 = 32;
+const REPS: usize = 7;
+
+fn pipeline_stream<B: SimBackend>(net: &Netlist, mode: TrackMode) -> u64 {
+    let mut drv = AccelDriver::<B>::from_netlist_on(net.clone(), mode);
+    let alice = user_label(1);
+    drv.load_key(0, [9u8; 16], alice);
+    for i in 0..BLOCKS {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&i.to_be_bytes());
+        drv.submit(&Request {
+            block,
+            key_slot: 0,
+            user: alice,
+        });
+    }
+    drv.drain(BLOCKS + 150);
+    assert_eq!(drv.responses.len() as u64, BLOCKS);
+    BLOCKS
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn time_median(mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    median(
+        (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .collect(),
+    )
+}
+
+fn mode_name(mode: TrackMode) -> &'static str {
+    match mode {
+        TrackMode::Off => "off",
+        TrackMode::Conservative => "conservative",
+        TrackMode::Precise => "precise",
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let net = protected().lower().expect("protected lowers");
+
+    // --- single-session: interpreter vs compiled, per tracking mode ----
+    let modes = [TrackMode::Off, TrackMode::Conservative, TrackMode::Precise];
+    let mut single = Vec::new();
+    for mode in modes {
+        let interp = time_median(|| {
+            pipeline_stream::<Simulator>(&net, mode);
+        });
+        let compiled = time_median(|| {
+            pipeline_stream::<CompiledSim>(&net, mode);
+        });
+        let speedup = interp.as_secs_f64() / compiled.as_secs_f64();
+        single.push((mode, interp, compiled, speedup));
+    }
+
+    // --- multi-session scaling on the compiled backend -----------------
+    let mut fleet_rows = Vec::new();
+    for sessions in [1usize, 2, 4, 8] {
+        let config = FleetConfig {
+            sessions,
+            blocks_per_session: BLOCKS as usize,
+            mode: TrackMode::Precise,
+            seed: 42,
+        };
+        let elapsed = time_median(|| {
+            let stats = run_fleet_on_netlist::<CompiledSim>(&net, config);
+            assert!(stats.all_verified(), "fleet produced a bad ciphertext");
+        });
+        let total_blocks = (sessions as u64) * BLOCKS;
+        let blocks_per_sec = total_blocks as f64 / elapsed.as_secs_f64();
+        fleet_rows.push((sessions, elapsed, blocks_per_sec));
+    }
+    let base_rate = fleet_rows[0].2;
+
+    // --- report ---------------------------------------------------------
+    println!("Simulation backends — protected pipeline, {BLOCKS} blocks/run, median of {REPS}\n");
+    let rows: Vec<Vec<String>> = single
+        .iter()
+        .map(|(mode, i, c, s)| {
+            vec![
+                mode_name(*mode).to_string(),
+                format!("{:.2}", i.as_secs_f64() * 1e3),
+                format!("{:.2}", c.as_secs_f64() * 1e3),
+                format!("{s:.2}x"),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &["tracking", "interpreter (ms)", "compiled (ms)", "speedup"],
+            &rows
+        )
+    );
+    let rows: Vec<Vec<String>> = fleet_rows
+        .iter()
+        .map(|(n, d, rate)| {
+            vec![
+                n.to_string(),
+                format!("{:.2}", d.as_secs_f64() * 1e3),
+                format!("{rate:.0}"),
+                format!("{:.2}x", rate / base_rate),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(&["sessions", "wall (ms)", "blocks/s", "scaling"], &rows)
+    );
+
+    // --- BENCH_sim.json (hand-rolled: the workspace carries no JSON dep)
+    let mut json = String::from("{\n  \"workload\": {\n");
+    json.push_str(&format!(
+        "    \"design\": \"protected\",\n    \"blocks_per_run\": {BLOCKS},\n    \"median_of\": {REPS}\n  }},\n"
+    ));
+    json.push_str("  \"single_session\": [\n");
+    for (i, (mode, interp, compiled, speedup)) in single.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"tracking\": \"{}\", \"interpreter_ms\": {:.3}, \"compiled_ms\": {:.3}, \"speedup\": {:.2}}}{}\n",
+            mode_name(*mode),
+            interp.as_secs_f64() * 1e3,
+            compiled.as_secs_f64() * 1e3,
+            speedup,
+            if i + 1 < single.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"parallel_sessions_compiled\": [\n");
+    for (i, (sessions, elapsed, rate)) in fleet_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"wall_ms\": {:.3}, \"blocks_per_sec\": {:.0}, \"scaling\": {:.2}}}{}\n",
+            sessions,
+            elapsed.as_secs_f64() * 1e3,
+            rate,
+            rate / base_rate,
+            if i + 1 < fleet_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark results");
+    println!("wrote {out_path}");
+}

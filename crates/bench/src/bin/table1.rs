@@ -14,7 +14,12 @@ fn main() {
                 vec![
                     o.name.clone(),
                     o.kind.to_string(),
-                    if o.flow_exists { "exists" } else { "absent/checked" }.into(),
+                    if o.flow_exists {
+                        "exists"
+                    } else {
+                        "absent/checked"
+                    }
+                    .into(),
                     if o.permitted { "permit" } else { "forbid" }.into(),
                     if o.violated() { "VIOLATED" } else { "ok" }.into(),
                 ]

@@ -16,7 +16,11 @@ fn main() {
                 pct(PAPER_TABLE2.protected.0, PAPER_TABLE2.baseline.0)
             ),
             r.baseline.luts.to_string(),
-            format!("{} ({})", r.protected.luts, pct(r.protected.luts, r.baseline.luts)),
+            format!(
+                "{} ({})",
+                r.protected.luts,
+                pct(r.protected.luts, r.baseline.luts)
+            ),
         ],
         vec![
             "FFs".into(),
@@ -27,7 +31,11 @@ fn main() {
                 pct(PAPER_TABLE2.protected.1, PAPER_TABLE2.baseline.1)
             ),
             r.baseline.ffs.to_string(),
-            format!("{} ({})", r.protected.ffs, pct(r.protected.ffs, r.baseline.ffs)),
+            format!(
+                "{} ({})",
+                r.protected.ffs,
+                pct(r.protected.ffs, r.baseline.ffs)
+            ),
         ],
         vec![
             "BRAMs".into(),

@@ -37,7 +37,14 @@ fn main() {
     println!(
         "{}",
         render(
-            &["design", "blocks", "cycles", "latency", "blocks/cycle", "Gbps@400MHz"],
+            &[
+                "design",
+                "blocks",
+                "cycles",
+                "latency",
+                "blocks/cycle",
+                "Gbps@400MHz"
+            ],
             &rows
         )
     );

@@ -75,7 +75,12 @@ fn main() {
     println!(
         "{}",
         render(
-            &["tracking mode", "blocks completed", "violations raised", "assessment"],
+            &[
+                "tracking mode",
+                "blocks completed",
+                "violations raised",
+                "assessment"
+            ],
             &rows
         )
     );

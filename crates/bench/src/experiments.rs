@@ -133,11 +133,7 @@ fn throughput_op(protection: Protection, blocks: u64, decrypt: bool) -> Throughp
         }
     }
     drv.drain(blocks + 4 * PIPELINE_DEPTH as u64);
-    let last = drv
-        .responses
-        .last()
-        .expect("stream completed")
-        .completed;
+    let last = drv.responses.last().expect("stream completed").completed;
     let cycles = last - start;
     let latency = drv.responses[0].completed - drv.responses[0].submitted;
     let bpc = blocks as f64 / cycles as f64;
@@ -392,8 +388,7 @@ pub fn buffer_depth_sweep(depths: &[usize]) -> Vec<BufferDepthSample> {
                 ..AccelParams::paper()
             };
             let design = build_with(Protection::Full, params, Mechanisms::all());
-            let mut drv =
-                accel::driver::AccelDriver::from_design(&design, sim::TrackMode::Precise);
+            let mut drv = accel::driver::AccelDriver::from_design(&design, sim::TrackMode::Precise);
             let alice = user_label(1);
             let eve = user_label(0);
             drv.load_key(0, [1u8; 16], alice);

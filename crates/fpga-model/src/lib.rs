@@ -338,10 +338,7 @@ pub fn estimate_by_group(net: &Netlist) -> Vec<GroupArea> {
         }
     }
     let mut groups: HashMap<String, GroupArea> = HashMap::new();
-    fn touch(
-        groups: &mut HashMap<String, GroupArea>,
-        name: String,
-    ) -> &mut GroupArea {
+    fn touch(groups: &mut HashMap<String, GroupArea>, name: String) -> &mut GroupArea {
         groups.entry(name.clone()).or_insert(GroupArea {
             group: name,
             ffs: 0,

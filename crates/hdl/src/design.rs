@@ -172,19 +172,13 @@ impl Design {
     /// Finds an input port by (qualified) name.
     #[must_use]
     pub fn input(&self, name: &str) -> Option<NodeId> {
-        self.inputs
-            .iter()
-            .find(|p| p.name == name)
-            .map(|p| p.node)
+        self.inputs.iter().find(|p| p.name == name).map(|p| p.node)
     }
 
     /// Finds an output port by (qualified) name.
     #[must_use]
     pub fn output(&self, name: &str) -> Option<NodeId> {
-        self.outputs
-            .iter()
-            .find(|p| p.name == name)
-            .map(|p| p.node)
+        self.outputs.iter().find(|p| p.name == name).map(|p| p.node)
     }
 
     /// The width of a node in bits.

@@ -68,23 +68,21 @@ pub fn to_dot(design: &Design) -> String {
     for stmt in design.stmts() {
         let (sink, value, extra_srcs): (String, NodeId, Vec<NodeId>) = match stmt.action {
             Action::Connect { dst, src } => (
-                design.name_of(dst).map_or_else(
-                    || format!("n{}", dst.index()),
-                    sanitize,
-                ),
+                design
+                    .name_of(dst)
+                    .map_or_else(|| format!("n{}", dst.index()), sanitize),
                 src,
                 vec![],
             ),
-            Action::MemWrite { mem, addr, data } => (
-                sanitize(&design.mems()[mem.index()].name),
-                data,
-                vec![addr],
-            ),
+            Action::MemWrite { mem, addr, data } => {
+                (sanitize(&design.mems()[mem.index()].name), data, vec![addr])
+            }
         };
-        for src in named_sources(design, value, &mut memo)
-            .into_iter()
-            .chain(extra_srcs.iter().flat_map(|&a| named_sources(design, a, &mut memo)))
-        {
+        for src in named_sources(design, value, &mut memo).into_iter().chain(
+            extra_srcs
+                .iter()
+                .flat_map(|&a| named_sources(design, a, &mut memo)),
+        ) {
             edges.insert(format!("  \"{src}\" -> \"{sink}\";"));
         }
         for g in &stmt.guards {
@@ -101,10 +99,7 @@ pub fn to_dot(design: &Design) -> String {
     }
     for port in design.outputs() {
         for src in named_sources(design, port.node, &mut memo) {
-            edges.insert(format!(
-                "  \"{src}\" -> \"{}_out\";",
-                sanitize(&port.name)
-            ));
+            edges.insert(format!("  \"{src}\" -> \"{}_out\";", sanitize(&port.name)));
         }
     }
     let mut sorted: Vec<&String> = edges.iter().collect();

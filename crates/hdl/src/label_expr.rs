@@ -126,9 +126,7 @@ impl LabelExpr {
                         .fold(Label::PUBLIC_TRUSTED, Label::join)
                 })
             }
-            LabelExpr::FromTag(sig) => {
-                Label::from(SecurityTag::from_bits(resolve(*sig) as u8))
-            }
+            LabelExpr::FromTag(sig) => Label::from(SecurityTag::from_bits(resolve(*sig) as u8)),
             LabelExpr::Join(a, b) => a.eval(resolve).join(b.eval(resolve)),
             LabelExpr::Meet(a, b) => a.eval(resolve).meet(b.eval(resolve)),
         }

@@ -32,7 +32,10 @@ impl fmt::Display for LowerError {
                 write!(f, "combinational cycle through {node}")
             }
             LowerError::PartiallyDrivenWire { wire } => {
-                write!(f, "wire {wire} is only conditionally driven and has no default")
+                write!(
+                    f,
+                    "wire {wire} is only conditionally driven and has no default"
+                )
             }
         }
     }
@@ -132,11 +135,7 @@ impl Lowerer {
     fn enable(&mut self, guards: &[Guard]) -> NodeId {
         let mut acc: Option<NodeId> = None;
         for g in guards {
-            let lit = if g.polarity {
-                g.cond
-            } else {
-                self.not(g.cond)
-            };
+            let lit = if g.polarity { g.cond } else { self.not(g.cond) };
             acc = Some(match acc {
                 None => lit,
                 Some(prev) => self.and(prev, lit),

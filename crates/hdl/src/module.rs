@@ -603,9 +603,10 @@ impl ModuleBuilder {
         for (i, node) in self.nodes.iter().enumerate() {
             if let Node::Wire { default: None, .. } = node {
                 let id = NodeId(i as u32);
-                let driven = self.stmts.iter().any(
-                    |s| matches!(s.action, Action::Connect { dst, .. } if dst == id),
-                );
+                let driven = self
+                    .stmts
+                    .iter()
+                    .any(|s| matches!(s.action, Action::Connect { dst, .. } if dst == id));
                 assert!(
                     driven,
                     "undriven wire {:?} ({})",

@@ -68,23 +68,59 @@ impl Netlist {
     /// Finds an input port node by name.
     #[must_use]
     pub fn input(&self, name: &str) -> Option<NodeId> {
-        self.inputs
-            .iter()
-            .find(|p| p.name == name)
-            .map(|p| p.node)
+        self.inputs.iter().find(|p| p.name == name).map(|p| p.node)
     }
 
     /// Finds an output port node by name.
     #[must_use]
     pub fn output(&self, name: &str) -> Option<NodeId> {
-        self.outputs
-            .iter()
-            .find(|p| p.name == name)
-            .map(|p| p.node)
+        self.outputs.iter().find(|p| p.name == name).map(|p| p.node)
     }
 
     /// Iterates over all node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
         (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Number of nodes in the netlist.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Chases wire indirections to the node that actually computes a
+    /// signal's value: for a wire (or a chain of wires) this is the
+    /// transitive driver; for every other node it is the node itself.
+    ///
+    /// Backends that compile the netlist use this to alias wire storage
+    /// to the driver's slot so wires cost nothing at simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wire has no resolved driver (lowered netlists always
+    /// resolve every wire).
+    #[must_use]
+    pub fn resolve_driver(&self, id: NodeId) -> NodeId {
+        let mut cur = id;
+        while matches!(self.nodes[cur.index()], Node::Wire { .. }) {
+            cur = self.wire_driver[cur.index()].expect("lowered wire has driver");
+        }
+        cur
+    }
+
+    /// The memory declaration behind an id.
+    #[must_use]
+    pub fn mem(&self, id: MemId) -> &MemInfo {
+        &self.mems[id.index()]
+    }
+
+    /// Iterates over `(name, node)` for all output ports.
+    pub fn output_ports(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.outputs.iter().map(|p| (p.name.as_str(), p.node))
+    }
+
+    /// Iterates over `(name, node)` for all input ports.
+    pub fn input_ports(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.inputs.iter().map(|p| (p.name.as_str(), p.node))
     }
 }

@@ -13,11 +13,12 @@ fn arb_expr() -> impl Strategy<Value = LabelExpr> {
     let leaf = prop_oneof![
         arb_label().prop_map(LabelExpr::Const),
         (0u32..8).prop_map(|n| LabelExpr::FromTag(NodeId::from_raw(n))),
-        (0u32..8, proptest::collection::vec(arb_label(), 1..5))
-            .prop_map(|(sel, entries)| LabelExpr::Table {
+        (0u32..8, proptest::collection::vec(arb_label(), 1..5)).prop_map(|(sel, entries)| {
+            LabelExpr::Table {
                 sel: NodeId::from_raw(sel),
                 entries,
-            }),
+            }
+        }),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![

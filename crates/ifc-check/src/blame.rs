@@ -124,9 +124,7 @@ fn walk(
                         mem: m2,
                         addr,
                         data,
-                    } if m2 == mem => {
-                        Some((data, addr, s.guards.iter().map(|g| g.cond).collect()))
-                    }
+                    } if m2 == mem => Some((data, addr, s.guards.iter().map(|g| g.cond).collect())),
                     _ => None,
                 })
                 .collect();
@@ -173,10 +171,7 @@ mod tests {
         let inference = infer(&design);
         let offence = Offence::Confidentiality(Label::PUBLIC_UNTRUSTED);
         let path = blame_path(&design, &inference, out.id(), &offence);
-        let names: Vec<&str> = path
-            .iter()
-            .filter_map(|&id| design.name_of(id))
-            .collect();
+        let names: Vec<&str> = path.iter().filter_map(|&id| design.name_of(id)).collect();
         assert_eq!(names, vec!["key", "stage1", "stage2", "out"]);
     }
 

@@ -190,10 +190,7 @@ fn check_downgrades(design: &Design, inference: &Inference, report: &mut CheckRe
                 match result {
                     Ok(_) => report.static_downgrades.push(id),
                     Err(err) => report.violations.push(Violation {
-                        message: format!(
-                            "downgrade at {}: {err}",
-                            design.describe(id)
-                        ),
+                        message: format!("downgrade at {}: {err}", design.describe(id)),
                         kind: ViolationKind::Downgrade {
                             node: id,
                             detail: err.to_string(),
@@ -442,10 +439,7 @@ mod tests {
         let way = m.input("way", 1);
         m.set_label(way, Label::PUBLIC_TRUSTED);
         let tag_i = m.input("tag_i", 19);
-        m.set_label(
-            tag_i,
-            LabelExpr::dl2(way.id(), l(0, 15), l(0, 0)),
-        );
+        m.set_label(tag_i, LabelExpr::dl2(way.id(), l(0, 15), l(0, 0)));
         let tag_0 = m.reg("tag_0", 19, 0);
         m.set_label(tag_0, Label::PUBLIC_TRUSTED); // (public, trusted)
         let tag_1 = m.reg("tag_1", 19, 0);

@@ -45,7 +45,11 @@ impl GuardCtx {
                 self.add_literal(design, *a, true);
                 self.add_literal(design, *b, true);
             }
-            Node::Binary { op: BinOp::Eq, a, b } => {
+            Node::Binary {
+                op: BinOp::Eq,
+                a,
+                b,
+            } => {
                 let (sig, value) = if let Node::Const { value, .. } = design.node(*b) {
                     (*a, *value)
                 } else if let Node::Const { value, .. } = design.node(*a) {
@@ -62,7 +66,11 @@ impl GuardCtx {
                     self.bindings.insert(sig, 1 - (value & 1));
                 }
             }
-            Node::Binary { op: BinOp::Ne, a, b } if !polarity => {
+            Node::Binary {
+                op: BinOp::Ne,
+                a,
+                b,
+            } if !polarity => {
                 if let Node::Const { value, .. } = design.node(*b) {
                     self.bindings.insert(*a, *value);
                 } else if let Node::Const { value, .. } = design.node(*a) {
@@ -96,9 +104,9 @@ impl GuardCtx {
     /// treating constant tag nodes by value.
     #[must_use]
     pub fn permits_tag_flow(&self, design: &Design, src: NodeId, dst: NodeId) -> bool {
-        self.perms.iter().any(|&(a, b)| {
-            tag_matches(design, a, src) && tag_matches(design, b, dst)
-        })
+        self.perms
+            .iter()
+            .any(|&(a, b)| tag_matches(design, a, src) && tag_matches(design, b, dst))
     }
 
     /// Whether the guard establishes `tag(src) ⊑ L` for a static sink
@@ -107,8 +115,7 @@ impl GuardCtx {
     #[must_use]
     pub fn permits_tag_to_static(&self, design: &Design, src: NodeId, sink: Label) -> bool {
         self.perms.iter().any(|&(a, b)| {
-            tag_matches(design, a, src)
-                && const_tag(design, b).is_some_and(|l| l.flows_to(sink))
+            tag_matches(design, a, src) && const_tag(design, b).is_some_and(|l| l.flows_to(sink))
         })
     }
 
@@ -118,8 +125,7 @@ impl GuardCtx {
     #[must_use]
     pub fn permits_static_to_tag(&self, design: &Design, source: Label, dst: NodeId) -> bool {
         self.perms.iter().any(|&(a, b)| {
-            tag_matches(design, b, dst)
-                && const_tag(design, a).is_some_and(|l| source.flows_to(l))
+            tag_matches(design, b, dst) && const_tag(design, a).is_some_and(|l| source.flows_to(l))
         })
     }
 }
@@ -172,11 +178,7 @@ fn alias_source(design: &Design, node: NodeId) -> Option<NodeId> {
 /// access at a different address must be paired with the tag-array read at
 /// *its own* address: if the design contains `MemRead(tag_mem, addr)` for
 /// this access's address node, the annotation is rewritten to refer to it.
-pub fn resolve_mem_label(
-    design: &Design,
-    mem: hdl::MemId,
-    addr: NodeId,
-) -> Option<LabelExpr> {
+pub fn resolve_mem_label(design: &Design, mem: hdl::MemId, addr: NodeId) -> Option<LabelExpr> {
     let expr = design.mems()[mem.index()].label.clone()?;
     let LabelExpr::FromTag(t) = &expr else {
         return Some(expr);
@@ -197,9 +199,7 @@ pub fn resolve_mem_label(
 /// Decodes a constant 8-bit node as a security label.
 pub fn const_tag(design: &Design, node: NodeId) -> Option<Label> {
     match design.node(node) {
-        Node::Const { width: 8, value } => {
-            Some(Label::from(SecurityTag::from_bits(*value as u8)))
-        }
+        Node::Const { width: 8, value } => Some(Label::from(SecurityTag::from_bits(*value as u8))),
         _ => None,
     }
 }
@@ -226,9 +226,7 @@ pub fn refine_source(
             None => AbstractLabel::of(expr.upper_bound()),
         },
         LabelExpr::FromTag(t) => AbstractLabel::of_tag(*t),
-        LabelExpr::Join(a, b) => {
-            refine_source(design, a, ctx).join(&refine_source(design, b, ctx))
-        }
+        LabelExpr::Join(a, b) => refine_source(design, a, ctx).join(&refine_source(design, b, ctx)),
         // A meet of label expressions as a source: sound to take the
         // expression's static upper bound.
         LabelExpr::Meet(..) => AbstractLabel::of(expr.upper_bound()),
@@ -314,11 +312,7 @@ mod tests {
         let d = m.finish();
         let ctx = GuardCtx::from_guards(&d, &d.stmts()[1].guards);
         assert!(ctx.permits_tag_to_static(&d, a.id(), secret));
-        assert!(!ctx.permits_tag_to_static(
-            &d,
-            a.id(),
-            Label::new(Conf::PUBLIC, Integ::new(3))
-        ));
+        assert!(!ctx.permits_tag_to_static(&d, a.id(), Label::new(Conf::PUBLIC, Integ::new(3))));
     }
 
     #[test]

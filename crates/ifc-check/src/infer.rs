@@ -38,8 +38,7 @@ pub fn infer(design: &Design) -> Inference {
     let n = design.node_count();
     let empty_ctx = GuardCtx::default();
     let mut labels: Vec<AbstractLabel> = vec![AbstractLabel::bottom(); n];
-    let mut mem_labels: Vec<AbstractLabel> =
-        vec![AbstractLabel::bottom(); design.mems().len()];
+    let mut mem_labels: Vec<AbstractLabel> = vec![AbstractLabel::bottom(); design.mems().len()];
     let mut warnings = Vec::new();
 
     // Fixed contracts from annotations.
@@ -115,9 +114,7 @@ pub fn infer(design: &Design) -> Inference {
                     if design.mems()[mem.index()].label.is_some() {
                         continue;
                     }
-                    let eff = labels[data.index()]
-                        .join(&labels[addr.index()])
-                        .join(&pc);
+                    let eff = labels[data.index()].join(&labels[addr.index()]).join(&pc);
                     changed |= mem_labels[mem.index()].join_assign(&eff);
                 }
             }
@@ -204,7 +201,10 @@ mod tests {
         m.output("r2", r2);
         let d = m.finish();
         let inf = infer(&d);
-        assert_eq!(inf.node_labels[r2.id().index()].base, Label::SECRET_UNTRUSTED);
+        assert_eq!(
+            inf.node_labels[r2.id().index()].base,
+            Label::SECRET_UNTRUSTED
+        );
         assert!(inf.iterations < 20);
     }
 

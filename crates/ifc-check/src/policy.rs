@@ -98,14 +98,8 @@ impl fmt::Display for PolicyOutcome {
 #[must_use]
 pub fn check_policy(design: &Design, policy: &FlowPolicy) -> PolicyOutcome {
     let permitted = match policy.kind {
-        PolicyKind::Confidentiality => policy
-            .source_label
-            .conf
-            .flows_to(policy.sink_label.conf),
-        PolicyKind::Integrity => policy
-            .source_label
-            .integ
-            .flows_to(policy.sink_label.integ),
+        PolicyKind::Confidentiality => policy.source_label.conf.flows_to(policy.sink_label.conf),
+        PolicyKind::Integrity => policy.source_label.integ.flows_to(policy.sink_label.integ),
     };
     let flow_exists = reaches(design, policy.source, policy.sink, policy.kind);
     PolicyOutcome {
@@ -243,10 +237,9 @@ fn stmt_is_enforced(design: &Design, stmt: &hdl::Stmt) -> bool {
         return true;
     }
     match stmt.action {
-        Action::Connect { dst, .. } => matches!(
-            design.label_of(dst),
-            Some(hdl::LabelExpr::FromTag(_))
-        ),
+        Action::Connect { dst, .. } => {
+            matches!(design.label_of(dst), Some(hdl::LabelExpr::FromTag(_)))
+        }
         Action::MemWrite { mem, .. } => matches!(
             design.mems()[mem.index()].label,
             Some(hdl::LabelExpr::FromTag(_))

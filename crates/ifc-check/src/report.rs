@@ -108,7 +108,11 @@ impl fmt::Display for CheckReport {
                 self.runtime_checked_downgrades.len()
             )?;
         } else {
-            writeln!(f, "{} information-flow violation(s):", self.violations.len())?;
+            writeln!(
+                f,
+                "{} information-flow violation(s):",
+                self.violations.len()
+            )?;
             for v in &self.violations {
                 writeln!(f, "  - {v}")?;
             }

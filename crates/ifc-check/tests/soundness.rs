@@ -7,7 +7,6 @@
 //! to guarantee (modulo downgrading, which these random designs do not
 //! use). A counterexample here would be a genuine checker bug.
 
-
 use hdl::{Design, ModuleBuilder, Sig};
 use ifc_lattice::Label;
 use proptest::prelude::*;
@@ -71,7 +70,11 @@ fn build(recipe: &Recipe) -> (Design, Vec<String>, Vec<bool>) {
     for &(op, ai, bi) in &recipe.ops {
         let a = pool[ai as usize % pool.len()];
         let b = pool[bi as usize % pool.len()];
-        let (a, b) = if a.width() == b.width() { (a, b) } else { (a, a) };
+        let (a, b) = if a.width() == b.width() {
+            (a, b)
+        } else {
+            (a, a)
+        };
         let node = match op % 9 {
             0 => m.and(a, b),
             1 => m.or(a, b),

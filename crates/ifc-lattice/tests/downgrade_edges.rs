@@ -37,7 +37,10 @@ fn declassification_target_adds_to_authority() {
     // principal's authority, so even a one-level drop needs authority for
     // the *source* level when the target sits below it.
     let weak_principal = l(0, 3); // authority r(I3) = C3
-    assert!(declassify(l(9, 1), l(9, 1), weak_principal).is_ok(), "no-op");
+    assert!(
+        declassify(l(9, 1), l(9, 1), weak_principal).is_ok(),
+        "no-op"
+    );
     assert!(
         declassify(l(9, 1), l(8, 1), weak_principal).is_err(),
         "9 ⋢ 8 ⊔ 3: even a one-level drop exceeds the authority"

@@ -1,8 +1,6 @@
 //! Property-based tests of the lattice laws and downgrading invariants.
 
-use ifc_lattice::{
-    declassify, endorse, reflect_conf, reflect_integ, Conf, Integ, Label, Lattice,
-};
+use ifc_lattice::{declassify, endorse, reflect_conf, reflect_integ, Conf, Integ, Label, Lattice};
 use proptest::prelude::*;
 
 fn arb_conf() -> impl Strategy<Value = Conf> {

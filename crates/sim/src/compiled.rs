@@ -1,0 +1,991 @@
+//! The compiled simulation backend: a netlist lowered once into a flat
+//! instruction tape, then executed with a tight dispatch loop.
+//!
+//! [`CompiledSim`] trades a one-time lowering pass for much cheaper
+//! per-cycle work compared to [`Simulator`](crate::Simulator):
+//!
+//! * **Flat struct-of-arrays tape.** Each combinational node becomes one
+//!   fixed-size instruction (opcode + pre-resolved operand slots +
+//!   precomputed output mask) in topological order. The dispatch loop
+//!   walks parallel arrays instead of pattern-matching a recursive
+//!   [`Node`](hdl::Node) enum through pointer-chasing lookups.
+//! * **Wires cost nothing.** Wire nodes are aliased to their transitive
+//!   driver's value slot at compile time, so the chains of named wires a
+//!   lowered design produces generate no instructions and no copies.
+//! * **Compiled label tracking.** The executor is monomorphised over the
+//!   tracking mode: with [`TrackMode::Off`] the label code paths are
+//!   compiled out entirely, so untracked simulation pays zero label cost.
+//! * **No allocation in the hot path.** `tick`/`eval` touch only
+//!   preallocated arrays; the register update uses a preallocated
+//!   two-phase scratch buffer. (Recording a violation stores a
+//!   heap-allocated report, but a design that raises no violations never
+//!   allocates after construction.)
+//!
+//! Semantics are bit-for-bit identical to the interpreting
+//! [`Simulator`](crate::Simulator) — values, labels, and the recorded
+//! violation stream all match, which the differential test suites
+//! enforce. The interpreter remains the reference oracle; this backend is
+//! the throughput engine.
+
+use hdl::{mask, BinOp, Netlist, Node, NodeId, UnOp, Value};
+use ifc_lattice::{Label, SecurityTag};
+
+use crate::simulator::{build_output_checks, compute_widths, AllowedLabel, DEFAULT_VIOLATION_CAP};
+use crate::violation::RuntimeViolation;
+use crate::TrackMode;
+
+/// Tape opcodes. One per combinational node kind; `Input`, `Const`,
+/// `Reg`, and `Wire` nodes compile to no instruction at all (their
+/// values live directly in slots, wires alias their driver's slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Bitwise complement of `a`.
+    Not,
+    /// OR-reduce `a` to one bit.
+    ReduceOr,
+    /// AND-reduce: `a == aux` (aux holds the operand's full mask).
+    ReduceAnd,
+    /// XOR-reduce (parity) of `a`.
+    ReduceXor,
+    /// `a & b`.
+    And,
+    /// `a | b`.
+    Or,
+    /// `a ^ b`.
+    Xor,
+    /// Wrapping `a + b`.
+    Add,
+    /// Wrapping `a - b`.
+    Sub,
+    /// `a == b`, one bit.
+    Eq,
+    /// `a != b`, one bit.
+    Ne,
+    /// `a < b`, one bit.
+    Lt,
+    /// `a >= b`, one bit.
+    Ge,
+    /// Packed-tag flow check `a ⊑ b`, one bit.
+    TagLeq,
+    /// Packed-tag join.
+    TagJoin,
+    /// Packed-tag meet.
+    TagMeet,
+    /// `if a & 1 { b } else { c }`.
+    Mux,
+    /// `(a >> b) & out_mask`.
+    Slice,
+    /// `(a << c) | b`.
+    Cat,
+    /// Read memory `b` at address `a` (modulo depth).
+    MemRead,
+    /// Declassify data `a` on behalf of principal signal `b`; `aux` is
+    /// the packed target tag, `c` the original node id (for reports).
+    Declassify,
+    /// Endorse — integrity dual of [`Op::Declassify`].
+    Endorse,
+}
+
+/// The instruction tape in struct-of-arrays layout: parallel arrays
+/// indexed by instruction, so the dispatch loop streams each field
+/// sequentially through cache.
+#[derive(Debug, Clone, Default)]
+struct Tape {
+    ops: Vec<Op>,
+    /// Destination value/label slot.
+    dst: Vec<u32>,
+    /// First operand slot.
+    a: Vec<u32>,
+    /// Second operand slot, slice shift amount, or memory index.
+    b: Vec<u32>,
+    /// Third operand slot, cat shift amount, or original node id.
+    c: Vec<u32>,
+    /// Wide immediate: ReduceAnd full-operand mask, downgrade target tag.
+    aux: Vec<Value>,
+    /// Precomputed width mask applied to every result.
+    out_mask: Vec<Value>,
+}
+
+impl Tape {
+    #[allow(clippy::too_many_arguments)]
+    fn push(&mut self, op: Op, dst: u32, a: u32, b: u32, c: u32, aux: Value, out_mask: Value) {
+        self.ops.push(op);
+        self.dst.push(dst);
+        self.a.push(a);
+        self.b.push(b);
+        self.c.push(c);
+        self.aux.push(aux);
+        self.out_mask.push(out_mask);
+    }
+}
+
+/// A compiled register update: on the clock edge, `dst` slot takes the
+/// settled value of `src` slot, masked to the register's width.
+#[derive(Debug, Clone, Copy)]
+struct RegUpdate {
+    dst: u32,
+    src: u32,
+    mask: Value,
+}
+
+/// A compiled memory write port (operand node ids pre-resolved to slots).
+#[derive(Debug, Clone, Copy)]
+struct CompiledWritePort {
+    mem: u32,
+    addr: u32,
+    data: u32,
+    en: u32,
+}
+
+/// One output-port release check with the port node pre-resolved to its
+/// slot.
+#[derive(Debug, Clone)]
+struct CompiledCheck {
+    port: String,
+    slot: u32,
+    allowed: AllowedLabel,
+}
+
+/// Width mask for a slot/instruction result (all-ones at full width so a
+/// plain `&` is always correct).
+fn mask_of(width: u16) -> Value {
+    mask(Value::MAX, width.max(1))
+}
+
+/// Appends a violation, honouring the cap.
+fn push_violation(
+    violations: &mut Vec<RuntimeViolation>,
+    cap: usize,
+    truncated: &mut bool,
+    v: RuntimeViolation,
+) {
+    if violations.len() < cap {
+        violations.push(v);
+    } else {
+        *truncated = true;
+    }
+}
+
+/// The runtime release gate over settled slots, against the precompiled
+/// check table. Shared between the recording propagation and the
+/// settled-state fast path in [`CompiledSim::tick`].
+#[allow(clippy::too_many_arguments)]
+fn run_output_checks(
+    output_checks: &[CompiledCheck],
+    values: &[Value],
+    labels: &[Label],
+    slot_of: &[u32],
+    cycle: u64,
+    violations: &mut Vec<RuntimeViolation>,
+    cap: usize,
+    truncated: &mut bool,
+) {
+    for check in output_checks {
+        let allowed = match &check.allowed {
+            AllowedLabel::Const(l) => *l,
+            AllowedLabel::Dynamic(expr) => {
+                let mut resolve = |sig: NodeId| values[slot_of[sig.index()] as usize];
+                expr.eval(&mut resolve)
+            }
+        };
+        let label = labels[check.slot as usize];
+        if !label.flows_to(allowed) {
+            push_violation(
+                violations,
+                cap,
+                truncated,
+                RuntimeViolation::OutputLeak {
+                    cycle,
+                    port: check.port.clone(),
+                    label,
+                    allowed,
+                },
+            );
+        }
+    }
+}
+
+/// Compiled-tape simulation backend.
+///
+/// Drop-in alternative to [`Simulator`](crate::Simulator) with identical
+/// observable behaviour (same drive/eval/tick protocol, same values,
+/// labels, and violation stream) but a much faster cycle loop. See the
+/// [module docs](self) for how it gets there.
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    net: Netlist,
+    mode: TrackMode,
+    /// Node index → value/label slot (wires alias their driver's slot).
+    slot_of: Vec<u32>,
+    /// Per-*node* widths (needed to mask driven input values).
+    node_widths: Vec<u16>,
+    tape: Tape,
+    /// Per-slot settled values. Register and input state lives here
+    /// directly — there is no separate state array to copy from.
+    values: Vec<Value>,
+    /// Per-slot runtime labels, parallel to `values`.
+    labels: Vec<Label>,
+    mem_state: Vec<Vec<Value>>,
+    mem_labels: Vec<Vec<Label>>,
+    regs: Vec<RegUpdate>,
+    /// Two-phase clock-edge scratch (preallocated; see [`tick`](Self::tick)).
+    reg_scratch: Vec<Value>,
+    reg_label_scratch: Vec<Label>,
+    write_ports: Vec<CompiledWritePort>,
+    output_checks: Vec<CompiledCheck>,
+    /// Tape indices of the downgrade instructions, for the settled-state
+    /// violation scan in [`tick`](Self::tick).
+    downgrades: Vec<u32>,
+    clean: bool,
+    cycle: u64,
+    violations: Vec<RuntimeViolation>,
+    violation_cap: usize,
+    violations_truncated: bool,
+}
+
+impl CompiledSim {
+    /// Compiles a netlist with the default conservative tracking.
+    #[must_use]
+    pub fn new(net: Netlist) -> CompiledSim {
+        CompiledSim::with_tracking(net, TrackMode::default())
+    }
+
+    /// Compiles a netlist for the given tracking mode.
+    ///
+    /// This is the one-time lowering pass: it assigns value slots
+    /// (aliasing wires away), precomputes widths and masks, and emits the
+    /// instruction tape in topological order.
+    #[must_use]
+    pub fn with_tracking(net: Netlist, mode: TrackMode) -> CompiledSim {
+        let n = net.node_count();
+        let node_widths = compute_widths(&net);
+
+        // Slot assignment: every non-wire node owns a slot; wires alias
+        // the slot of their transitive driver.
+        let mut slot_of = vec![u32::MAX; n];
+        let mut num_slots: u32 = 0;
+        for id in net.node_ids() {
+            if !matches!(net.node(id), Node::Wire { .. }) {
+                slot_of[id.index()] = num_slots;
+                num_slots += 1;
+            }
+        }
+        for id in net.node_ids() {
+            if matches!(net.node(id), Node::Wire { .. }) {
+                slot_of[id.index()] = slot_of[net.resolve_driver(id).index()];
+            }
+        }
+        let slot = |id: NodeId| slot_of[id.index()];
+
+        // Initial slot state: constants and register init values are
+        // baked in; everything else starts at zero / public-trusted.
+        let mut values = vec![0 as Value; num_slots as usize];
+        for id in net.node_ids() {
+            match *net.node(id) {
+                Node::Const { value, width } => {
+                    values[slot(id) as usize] = mask(value, width.max(1));
+                }
+                Node::Reg { init, width } => {
+                    values[slot(id) as usize] = mask(init, width.max(1));
+                }
+                _ => {}
+            }
+        }
+
+        // The instruction tape, in the netlist's combinational order.
+        let mut tape = Tape::default();
+        for &id in &net.topo {
+            let idx = id.index();
+            let dst = slot_of[idx];
+            let out_mask = mask_of(node_widths[idx]);
+            match *net.node(id) {
+                // Stateful / constant / aliased nodes need no instruction.
+                Node::Input { .. } | Node::Const { .. } | Node::Reg { .. } | Node::Wire { .. } => {}
+                Node::MemRead { mem, addr } => {
+                    tape.push(
+                        Op::MemRead,
+                        dst,
+                        slot(addr),
+                        mem.index() as u32,
+                        0,
+                        0,
+                        out_mask,
+                    );
+                }
+                Node::Unary { op, a } => {
+                    let (op, aux) = match op {
+                        UnOp::Not => (Op::Not, 0),
+                        UnOp::ReduceOr => (Op::ReduceOr, 0),
+                        UnOp::ReduceAnd => (Op::ReduceAnd, mask_of(node_widths[a.index()])),
+                        UnOp::ReduceXor => (Op::ReduceXor, 0),
+                    };
+                    tape.push(op, dst, slot(a), 0, 0, aux, out_mask);
+                }
+                Node::Binary { op, a, b } => {
+                    let op = match op {
+                        BinOp::And => Op::And,
+                        BinOp::Or => Op::Or,
+                        BinOp::Xor => Op::Xor,
+                        BinOp::Add => Op::Add,
+                        BinOp::Sub => Op::Sub,
+                        BinOp::Eq => Op::Eq,
+                        BinOp::Ne => Op::Ne,
+                        BinOp::Lt => Op::Lt,
+                        BinOp::Ge => Op::Ge,
+                        BinOp::TagLeq => Op::TagLeq,
+                        BinOp::TagJoin => Op::TagJoin,
+                        BinOp::TagMeet => Op::TagMeet,
+                    };
+                    tape.push(op, dst, slot(a), slot(b), 0, 0, out_mask);
+                }
+                Node::Mux { sel, t, f } => {
+                    tape.push(Op::Mux, dst, slot(sel), slot(t), slot(f), 0, out_mask);
+                }
+                Node::Slice { a, lo, .. } => {
+                    tape.push(Op::Slice, dst, slot(a), u32::from(lo), 0, 0, out_mask);
+                }
+                Node::Cat { hi, lo } => {
+                    let shift = u32::from(node_widths[lo.index()]);
+                    tape.push(Op::Cat, dst, slot(hi), slot(lo), shift, 0, out_mask);
+                }
+                Node::Declassify {
+                    data,
+                    to_tag,
+                    principal,
+                } => {
+                    tape.push(
+                        Op::Declassify,
+                        dst,
+                        slot(data),
+                        slot(principal),
+                        idx as u32,
+                        Value::from(to_tag),
+                        out_mask,
+                    );
+                }
+                Node::Endorse {
+                    data,
+                    to_tag,
+                    principal,
+                } => {
+                    tape.push(
+                        Op::Endorse,
+                        dst,
+                        slot(data),
+                        slot(principal),
+                        idx as u32,
+                        Value::from(to_tag),
+                        out_mask,
+                    );
+                }
+            }
+        }
+
+        // Clock-edge tables.
+        let mut regs = Vec::new();
+        for id in net.node_ids() {
+            let idx = id.index();
+            if let Some(next) = net.reg_next[idx] {
+                regs.push(RegUpdate {
+                    dst: slot_of[idx],
+                    src: slot_of[next.index()],
+                    mask: mask_of(node_widths[idx]),
+                });
+            }
+        }
+        let write_ports = net
+            .write_ports
+            .iter()
+            .map(|wp| CompiledWritePort {
+                mem: wp.mem.index() as u32,
+                addr: slot(wp.addr),
+                data: slot(wp.data),
+                en: slot(wp.en),
+            })
+            .collect();
+
+        let mem_state: Vec<Vec<Value>> = net
+            .mems
+            .iter()
+            .map(|m| {
+                let mut cells = m.init.clone();
+                cells.resize(m.depth, 0);
+                cells
+            })
+            .collect();
+        let mem_labels = net
+            .mems
+            .iter()
+            .map(|m| vec![Label::PUBLIC_TRUSTED; m.depth])
+            .collect();
+
+        let output_checks = build_output_checks(&net)
+            .into_iter()
+            .map(|c| CompiledCheck {
+                slot: slot_of[c.node.index()],
+                port: c.port,
+                allowed: c.allowed,
+            })
+            .collect();
+
+        let downgrades = tape
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, Op::Declassify | Op::Endorse))
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        let reg_count = regs.len();
+        CompiledSim {
+            mode,
+            slot_of,
+            node_widths,
+            tape,
+            labels: vec![Label::PUBLIC_TRUSTED; values.len()],
+            values,
+            mem_state,
+            mem_labels,
+            regs,
+            reg_scratch: vec![0; reg_count],
+            reg_label_scratch: vec![Label::PUBLIC_TRUSTED; reg_count],
+            write_ports,
+            output_checks,
+            downgrades,
+            clean: false,
+            cycle: 0,
+            violations: Vec::new(),
+            violation_cap: DEFAULT_VIOLATION_CAP,
+            violations_truncated: false,
+            net,
+        }
+    }
+
+    /// The wrapped netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.net
+    }
+
+    /// The tracking mode this backend was compiled for.
+    #[must_use]
+    pub fn mode(&self) -> TrackMode {
+        self.mode
+    }
+
+    /// The current cycle count (number of completed [`tick`](Self::tick)s).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// All violations the tracking logic has raised so far.
+    #[must_use]
+    pub fn violations(&self) -> &[RuntimeViolation] {
+        &self.violations
+    }
+
+    /// Whether violations were dropped at the cap (see
+    /// [`set_violation_cap`](Self::set_violation_cap)).
+    #[must_use]
+    pub fn violations_truncated(&self) -> bool {
+        self.violations_truncated
+    }
+
+    /// Bounds the recorded violation stream, mirroring
+    /// [`Simulator::set_violation_cap`](crate::Simulator::set_violation_cap).
+    pub fn set_violation_cap(&mut self, cap: usize) {
+        self.violation_cap = cap;
+    }
+
+    /// Number of instructions on the compiled tape (diagnostic; wires and
+    /// state nodes contribute none).
+    #[must_use]
+    pub fn tape_len(&self) -> usize {
+        self.tape.ops.len()
+    }
+
+    fn resolve_input(&self, name: &str) -> NodeId {
+        self.net
+            .input(name)
+            .unwrap_or_else(|| panic!("no input port named {name:?}"))
+    }
+
+    fn lookup(&self, name: &str) -> NodeId {
+        self.net
+            .output(name)
+            .or_else(|| self.net.input(name))
+            .or_else(|| {
+                self.net
+                    .node_ids()
+                    .find(|&id| self.net.name_of(id) == Some(name))
+            })
+            .unwrap_or_else(|| panic!("no port or node named {name:?}"))
+    }
+
+    /// Drives an input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port has that name.
+    pub fn set(&mut self, name: &str, value: Value) {
+        let id = self.resolve_input(name);
+        self.set_node(id, value);
+    }
+
+    /// Drives an input port by node id.
+    pub fn set_node(&mut self, id: NodeId, value: Value) {
+        let width = self.node_widths[id.index()];
+        self.values[self.slot_of[id.index()] as usize] = mask(value, width);
+        self.clean = false;
+    }
+
+    /// Sets the runtime label accompanying an input's data (defaults to
+    /// `(P,T)`). A no-op with tracking off, matching the interpreter
+    /// (whose labels stay at their initial public-trusted state).
+    pub fn set_label(&mut self, name: &str, label: Label) {
+        let id = self.resolve_input(name);
+        if self.mode != TrackMode::Off {
+            self.labels[self.slot_of[id.index()] as usize] = label;
+        }
+        self.clean = false;
+    }
+
+    /// Reads a signal's settled value by port or node name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no port or named node matches.
+    pub fn peek(&mut self, name: &str) -> Value {
+        let id = self.lookup(name);
+        self.eval();
+        self.values[self.slot_of[id.index()] as usize]
+    }
+
+    /// Reads a signal's settled runtime label.
+    pub fn peek_label(&mut self, name: &str) -> Label {
+        let id = self.lookup(name);
+        self.eval();
+        self.labels[self.slot_of[id.index()] as usize]
+    }
+
+    /// Reads a settled value by node id.
+    pub fn peek_node(&mut self, id: NodeId) -> Value {
+        self.eval();
+        self.values[self.slot_of[id.index()] as usize]
+    }
+
+    /// Reads a settled runtime label by node id.
+    pub fn peek_node_label(&mut self, id: NodeId) -> Label {
+        self.eval();
+        self.labels[self.slot_of[id.index()] as usize]
+    }
+
+    /// Reads a memory cell directly (for test assertions).
+    #[must_use]
+    pub fn mem_cell(&self, mem: usize, addr: usize) -> Value {
+        self.mem_state[mem][addr]
+    }
+
+    /// Reads a memory cell's runtime label directly.
+    #[must_use]
+    pub fn mem_cell_label(&self, mem: usize, addr: usize) -> Label {
+        self.mem_labels[mem][addr]
+    }
+
+    /// Finds a memory's index by its declared name.
+    #[must_use]
+    pub fn mem_index(&self, name: &str) -> Option<usize> {
+        self.net.mems.iter().position(|m| m.name == name)
+    }
+
+    /// Sets a memory cell's runtime label directly (provisioned secrets;
+    /// see [`Simulator::set_mem_cell_label`](crate::Simulator::set_mem_cell_label)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem` or `addr` is out of range.
+    pub fn set_mem_cell_label(&mut self, mem: usize, addr: usize, label: Label) {
+        self.mem_labels[mem][addr] = label;
+        self.clean = false;
+    }
+
+    /// Settles combinational logic for the current inputs. Idempotent.
+    pub fn eval(&mut self) {
+        if self.clean {
+            return;
+        }
+        self.propagate(false);
+        self.clean = true;
+    }
+
+    /// Advances one clock cycle: settles combinational logic (recording
+    /// any violations), updates registers and memories, then increments
+    /// the cycle counter.
+    pub fn tick(&mut self) {
+        if self.clean {
+            // `eval` already settled every slot for these exact inputs;
+            // a recording propagation would recompute identical values
+            // and labels. Only the violation scan — the downgrade gates
+            // and the output release checks — still has to run, so the
+            // tape itself is skipped. This is the common shape under a
+            // transaction driver, which reads the output handshake
+            // (forcing an eval) in the same cycle it then clocks.
+            self.record_settled_violations();
+        } else {
+            self.propagate(true);
+        }
+        self.clean = false;
+
+        let track = self.mode != TrackMode::Off;
+        // Clock edge, phase 1: snapshot every register's next value while
+        // all slots still hold settled combinational state. Registers
+        // live in the same slot array their readers see, so installing
+        // in-place without the snapshot would let one register's update
+        // corrupt another's (or a write port's) view of this cycle.
+        for (i, r) in self.regs.iter().enumerate() {
+            self.reg_scratch[i] = self.values[r.src as usize] & r.mask;
+        }
+        if track {
+            for (i, r) in self.regs.iter().enumerate() {
+                self.reg_label_scratch[i] = self.labels[r.src as usize];
+            }
+        }
+        // Memory write ports next, in statement order — they too must
+        // observe the settled pre-edge values (address/data/enable may
+        // read register slots).
+        for wp in &self.write_ports {
+            if self.values[wp.en as usize] & 1 == 1 {
+                let mem = wp.mem as usize;
+                let depth = self.mem_state[mem].len();
+                let addr = (self.values[wp.addr as usize] as usize) % depth;
+                self.mem_state[mem][addr] = self.values[wp.data as usize];
+                if track {
+                    let label = self.labels[wp.data as usize]
+                        .join(self.labels[wp.addr as usize])
+                        .join(self.labels[wp.en as usize]);
+                    self.mem_labels[mem][addr] = label;
+                }
+            }
+        }
+        // Phase 2: install the snapshot.
+        for (i, r) in self.regs.iter().enumerate() {
+            self.values[r.dst as usize] = self.reg_scratch[i];
+        }
+        if track {
+            for (i, r) in self.regs.iter().enumerate() {
+                self.labels[r.dst as usize] = self.reg_label_scratch[i];
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` clock cycles with the current inputs.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Records exactly the violations a recording propagation would raise
+    /// over the current *settled* state, without re-executing the tape:
+    /// each downgrade gate's accept/reject is recomputed from its settled
+    /// operands (in tape order, matching the recording order of a full
+    /// pass), then the output release checks run. Only valid when `clean`.
+    fn record_settled_violations(&mut self) {
+        if self.mode == TrackMode::Off {
+            return;
+        }
+        let CompiledSim {
+            tape,
+            values,
+            labels,
+            violations,
+            violation_cap,
+            violations_truncated,
+            output_checks,
+            slot_of,
+            cycle,
+            downgrades,
+            ..
+        } = self;
+        for &i in downgrades.iter() {
+            let i = i as usize;
+            let from = labels[tape.a[i] as usize];
+            let to = Label::from(SecurityTag::from_bits(tape.aux[i] as u8));
+            let p = Label::from(SecurityTag::from_bits(values[tape.b[i] as usize] as u8));
+            let rejected = match tape.ops[i] {
+                Op::Declassify => ifc_lattice::declassify(from, to, p).is_err(),
+                _ => ifc_lattice::endorse(from, to, p).is_err(),
+            };
+            if rejected {
+                push_violation(
+                    violations,
+                    *violation_cap,
+                    violations_truncated,
+                    RuntimeViolation::DowngradeRejected {
+                        cycle: *cycle,
+                        node: NodeId::from_raw(tape.c[i]),
+                        from,
+                        to,
+                        principal: p,
+                    },
+                );
+            }
+        }
+        run_output_checks(
+            output_checks,
+            values,
+            labels,
+            slot_of,
+            *cycle,
+            violations,
+            *violation_cap,
+            violations_truncated,
+        );
+    }
+
+    /// Dispatches to the executor monomorphised for this tracking mode.
+    fn propagate(&mut self, record: bool) {
+        match self.mode {
+            TrackMode::Off => self.exec::<false, false>(record),
+            TrackMode::Conservative => self.exec::<true, false>(record),
+            TrackMode::Precise => self.exec::<true, true>(record),
+        }
+    }
+
+    /// The dispatch loop. `TRACK` compiles label propagation in or out;
+    /// `PRECISE` selects the mux label rule. Violations are recorded only
+    /// when `record` (i.e. from [`tick`](Self::tick), never from
+    /// [`eval`](Self::eval)), matching the interpreter.
+    #[allow(clippy::too_many_lines)]
+    fn exec<const TRACK: bool, const PRECISE: bool>(&mut self, record: bool) {
+        // Disjoint field borrows: the tape is read-only while slots,
+        // memories, and the violation stream are written.
+        let CompiledSim {
+            tape,
+            values,
+            labels,
+            mem_state,
+            mem_labels,
+            violations,
+            violation_cap,
+            violations_truncated,
+            output_checks,
+            slot_of,
+            cycle,
+            ..
+        } = self;
+        // Reslicing every tape column to the common length lets the
+        // compiler prove the per-instruction column indexing in bounds
+        // and drop the checks from the dispatch loop.
+        let n = tape.ops.len();
+        let ops = &tape.ops[..n];
+        let col_dst = &tape.dst[..n];
+        let col_a = &tape.a[..n];
+        let col_b = &tape.b[..n];
+        let col_c = &tape.c[..n];
+        let col_aux = &tape.aux[..n];
+        let col_mask = &tape.out_mask[..n];
+        for i in 0..n {
+            let a = col_a[i] as usize;
+            let b = col_b[i] as usize;
+            let mut label = Label::PUBLIC_TRUSTED;
+            let value = match ops[i] {
+                Op::Not => {
+                    if TRACK {
+                        label = labels[a];
+                    }
+                    !values[a]
+                }
+                Op::ReduceOr => {
+                    if TRACK {
+                        label = labels[a];
+                    }
+                    Value::from(values[a] != 0)
+                }
+                Op::ReduceAnd => {
+                    if TRACK {
+                        label = labels[a];
+                    }
+                    Value::from(values[a] == col_aux[i])
+                }
+                Op::ReduceXor => {
+                    if TRACK {
+                        label = labels[a];
+                    }
+                    Value::from(values[a].count_ones() % 2 == 1)
+                }
+                Op::And => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    values[a] & values[b]
+                }
+                Op::Or => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    values[a] | values[b]
+                }
+                Op::Xor => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    values[a] ^ values[b]
+                }
+                Op::Add => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    values[a].wrapping_add(values[b])
+                }
+                Op::Sub => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    values[a].wrapping_sub(values[b])
+                }
+                Op::Eq => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    Value::from(values[a] == values[b])
+                }
+                Op::Ne => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    Value::from(values[a] != values[b])
+                }
+                Op::Lt => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    Value::from(values[a] < values[b])
+                }
+                Op::Ge => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    Value::from(values[a] >= values[b])
+                }
+                Op::TagLeq => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    let la = Label::from(SecurityTag::from_bits(values[a] as u8));
+                    let lb = Label::from(SecurityTag::from_bits(values[b] as u8));
+                    Value::from(la.flows_to(lb))
+                }
+                Op::TagJoin => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    let la = Label::from(SecurityTag::from_bits(values[a] as u8));
+                    let lb = Label::from(SecurityTag::from_bits(values[b] as u8));
+                    Value::from(SecurityTag::from(la.join(lb)).bits())
+                }
+                Op::TagMeet => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    let la = Label::from(SecurityTag::from_bits(values[a] as u8));
+                    let lb = Label::from(SecurityTag::from_bits(values[b] as u8));
+                    Value::from(SecurityTag::from(la.meet(lb)).bits())
+                }
+                Op::Mux => {
+                    let c = col_c[i] as usize;
+                    let sel = values[a] & 1;
+                    if TRACK {
+                        label = if PRECISE {
+                            let arm = if sel == 1 { labels[b] } else { labels[c] };
+                            labels[a].join(arm)
+                        } else {
+                            labels[a].join(labels[b]).join(labels[c])
+                        };
+                    }
+                    if sel == 1 {
+                        values[b]
+                    } else {
+                        values[c]
+                    }
+                }
+                Op::Slice => {
+                    if TRACK {
+                        label = labels[a];
+                    }
+                    values[a] >> b
+                }
+                Op::Cat => {
+                    if TRACK {
+                        label = labels[a].join(labels[b]);
+                    }
+                    (values[a] << col_c[i]) | values[b]
+                }
+                Op::MemRead => {
+                    let depth = mem_state[b].len();
+                    let addr = (values[a] as usize) % depth;
+                    if TRACK {
+                        label = mem_labels[b][addr].join(labels[a]);
+                    }
+                    mem_state[b][addr]
+                }
+                Op::Declassify | Op::Endorse => {
+                    if TRACK {
+                        let from = labels[a];
+                        let to = Label::from(SecurityTag::from_bits(col_aux[i] as u8));
+                        let p = Label::from(SecurityTag::from_bits(values[b] as u8));
+                        let downgraded = if ops[i] == Op::Declassify {
+                            ifc_lattice::declassify(from, to, p)
+                        } else {
+                            ifc_lattice::endorse(from, to, p)
+                        };
+                        label = match downgraded {
+                            Ok(l) => l,
+                            Err(_) => {
+                                if record {
+                                    push_violation(
+                                        violations,
+                                        *violation_cap,
+                                        violations_truncated,
+                                        RuntimeViolation::DowngradeRejected {
+                                            cycle: *cycle,
+                                            node: NodeId::from_raw(col_c[i]),
+                                            from,
+                                            to,
+                                            principal: p,
+                                        },
+                                    );
+                                }
+                                // Refused downgrade: keep the restrictive
+                                // label, same as the interpreter.
+                                from
+                            }
+                        };
+                    }
+                    values[a]
+                }
+            };
+            let dst = col_dst[i] as usize;
+            values[dst] = value & col_mask[i];
+            if TRACK {
+                labels[dst] = label;
+            }
+        }
+
+        // The runtime release gate, against the precompiled check table.
+        if record && TRACK {
+            run_output_checks(
+                output_checks,
+                values,
+                labels,
+                slot_of,
+                *cycle,
+                violations,
+                *violation_cap,
+                violations_truncated,
+            );
+        }
+    }
+}

@@ -44,10 +44,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
+mod compiled;
 mod simulator;
 pub mod vcd;
 mod violation;
 
+pub use backend::SimBackend;
+pub use compiled::CompiledSim;
 pub use simulator::{Simulator, TrackMode};
 pub use vcd::VcdRecorder;
 pub use violation::RuntimeViolation;

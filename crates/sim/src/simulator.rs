@@ -2,10 +2,49 @@
 
 use std::collections::HashMap;
 
-use hdl::{mask, BinOp, Netlist, Node, NodeId, UnOp, Value};
+use hdl::{mask, BinOp, LabelExpr, Netlist, Node, NodeId, UnOp, Value};
 use ifc_lattice::{Label, SecurityTag};
 
 use crate::violation::RuntimeViolation;
+
+/// Default bound on the recorded violation stream (see
+/// [`Simulator::set_violation_cap`]).
+pub(crate) const DEFAULT_VIOLATION_CAP: usize = 10_000;
+
+/// The release label an output port is checked against, pre-resolved at
+/// construction so the per-tick check allocates nothing.
+#[derive(Debug, Clone)]
+pub(crate) enum AllowedLabel {
+    /// The port's label is static (or absent: the open interconnect's
+    /// `(P,U)`).
+    Const(Label),
+    /// The port's label depends on runtime signal values.
+    Dynamic(LabelExpr),
+}
+
+/// One entry of the precomputed output-port check table.
+#[derive(Debug, Clone)]
+pub(crate) struct OutputCheck {
+    pub(crate) port: String,
+    pub(crate) node: NodeId,
+    pub(crate) allowed: AllowedLabel,
+}
+
+/// Builds the per-port check table from a netlist's output declarations.
+pub(crate) fn build_output_checks(net: &Netlist) -> Vec<OutputCheck> {
+    net.outputs
+        .iter()
+        .map(|p| OutputCheck {
+            port: p.name.clone(),
+            node: p.node,
+            allowed: match &p.label {
+                None => AllowedLabel::Const(Label::PUBLIC_UNTRUSTED),
+                Some(LabelExpr::Const(l)) => AllowedLabel::Const(*l),
+                Some(expr) => AllowedLabel::Dynamic(expr.clone()),
+            },
+        })
+        .collect()
+}
 
 /// How runtime labels propagate through combinational logic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,6 +86,10 @@ pub struct Simulator {
     clean: bool,
     cycle: u64,
     violations: Vec<RuntimeViolation>,
+    /// Precomputed release-gate table (one entry per output port).
+    output_checks: Vec<OutputCheck>,
+    violation_cap: usize,
+    violations_truncated: bool,
 }
 
 impl Simulator {
@@ -81,6 +124,7 @@ impl Simulator {
             .iter()
             .map(|m| vec![Label::PUBLIC_TRUSTED; m.depth])
             .collect();
+        let output_checks = build_output_checks(&net);
         Simulator {
             widths,
             values: vec![0; n],
@@ -95,6 +139,9 @@ impl Simulator {
             clean: false,
             cycle: 0,
             violations: Vec::new(),
+            output_checks,
+            violation_cap: DEFAULT_VIOLATION_CAP,
+            violations_truncated: false,
             net,
         }
     }
@@ -103,6 +150,12 @@ impl Simulator {
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
         &self.net
+    }
+
+    /// The tracking mode this simulator runs.
+    #[must_use]
+    pub fn mode(&self) -> TrackMode {
+        self.mode
     }
 
     /// The current cycle count (number of completed [`tick`](Self::tick)s).
@@ -115,6 +168,31 @@ impl Simulator {
     #[must_use]
     pub fn violations(&self) -> &[RuntimeViolation] {
         &self.violations
+    }
+
+    /// Whether violations were dropped because the recorded stream hit
+    /// the cap (see [`set_violation_cap`](Self::set_violation_cap)).
+    #[must_use]
+    pub fn violations_truncated(&self) -> bool {
+        self.violations_truncated
+    }
+
+    /// Bounds the recorded violation stream. A long-running leaky design
+    /// raises violations every cycle; without a cap the vector grows
+    /// without bound. Once `cap` violations are stored, further ones are
+    /// counted only by the [`violations_truncated`](Self::violations_truncated) flag.
+    /// Defaults to 10 000.
+    pub fn set_violation_cap(&mut self, cap: usize) {
+        self.violation_cap = cap;
+    }
+
+    #[inline]
+    fn record_violation(&mut self, violation: RuntimeViolation) {
+        if self.violations.len() < self.violation_cap {
+            self.violations.push(violation);
+        } else {
+            self.violations_truncated = true;
+        }
     }
 
     fn resolve_input(&self, name: &str) -> NodeId {
@@ -393,7 +471,7 @@ impl Simulator {
                     Ok(lbl) => lbl,
                     Err(_) => {
                         if record && self.mode != TrackMode::Off {
-                            self.violations.push(RuntimeViolation::DowngradeRejected {
+                            self.record_violation(RuntimeViolation::DowngradeRejected {
                                 cycle: self.cycle,
                                 node: id,
                                 from,
@@ -420,7 +498,7 @@ impl Simulator {
                     Ok(lbl) => lbl,
                     Err(_) => {
                         if record && self.mode != TrackMode::Off {
-                            self.violations.push(RuntimeViolation::DowngradeRejected {
+                            self.record_violation(RuntimeViolation::DowngradeRejected {
                                 cycle: self.cycle,
                                 node: id,
                                 from,
@@ -438,42 +516,42 @@ impl Simulator {
 
     /// The runtime release gate: every output's label must flow to its
     /// port label (unlabelled ports are the open interconnect, `(P,U)`).
+    ///
+    /// Works off the table precomputed at construction; the table is
+    /// briefly moved out of `self` so the borrow checker allows pushing
+    /// violations while iterating — no per-tick cloning or allocation.
     fn check_outputs(&mut self) {
-        let ports: Vec<_> = self
-            .net
-            .outputs
-            .iter()
-            .map(|p| (p.name.clone(), p.node, p.label.clone()))
-            .collect();
-        for (name, node, port_label) in ports {
-            let allowed = match &port_label {
-                Some(expr) => {
+        let checks = std::mem::take(&mut self.output_checks);
+        for check in &checks {
+            let allowed = match &check.allowed {
+                AllowedLabel::Const(l) => *l,
+                AllowedLabel::Dynamic(expr) => {
                     let mut resolve = |sig: NodeId| self.values[sig.index()];
                     expr.eval(&mut resolve)
                 }
-                None => Label::PUBLIC_UNTRUSTED,
             };
-            let label = self.labels[node.index()];
+            let label = self.labels[check.node.index()];
             if !label.flows_to(allowed) {
-                self.violations.push(RuntimeViolation::OutputLeak {
+                self.record_violation(RuntimeViolation::OutputLeak {
                     cycle: self.cycle,
-                    port: name,
+                    port: check.port.clone(),
                     label,
                     allowed,
                 });
             }
         }
+        self.output_checks = checks;
     }
 }
 
 /// Computes per-node widths for a netlist (operand widths are available
 /// because synthesised nodes only reference earlier nodes).
-fn compute_widths(net: &Netlist) -> Vec<u16> {
+pub(crate) fn compute_widths(net: &Netlist) -> Vec<u16> {
     let mut widths = vec![0u16; net.nodes.len()];
     // Two passes: first structural widths, then derived (topo order covers
     // dependencies but wires may precede drivers; widths of wires are
     // intrinsic anyway).
-    for id in net.topo.clone() {
+    for &id in &net.topo {
         let idx = id.index();
         widths[idx] = match net.node(id) {
             Node::Input { width }

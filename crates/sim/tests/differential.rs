@@ -95,9 +95,7 @@ impl<'d> Reference<'d> {
                     BinOp::Ne => u128::from(x != y),
                     BinOp::Lt => u128::from(x < y),
                     BinOp::Ge => u128::from(x >= y),
-                    BinOp::TagLeq => {
-                        u128::from((x >> 4) <= (y >> 4) && (x & 0xf) >= (y & 0xf))
-                    }
+                    BinOp::TagLeq => u128::from((x >> 4) <= (y >> 4) && (x & 0xf) >= (y & 0xf)),
                     BinOp::TagJoin => ((x >> 4).max(y >> 4) << 4) | (x & 0xf).min(y & 0xf),
                     BinOp::TagMeet => ((x >> 4).min(y >> 4) << 4) | (x & 0xf).max(y & 0xf),
                 }
@@ -109,9 +107,7 @@ impl<'d> Reference<'d> {
                     self.eval(*f, memo)
                 }
             }
-            Node::Slice { a, hi, lo } => {
-                (self.eval(*a, memo) >> lo) & mask(u128::MAX, hi - lo + 1)
-            }
+            Node::Slice { a, hi, lo } => (self.eval(*a, memo) >> lo) & mask(u128::MAX, hi - lo + 1),
             Node::Cat { hi, lo } => {
                 let lo_w = self.design.width_of(*lo);
                 (self.eval(*hi, memo) << lo_w) | self.eval(*lo, memo)
@@ -193,7 +189,11 @@ fn build(recipe: &Recipe) -> (Design, Vec<String>) {
     for &(op, ai, bi) in &recipe.ops {
         let a = pool[ai as usize % pool.len()];
         let b = pool[bi as usize % pool.len()];
-        let (a, b) = if a.width() == b.width() { (a, b) } else { (a, a) };
+        let (a, b) = if a.width() == b.width() {
+            (a, b)
+        } else {
+            (a, a)
+        };
         let node = match op % 10 {
             0 => m.and(a, b),
             1 => m.or(a, b),

@@ -147,7 +147,7 @@ fn tag_ops_compute_lattice_operations() {
     assert_eq!(sim.peek("leq"), 1); // 3 <= 5 and 9 >= 2
     assert_eq!(sim.peek("join"), 0x52); // (C5, I2)
     assert_eq!(sim.peek("meet"), 0x39); // (C3, I9)
-    // Reverse direction fails the flow check.
+                                        // Reverse direction fails the flow check.
     sim.set("a", 0x52);
     sim.set("b", 0x39);
     assert_eq!(sim.peek("leq"), 0);
@@ -232,10 +232,7 @@ fn precise_mode_is_less_tainting_than_conservative() {
     conservative.set("sel", 0);
     conservative.set_label("secret", Label::SECRET_TRUSTED);
     // Conservative: the unselected secret arm still taints.
-    assert_eq!(
-        conservative.peek_label("y").conf,
-        Conf::SECRET
-    );
+    assert_eq!(conservative.peek_label("y").conf, Conf::SECRET);
 
     let mut precise = Simulator::with_tracking(build(), TrackMode::Precise);
     precise.set("sel", 0);

@@ -14,7 +14,10 @@ fn main() {
     println!("Running the attack suite against both designs...\n");
     for row in attack_matrix() {
         println!("== {} ==", row.name());
-        println!("  baseline : {:?} — {}", row.baseline.outcome, row.baseline.detail);
+        println!(
+            "  baseline : {:?} — {}",
+            row.baseline.outcome, row.baseline.detail
+        );
         println!(
             "  protected: {:?} — {}",
             row.protected.outcome, row.protected.detail
@@ -28,7 +31,10 @@ fn main() {
 
     for row in usability_checks() {
         println!("== {} ==", row.name());
-        println!("  baseline : {:?} — {}", row.baseline.outcome, row.baseline.detail);
+        println!(
+            "  baseline : {:?} — {}",
+            row.baseline.outcome, row.baseline.detail
+        );
         println!(
             "  protected: {:?} — {}",
             row.protected.outcome, row.protected.detail

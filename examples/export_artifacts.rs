@@ -44,8 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut vcd = VcdRecorder::new(
         drv.sim(),
         &[
-            "in_valid", "in_ready", "out_valid", "out_block", "pipe.tag0", "pipe.tag15",
-            "pipe.tag29", "pipe.data0", "outbuf.count",
+            "in_valid",
+            "in_ready",
+            "out_valid",
+            "out_block",
+            "pipe.tag0",
+            "pipe.tag15",
+            "pipe.tag29",
+            "pipe.data0",
+            "outbuf.count",
         ],
         true,
     );

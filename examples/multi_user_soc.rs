@@ -86,9 +86,10 @@ fn main() {
          nonmalleable declassification check ✓"
     );
     assert!(
-        drv.violations()
-            .iter()
-            .any(|v| matches!(v, secure_aes_ifc::sim::RuntimeViolation::DowngradeRejected { .. })),
+        drv.violations().iter().any(|v| matches!(
+            v,
+            secure_aes_ifc::sim::RuntimeViolation::DowngradeRejected { .. }
+        )),
         "the tracking logic recorded the rejection"
     );
 }

@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..5 {
         sim.tick();
     }
-    println!("\n== simulation == counter after 5 cycles: {}", sim.peek("count"));
+    println!(
+        "\n== simulation == counter after 5 cycles: {}",
+        sim.peek("count")
+    );
 
     // --- 3. The protected AES accelerator -----------------------------------
     let accel_design = protected();
@@ -55,8 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut drv = AccelDriver::new(Protection::Full);
     let alice = user_label(1);
-    let key = [0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
-        0xcf, 0x4f, 0x3c];
+    let key = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
     drv.load_key(0, key, alice);
     let plaintext = *b"\x32\x43\xf6\xa8\x88\x5a\x30\x8d\x31\x31\x98\xa2\xe0\x37\x07\x34";
     drv.submit(&Request {

@@ -16,7 +16,11 @@ use secure_aes_ifc::ifc_lattice::Label;
 /// `mistake` injects the cross-way write bug (`when(way == 1)` writing the
 /// trusted array) that the type system is there to catch.
 fn cache_tags(mistake: bool) -> Design {
-    let mut m = ModuleBuilder::new(if mistake { "cache_tags_buggy" } else { "cache_tags" });
+    let mut m = ModuleBuilder::new(if mistake {
+        "cache_tags_buggy"
+    } else {
+        "cache_tags"
+    });
     let we = m.input("we", 1);
     m.set_label(we, Label::PUBLIC_TRUSTED);
     let way = m.input("way", 1);

@@ -19,7 +19,10 @@ fn protected_design_emits_structurally_complete_verilog() {
         .node_ids()
         .filter(|&id| matches!(net.node(id), Node::Reg { .. }))
         .count();
-    let declared = v.lines().filter(|l| l.trim_start().starts_with("reg ")).count();
+    let declared = v
+        .lines()
+        .filter(|l| l.trim_start().starts_with("reg "))
+        .count();
     // Memories are regs too; at least every register must be present.
     assert!(
         declared >= reg_count,

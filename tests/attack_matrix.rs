@@ -7,7 +7,11 @@ use secure_aes_ifc::attacks::{attack_matrix, static_findings, usability_checks};
 #[test]
 fn protection_is_effective_for_every_scenario() {
     let matrix = attack_matrix();
-    assert_eq!(matrix.len(), 7, "seven vulnerability classes (incl. the hardware Trojan)");
+    assert_eq!(
+        matrix.len(),
+        7,
+        "seven vulnerability classes (incl. the hardware Trojan)"
+    );
     for row in &matrix {
         assert!(
             row.baseline.succeeded(),

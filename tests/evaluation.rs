@@ -8,15 +8,26 @@ use secure_aes_ifc::accel::Protection;
 fn table2_overheads_are_marginal_and_frequency_unchanged() {
     let r = table2();
     let ovh = r.protected.overhead_vs(&r.baseline);
-    assert!(ovh.luts > 0.0 && ovh.luts < 0.15, "LUTs {:+.1}%", ovh.luts * 100.0);
-    assert!(ovh.ffs > 0.0 && ovh.ffs < 0.15, "FFs {:+.1}%", ovh.ffs * 100.0);
+    assert!(
+        ovh.luts > 0.0 && ovh.luts < 0.15,
+        "LUTs {:+.1}%",
+        ovh.luts * 100.0
+    );
+    assert!(
+        ovh.ffs > 0.0 && ovh.ffs < 0.15,
+        "FFs {:+.1}%",
+        ovh.ffs * 100.0
+    );
     assert!(
         ovh.bram18 > 0.0 && ovh.bram18 < 0.25,
         "BRAM {:+.1}%",
         ovh.bram18 * 100.0
     );
     assert!((r.fmax.0 - 400.0).abs() < 1e-9);
-    assert!((r.fmax.1 - 400.0).abs() < 1e-9, "frequency must be unchanged");
+    assert!(
+        (r.fmax.1 - 400.0).abs() < 1e-9,
+        "frequency must be unchanged"
+    );
 }
 
 #[test]
@@ -43,7 +54,10 @@ fn protection_matches_baseline_performance() {
 #[test]
 fn holding_buffer_depth_trades_drops_for_area() {
     let samples = bench::experiments::buffer_depth_sweep(&[2, 32]);
-    assert!(samples[0].drops > 0, "a 2-entry buffer overflows: {samples:?}");
+    assert!(
+        samples[0].drops > 0,
+        "a 2-entry buffer overflows: {samples:?}"
+    );
     assert_eq!(samples[1].drops, 0, "a 32-entry buffer absorbs the outage");
     assert!(samples[1].completed > samples[0].completed);
 }

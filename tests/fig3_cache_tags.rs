@@ -7,7 +7,11 @@ use secure_aes_ifc::ifc_lattice::Label;
 use secure_aes_ifc::sim::Simulator;
 
 fn cache_tags(mistake: bool) -> Design {
-    let mut m = ModuleBuilder::new(if mistake { "cache_tags_buggy" } else { "cache_tags" });
+    let mut m = ModuleBuilder::new(if mistake {
+        "cache_tags_buggy"
+    } else {
+        "cache_tags"
+    });
     let we = m.input("we", 1);
     m.set_label(we, Label::PUBLIC_TRUSTED);
     let way = m.input("way", 1);
@@ -42,7 +46,11 @@ fn cache_tags(mistake: bool) -> Design {
         tag_o,
         LabelExpr::dl2(way.id(), Label::PUBLIC_TRUSTED, Label::PUBLIC_UNTRUSTED),
     );
-    m.when_else(is_way0, |m| m.connect(tag_o, rd0), |m| m.connect(tag_o, rd1));
+    m.when_else(
+        is_way0,
+        |m| m.connect(tag_o, rd0),
+        |m| m.connect(tag_o, rd1),
+    );
     m.output_labeled(
         "tag_o",
         tag_o,

@@ -1,0 +1,84 @@
+//! Proof that the simulation hot path performs zero heap allocations.
+//!
+//! A counting global allocator wraps the system allocator; after a
+//! warm-up pass (first-touch interning of input stimulus, lazy table
+//! growth), a measured window of `set`/`eval`/`tick` iterations on the
+//! full protected accelerator must allocate nothing — on both the
+//! compiled backend and the interpreting reference simulator. (Recording
+//! a violation does allocate; the workload here is violation-free, which
+//! the test asserts.)
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use secure_aes_ifc::accel::protected;
+use secure_aes_ifc::sim::{CompiledSim, SimBackend, Simulator, TrackMode};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs the steady-state loop and returns allocations observed inside
+/// the measured window.
+fn measure<B: SimBackend>(sim: &mut B) -> usize {
+    // Warm-up: lets one-time lazy work (input-map inserts, first
+    // propagation) happen outside the measurement.
+    for i in 0..16u64 {
+        sim.set("in_block", u128::from(i) * 0x0123_4567_89ab_cdef);
+        sim.set("in_valid", u128::from(i % 2));
+        sim.eval();
+        sim.tick();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..200u64 {
+        sim.set("in_block", u128::from(i) * 0x0fed_cba9_8765_4321);
+        sim.set("in_valid", u128::from(i % 2));
+        sim.eval();
+        sim.tick();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(
+        sim.violations().is_empty(),
+        "workload must stay violation-free for this measurement"
+    );
+    after - before
+}
+
+#[test]
+fn tick_and_eval_do_not_allocate() {
+    let net = protected().lower().expect("accelerator lowers");
+    for mode in [TrackMode::Off, TrackMode::Conservative, TrackMode::Precise] {
+        let mut compiled = CompiledSim::with_tracking(net.clone(), mode);
+        assert_eq!(
+            measure(&mut compiled),
+            0,
+            "CompiledSim allocated in the hot path ({mode:?})"
+        );
+
+        let mut interp = Simulator::with_tracking(net.clone(), mode);
+        assert_eq!(
+            measure(&mut interp),
+            0,
+            "Simulator allocated in the hot path ({mode:?})"
+        );
+    }
+}

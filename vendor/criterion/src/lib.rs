@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the criterion 0.5 API the workspace's benches
+//! use — `Criterion`, `benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `Bencher::iter`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — on top of
+//! `std::time::Instant`.
+//!
+//! Timing model: each `bench_function` runs a short warm-up, then
+//! `sample_size` timed samples of one closure call each, and reports the
+//! median, minimum, and mean. With `--test` on the command line (what
+//! `cargo test --benches` and CI smoke jobs pass) every benchmark body
+//! runs exactly once, untimed, so benches double as compile-and-run
+//! smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units for reporting a benchmark's throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` switches to run-once
+    /// smoke mode; everything else cargo passes is accepted and
+    /// ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let sample_size = self.default_sample_size;
+        run_benchmark(name, self.test_mode, sample_size, None, f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// elements/sec reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/name`.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(
+            &full,
+            self.criterion.test_mode,
+            sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; groups need no
+    /// teardown here).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, or runs it once in `--test` mode.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: a few untimed calls so first-touch effects (page
+        // faults, lazy init) don't land in the samples.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    test_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        test_mode,
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {name} ... ok (run once, --test mode)");
+        return;
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{name}: no samples recorded (Bencher::iter never called)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  {per_sec:.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let per_sec = n as f64 / median.as_secs_f64();
+            format!("  {per_sec:.0} B/s")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name}: median {median:?}  min {min:?}  mean {mean:?}  ({} samples){rate}",
+        samples.len()
+    );
+}
+
+/// Bundles benchmark functions into one runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

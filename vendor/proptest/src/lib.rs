@@ -1,0 +1,74 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements the subset of the proptest 1.x API used by this workspace:
+//! the [`Strategy`] trait with `prop_map`/`prop_recursive`/`boxed`,
+//! range and tuple and array strategies, `any::<T>()`,
+//! `proptest::collection::vec`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*!` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is
+//! **no shrinking**. Failing cases are reported with the generating seed
+//! so they can be replayed, but they are not minimised. Generation is
+//! fully deterministic per test (seeded from the test function's name),
+//! so CI failures reproduce locally.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for collections (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Bounds on a generated collection's size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Smallest permitted length (inclusive).
+        pub lo: usize,
+        /// Largest permitted length (inclusive).
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}

@@ -1,0 +1,234 @@
+//! Test execution: configuration, RNG, failure type, and the `proptest!`
+//! and `prop_assert*!` macros.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; 64 keeps the heavier
+        // design-fuzzing suites in this workspace fast while still
+        // exercising plenty of shapes.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The RNG driving value generation. Deterministic: seeded from the test
+/// function's name plus the case index, so failures replay exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl TestRng {
+    /// A generator for the given test name and case index.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = h ^ (u64::from(case) << 32) ^ u64::from(case);
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was built from (reported on failure).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+///         prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Bundling all argument strategies into one tuple strategy
+            // lets `bind_case` pin the closure's parameter types (plain
+            // closures can't infer them from the body alone).
+            let strategy = ($(($strat),)+);
+            #[allow(unreachable_code)]
+            let case_fn = $crate::test_runner::bind_case(&strategy, |($($arg,)+)| {
+                $body
+                ::std::result::Result::Ok(())
+            });
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                let seed = rng.seed();
+                let values = strategy.generate(&mut rng);
+                if let ::std::result::Result::Err(err) = case_fn(values) {
+                    panic!(
+                        "proptest case {case} (seed {seed:#x}) failed: {err}"
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Pins a case closure's parameter type to a strategy's value type —
+/// used by [`proptest!`]; not public API.
+#[doc(hidden)]
+pub fn bind_case<S, F>(_strategy: &S, case: F) -> F
+where
+    S: crate::strategy::Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    case
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                )),
+            );
+        }
+    }};
+}
+
+/// Fails the current case unless the operands differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left != right) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: `{:?} != {:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                )),
+            );
+        }
+    }};
+}
