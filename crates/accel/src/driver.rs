@@ -53,9 +53,9 @@ pub struct Rejection {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Pending {
-    submitted: u64,
-    user: Label,
+pub(crate) struct Pending {
+    pub(crate) submitted: u64,
+    pub(crate) user: Label,
 }
 
 /// Drives a simulated accelerator at the transaction level.
@@ -116,7 +116,15 @@ impl<B: SimBackend> AccelDriver<B> {
     /// sessions lower once and hand each driver a clone of the netlist.
     #[must_use]
     pub fn from_netlist_on(net: hdl::Netlist, mode: TrackMode) -> AccelDriver<B> {
-        let mut sim = B::from_netlist(net, mode);
+        AccelDriver::from_backend(B::from_netlist(net, mode))
+    }
+
+    /// Wraps an already-constructed backend. For compiled backends even
+    /// netlist lowering can be skipped: a fleet builds one prototype
+    /// backend (compiling the tape once) and hands each driver a clone,
+    /// which costs only the session's state arrays.
+    #[must_use]
+    pub fn from_backend(mut sim: B) -> AccelDriver<B> {
         // The factory-provisioned master key in scratchpad cells 6/7
         // carries the (⊤,⊤) label from power-on.
         if let Some(mem) = sim.mem_index("scratchpad.cells") {

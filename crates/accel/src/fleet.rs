@@ -18,9 +18,12 @@
 use aes_core::Aes;
 use hdl::Netlist;
 use ifc_lattice::Label;
-use sim::{SimBackend, TrackMode};
+use sim::{BatchedSim, OptConfig, SimBackend, TrackMode, SUPPORTED_LANES};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::thread;
 
+use crate::batch::BatchedDriver;
 use crate::build::{protected, Protection};
 use crate::driver::{AccelDriver, Request};
 use crate::params::user_label;
@@ -153,36 +156,183 @@ pub fn run_session<B: SimBackend>(
     }
 }
 
-/// Runs `config.sessions` independent accelerator instances in parallel
-/// (one OS thread each) over clones of `net`, on backend `B`.
+/// Number of worker threads for a fleet: one per hardware thread, never
+/// more than there are work items (a fleet used to spawn one thread per
+/// session, which on a small host oversubscribes the cores and measures
+/// scheduler churn instead of simulation throughput).
+fn worker_count(items: usize) -> usize {
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Runs `config.sessions` independent accelerator instances on backend
+/// `B`, on a bounded worker pool.
 ///
-/// Sessions are fully isolated — separate netlist clone, separate
-/// simulator state, separate key material — so this measures how
-/// simulation throughput scales with independent instances, the
-/// deployment shape of a multi-tenant SoC evaluation.
+/// The netlist is lowered and compiled **once**: every session's driver
+/// wraps a clone of one prototype backend, so for the compiled backends a
+/// session costs only its own state arrays, not a recompilation of the
+/// tape. Workers are clamped to [`std::thread::available_parallelism`]
+/// and claim sessions from a shared counter, so the pool stays fully
+/// busy without oversubscribing the host.
+///
+/// Sessions stay fully isolated — separate simulator state, separate key
+/// material — so this measures how simulation throughput scales with
+/// independent instances, the deployment shape of a multi-tenant SoC
+/// evaluation.
 #[must_use]
-pub fn run_fleet_on_netlist<B: SimBackend + Send>(
+pub fn run_fleet_on_netlist<B: SimBackend + Clone + Send + Sync>(
     net: &Netlist,
     config: FleetConfig,
 ) -> FleetStats {
-    let sessions = thread::scope(|s| {
-        let handles: Vec<_> = (0..config.sessions)
-            .map(|i| {
-                let net = net.clone();
-                s.spawn(move || {
-                    let mut driver = AccelDriver::<B>::from_netlist_on(net, config.mode);
-                    let user = user_label(i % 4);
-                    let seed = mix(config.seed ^ (i as u64) << 8);
-                    run_session(&mut driver, config.blocks_per_session, user, seed)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("session thread panicked"))
-            .collect()
+    let prototype = B::from_netlist(net.clone(), config.mode);
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(vec![SessionStats::default(); config.sessions]);
+    thread::scope(|s| {
+        for _ in 0..worker_count(config.sessions) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= config.sessions {
+                    break;
+                }
+                let mut driver = AccelDriver::from_backend(prototype.clone());
+                let user = user_label(i % 4);
+                let seed = mix(config.seed ^ (i as u64) << 8);
+                let stats = run_session(&mut driver, config.blocks_per_session, user, seed);
+                results.lock().expect("no poisoned sessions")[i] = stats;
+            });
+        }
     });
-    FleetStats { sessions }
+    FleetStats {
+        sessions: results.into_inner().expect("no poisoned sessions"),
+    }
+}
+
+/// Runs one batch's workload: the same key-load / submit / drain / verify
+/// sequence as [`run_session`], with lane `l` deriving its key and
+/// plaintext stream from `seeds[l]` exactly as a single session would.
+///
+/// # Panics
+///
+/// Panics if `users` and `seeds` do not hold one entry per lane, or the
+/// pipeline refuses input for 10 000 consecutive cycles.
+pub fn run_lane_sessions(
+    driver: &mut BatchedDriver,
+    blocks: usize,
+    users: &[Label],
+    seeds: &[u64],
+) -> Vec<SessionStats> {
+    let lanes = driver.lanes();
+    assert_eq!(users.len(), lanes, "one user per lane");
+    assert_eq!(seeds.len(), lanes, "one seed per lane");
+    let keys: Vec<[u8; 16]> = seeds.iter().map(|&s| block_from(s, 0x4b45_5953)).collect();
+    driver.load_keys(0, &keys, users);
+
+    let mut next = vec![0usize; lanes];
+    let mut reqs: Vec<Option<Request>> = vec![None; lanes];
+    let mut accepted = vec![false; lanes];
+    let mut stalled = 0u32;
+    while next.iter().any(|&n| n < blocks) {
+        for l in 0..lanes {
+            reqs[l] = (next[l] < blocks).then(|| Request {
+                block: block_from(seeds[l], next[l] as u64),
+                key_slot: 0,
+                user: users[l],
+            });
+        }
+        driver.try_submit_each(&reqs, &mut accepted);
+        let mut any = false;
+        for l in 0..lanes {
+            if accepted[l] {
+                next[l] += 1;
+                any = true;
+            }
+        }
+        stalled = if any { 0 } else { stalled + 1 };
+        assert!(stalled < 10_000, "pipeline refused input for 10000 cycles");
+    }
+    driver.drain(10_000);
+
+    (0..lanes)
+        .map(|l| {
+            let oracle = Aes::new(&keys[l]).expect("16-byte key");
+            let verified = driver.responses[l]
+                .iter()
+                .enumerate()
+                .filter(|(i, r)| oracle.encrypt_block(block_from(seeds[l], *i as u64)) == r.block)
+                .count();
+            SessionStats {
+                responses: driver.responses[l].len(),
+                rejections: driver.rejections[l].len(),
+                violations: driver.violations(l).len(),
+                cycles: driver.cycle(),
+                verified,
+            }
+        })
+        .collect()
+}
+
+/// Runs `config.sessions` accelerator sessions scheduled onto lane
+/// batches of the [`BatchedSim`] backend: sessions are greedily grouped
+/// into the widest supported lane batches, the tape is compiled once and
+/// shared by every batch, and a bounded worker pool claims batches.
+///
+/// Per-lane observable results (responses, rejections, violations,
+/// verification) match [`run_fleet_on_netlist`] for the same
+/// configuration; only the throughput differs, because one tape pass
+/// advances a whole batch.
+#[must_use]
+pub fn run_fleet_batched(net: &Netlist, config: FleetConfig) -> FleetStats {
+    run_fleet_batched_opt(net, config, &OptConfig::none())
+}
+
+/// [`run_fleet_batched`] with the tape optimizer: the shared program is
+/// compiled once and run through the configured passes before any batch
+/// executes, so every session benefits from the shrunken tape.
+#[must_use]
+pub fn run_fleet_batched_opt(net: &Netlist, config: FleetConfig, opt: &OptConfig) -> FleetStats {
+    // Greedy partition into the widest supported batches.
+    let mut batches: Vec<(usize, usize)> = Vec::new(); // (first session, width)
+    let mut i = 0;
+    while i < config.sessions {
+        let width = SUPPORTED_LANES
+            .iter()
+            .rev()
+            .copied()
+            .find(|&w| w <= config.sessions - i)
+            .expect("width 1 always fits");
+        batches.push((i, width));
+        i += width;
+    }
+
+    // Compile once; every batch re-stripes the same program.
+    let prototype = BatchedSim::with_tracking_opt(net.clone(), config.mode, 1, opt);
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(vec![SessionStats::default(); config.sessions]);
+    thread::scope(|s| {
+        for _ in 0..worker_count(batches.len()) {
+            s.spawn(|| loop {
+                let b = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(first, width)) = batches.get(b) else {
+                    break;
+                };
+                let mut driver = BatchedDriver::from_batched(prototype.with_lanes(width));
+                let users: Vec<Label> = (first..first + width).map(|i| user_label(i % 4)).collect();
+                let seeds: Vec<u64> = (first..first + width)
+                    .map(|i| mix(config.seed ^ (i as u64) << 8))
+                    .collect();
+                let stats =
+                    run_lane_sessions(&mut driver, config.blocks_per_session, &users, &seeds);
+                results.lock().expect("no poisoned sessions")[first..first + width]
+                    .copy_from_slice(&stats);
+            });
+        }
+    });
+    FleetStats {
+        sessions: results.into_inner().expect("no poisoned sessions"),
+    }
 }
 
 /// Convenience wrapper: lowers a freshly built design at the given
@@ -192,7 +342,10 @@ pub fn run_fleet_on_netlist<B: SimBackend + Send>(
 ///
 /// Panics if the design fails to lower (the shipped designs never do).
 #[must_use]
-pub fn run_fleet<B: SimBackend + Send>(protection: Protection, config: FleetConfig) -> FleetStats {
+pub fn run_fleet<B: SimBackend + Clone + Send + Sync>(
+    protection: Protection,
+    config: FleetConfig,
+) -> FleetStats {
     let design = match protection {
         Protection::Full => protected(),
         Protection::Off => crate::build::baseline(),
@@ -234,5 +387,27 @@ mod tests {
         let b = run_fleet::<CompiledSim>(Protection::Full, config);
         assert_eq!(a.sessions, b.sessions);
         assert!(a.all_verified());
+    }
+
+    #[test]
+    fn batched_fleet_matches_per_session_fleet() {
+        // 5 sessions forces a mixed partition (one 4-lane batch + one
+        // 1-lane batch); per-lane results must still match the
+        // session-at-a-time fleet exactly, including cycle counts.
+        let config = FleetConfig {
+            sessions: 5,
+            blocks_per_session: 3,
+            mode: TrackMode::Precise,
+            seed: 21,
+        };
+        let net = protected().lower().expect("lowers");
+        let a = run_fleet_on_netlist::<CompiledSim>(&net, config);
+        let b = run_fleet_batched(&net, config);
+        assert_eq!(a.sessions, b.sessions);
+        assert!(b.all_verified(), "{b:?}");
+        // With every optimizer pass on (exercising DCE's handling of the
+        // real design's dynamic release labels), results are unchanged.
+        let c = run_fleet_batched_opt(&net, config, &sim::OptConfig::all());
+        assert_eq!(a.sessions, c.sessions);
     }
 }

@@ -4,18 +4,21 @@
 //! Workload: the full protected pipelined AES accelerator encrypting a
 //! request stream through [`AccelDriver`], per backend and tracking
 //! mode; then fleets of 1/2/4/8 independent sessions on the compiled
-//! backend. Wall-clock medians over several repetitions.
+//! backend; then the interpreter-vs-compiled-vs-batched multi-session
+//! sweep in conservative tracking, where the batched backend schedules
+//! sessions onto lanes of one shared (optimizer-shrunk) tape. Wall-clock
+//! medians over several repetitions.
 //!
 //! Usage: `cargo run --release -p bench --bin sim_backends [out.json]`
 
 use std::time::{Duration, Instant};
 
 use accel::driver::{AccelDriver, Request};
-use accel::fleet::{run_fleet_on_netlist, FleetConfig};
+use accel::fleet::{run_fleet_batched_opt, run_fleet_on_netlist, FleetConfig};
 use accel::{protected, user_label};
 use bench::table::render;
 use hdl::Netlist;
-use sim::{CompiledSim, SimBackend, Simulator, TrackMode};
+use sim::{CompiledSim, OptConfig, SimBackend, Simulator, TrackMode};
 
 const BLOCKS: u64 = 32;
 const REPS: usize = 7;
@@ -103,6 +106,45 @@ fn main() {
     }
     let base_rate = fleet_rows[0].2;
 
+    // --- lane-batched sweep: interpreter vs compiled vs batched ---------
+    // Conservative tracking (the deployment-evaluation mode for bulk
+    // throughput); the batched fleet runs every optimizer pass over the
+    // shared tape before striping sessions onto lanes.
+    let sweep_mode = TrackMode::Conservative;
+    let opt = OptConfig::all();
+    let mut sweep_rows = Vec::new();
+    for sessions in [1usize, 2, 4, 8] {
+        let config = FleetConfig {
+            sessions,
+            blocks_per_session: BLOCKS as usize,
+            mode: sweep_mode,
+            seed: 42,
+        };
+        let total_blocks = (sessions as u64 * BLOCKS) as f64;
+        let interp = time_median(|| {
+            let stats = run_fleet_on_netlist::<Simulator>(&net, config);
+            assert!(stats.all_verified(), "fleet produced a bad ciphertext");
+        });
+        let compiled = time_median(|| {
+            let stats = run_fleet_on_netlist::<CompiledSim>(&net, config);
+            assert!(stats.all_verified(), "fleet produced a bad ciphertext");
+        });
+        let batched = time_median(|| {
+            let stats = run_fleet_batched_opt(&net, config, &opt);
+            assert!(stats.all_verified(), "fleet produced a bad ciphertext");
+        });
+        sweep_rows.push((
+            sessions,
+            total_blocks / interp.as_secs_f64(),
+            total_blocks / compiled.as_secs_f64(),
+            batched,
+            total_blocks / batched.as_secs_f64(),
+        ));
+    }
+    // The regression-guard baseline: single-session compiled throughput
+    // in the sweep's tracking mode.
+    let compiled_single_bps = sweep_rows[0].2;
+
     // --- report ---------------------------------------------------------
     println!("Simulation backends — protected pipeline, {BLOCKS} blocks/run, median of {REPS}\n");
     let rows: Vec<Vec<String>> = single
@@ -138,6 +180,32 @@ fn main() {
         "{}",
         render(&["sessions", "wall (ms)", "blocks/s", "scaling"], &rows)
     );
+    println!("Lane-batched sweep — conservative tracking, optimizer on (blocks/s)\n");
+    let rows: Vec<Vec<String>> = sweep_rows
+        .iter()
+        .map(|(n, interp_bps, compiled_bps, _, batched_bps)| {
+            vec![
+                n.to_string(),
+                format!("{interp_bps:.0}"),
+                format!("{compiled_bps:.0}"),
+                format!("{batched_bps:.0}"),
+                format!("{:.2}x", batched_bps / compiled_bps),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "sessions",
+                "interpreter",
+                "compiled",
+                "batched",
+                "batched/compiled"
+            ],
+            &rows
+        )
+    );
 
     // --- BENCH_sim.json (hand-rolled: the workspace carries no JSON dep)
     let mut json = String::from("{\n  \"workload\": {\n");
@@ -166,7 +234,38 @@ fn main() {
             if i + 1 < fleet_rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    // Schema note: `batched_sessions` reports the conservative-tracking
+    // sweep. `compiled_single_session_blocks_per_sec` is the regression
+    // guard's baseline (see bench --bin batched_guard); each row gives
+    // all three backends' aggregate blocks/s at that session count, and
+    // `batched_vs_compiled` the lane-batching advantage at equal
+    // sessions.
+    json.push_str("  \"batched_sessions\": {\n");
+    json.push_str(&format!(
+        "    \"tracking\": \"{}\",\n",
+        mode_name(sweep_mode)
+    ));
+    json.push_str("    \"optimizer_passes\": [\"fold\", \"cse\", \"dce\", \"schedule\"],\n");
+    json.push_str(&format!(
+        "    \"compiled_single_session_blocks_per_sec\": {compiled_single_bps:.0},\n"
+    ));
+    json.push_str("    \"rows\": [\n");
+    for (i, (sessions, interp_bps, compiled_bps, batched_wall, batched_bps)) in
+        sweep_rows.iter().enumerate()
+    {
+        json.push_str(&format!(
+            "      {{\"sessions\": {}, \"interpreter_blocks_per_sec\": {:.0}, \"compiled_blocks_per_sec\": {:.0}, \"batched_wall_ms\": {:.3}, \"batched_blocks_per_sec\": {:.0}, \"batched_vs_compiled\": {:.2}}}{}\n",
+            sessions,
+            interp_bps,
+            compiled_bps,
+            batched_wall.as_secs_f64() * 1e3,
+            batched_bps,
+            batched_bps / compiled_bps,
+            if i + 1 < sweep_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write(&out_path, json).expect("write benchmark results");
     println!("wrote {out_path}");
 }

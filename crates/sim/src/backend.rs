@@ -190,6 +190,13 @@ impl SimBackend for CompiledSim {
         CompiledSim::tick(self);
     }
 
+    fn run(&mut self, n: u64) {
+        // Forward to the hoisted run loop (mode dispatched once, settled
+        // check on the first iteration only, violation cap re-derived per
+        // run) instead of the default per-tick loop.
+        CompiledSim::run(self, n);
+    }
+
     fn cycle(&self) -> u64 {
         CompiledSim::cycle(self)
     }

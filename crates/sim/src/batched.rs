@@ -1,0 +1,1219 @@
+//! Lane-batched simulation: W independent sessions per tape pass.
+//!
+//! [`BatchedSim`] executes the same compiled instruction tape as
+//! [`CompiledSim`](crate::CompiledSim), but widens every value and label
+//! slot to a *lane array*: slot `s` of lane `l` lives at `s * W + l`, so
+//! the W copies of a slot sit contiguously in memory. One fetch/decode of
+//! each instruction then drives all W lanes with a tight inner loop —
+//! per-instruction dispatch cost, the dominant cost of small tapes, is
+//! paid once per *batch* instead of once per session.
+//!
+//! The lane state is laid out struct-of-arrays for the vectorizer:
+//!
+//! * **Values** are two parallel `u64` arrays (the low and high halves
+//!   of the 128-bit [`Value`]) rather than `u128` lane arrays: LLVM does
+//!   not vectorize `i128` lane loops, so a `u128` layout executes every
+//!   lane as two-register scalar arithmetic. With split halves each lane
+//!   loop is a plain `u64` loop over a fixed-size chunk — at W = 8 one
+//!   64-byte chunk per operand half — and compiles to a handful of
+//!   vector ops. Instructions whose result mask has no high bits (the
+//!   vast majority: byte- and word-wide AES plumbing) skip the high half
+//!   entirely; a slot whose width is ≤ 64 keeps an all-zero high half as
+//!   an invariant (initial state, `set`, and every masked write preserve
+//!   it).
+//! * **Labels** are two parallel `u8` arrays holding the raw
+//!   confidentiality and integrity levels. The label join — the hot
+//!   operation of conservative tracking, run for every binary
+//!   instruction — is then a lanewise byte `max` (confidentiality) and
+//!   byte `min` (integrity), which vectorize; a `[Label; W]` layout
+//!   would pay scalar struct-field arithmetic per lane instead.
+//!
+//! Lanes are fully independent sessions over one design: each lane has
+//! its own input values and labels, register and memory state, and its
+//! own recorded violation stream. They share only the (immutable)
+//! program and the clock — every lane is always on the same cycle. The
+//! public API mirrors the single-session backends with a `lane` index in
+//! front: [`set`](BatchedSim::set)`(lane, port, value)`,
+//! [`peek`](BatchedSim::peek)`(lane, port)`,
+//! [`violations`](BatchedSim::violations)`(lane)`, and so on.
+//!
+//! The executor is monomorphised over the lane width (W ∈ {1, 2, 4, 8,
+//! 16}) and the tracking mode, the same way `CompiledSim` is
+//! monomorphised over tracking alone, so the inner lane loops unroll at
+//! known trip counts, and dispatches once per same-opcode *run* (see the
+//! [`schedule`](crate::opt) pass) instead of once per instruction.
+//! Semantics per lane are bit-for-bit identical to the interpreter — the
+//! differential suite drives the same stimulus through
+//! [`Simulator`](crate::Simulator), `CompiledSim`, and every lane of a
+//! `BatchedSim` and asserts identical values, labels, and violation
+//! streams.
+
+use std::sync::Arc;
+
+use hdl::{mask, Netlist, NodeId, Value};
+use ifc_lattice::{Conf, Integ, Label, SecurityTag};
+
+use crate::opt::{self, OptConfig, OptStats};
+use crate::program::{push_violation, Op, Program};
+use crate::simulator::{AllowedLabel, DEFAULT_VIOLATION_CAP};
+use crate::violation::RuntimeViolation;
+use crate::TrackMode;
+
+/// Lane widths the executor is monomorphised for.
+pub const SUPPORTED_LANES: [usize; 5] = [1, 2, 4, 8, 16];
+
+#[inline]
+fn lo64(v: Value) -> u64 {
+    v as u64
+}
+
+#[inline]
+fn hi64(v: Value) -> u64 {
+    (v >> 64) as u64
+}
+
+#[inline]
+fn join64(lo: u64, hi: u64) -> Value {
+    (Value::from(hi) << 64) | Value::from(lo)
+}
+
+/// Reassembles a [`Label`] from the raw levels stored in the split lane
+/// arrays (the arrays only ever hold values produced by `raw()`, so the
+/// range assertions in the constructors cannot fire).
+#[inline]
+fn label_of(conf: u8, integ: u8) -> Label {
+    Label::new(Conf::new(conf), Integ::new(integ))
+}
+
+/// Lane-batched simulation backend: W independent sessions advanced in
+/// lock-step by one pass over the shared instruction tape. See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct BatchedSim {
+    program: Arc<Program>,
+    lanes: usize,
+    /// Low 64 value bits, slot-major lane-striped: slot `s`, lane `l` at
+    /// `s * W + l`.
+    values_lo: Vec<u64>,
+    /// High 64 value bits, parallel to `values_lo` (all zero for slots
+    /// narrower than 65 bits).
+    values_hi: Vec<u64>,
+    /// Raw confidentiality levels, parallel to `values_lo`.
+    lab_conf: Vec<u8>,
+    /// Raw integrity levels, parallel to `values_lo`.
+    lab_integ: Vec<u8>,
+    /// Per-memory cell arrays, address-major lane-striped, split like
+    /// the value slots.
+    mem_lo: Vec<Vec<u64>>,
+    mem_hi: Vec<Vec<u64>>,
+    mem_lab_conf: Vec<Vec<u8>>,
+    mem_lab_integ: Vec<Vec<u8>>,
+    /// Two-phase clock-edge scratch, register-major lane-striped.
+    reg_scratch_lo: Vec<u64>,
+    reg_scratch_hi: Vec<u64>,
+    reg_scratch_conf: Vec<u8>,
+    reg_scratch_integ: Vec<u8>,
+    /// Per-lane remaining violation room (hoisted cap check scratch).
+    room: Vec<usize>,
+    clean: bool,
+    cycle: u64,
+    /// Per-lane recorded violation streams.
+    violations: Vec<Vec<RuntimeViolation>>,
+    violation_cap: usize,
+    violations_truncated: Vec<bool>,
+}
+
+impl BatchedSim {
+    /// Compiles a netlist for `lanes` sessions with default conservative
+    /// tracking.
+    #[must_use]
+    pub fn new(net: Netlist, lanes: usize) -> BatchedSim {
+        BatchedSim::with_tracking(net, TrackMode::default(), lanes)
+    }
+
+    /// Compiles a netlist for the given tracking mode, no optimizer
+    /// passes.
+    #[must_use]
+    pub fn with_tracking(net: Netlist, mode: TrackMode, lanes: usize) -> BatchedSim {
+        BatchedSim::with_tracking_opt(net, mode, lanes, &OptConfig::none())
+    }
+
+    /// Compiles a netlist, runs the configured optimizer passes, and
+    /// instantiates `lanes` lanes of state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+    #[must_use]
+    pub fn with_tracking_opt(
+        net: Netlist,
+        mode: TrackMode,
+        lanes: usize,
+        config: &OptConfig,
+    ) -> BatchedSim {
+        let mut program = Program::compile(net, mode);
+        opt::optimize(&mut program, config);
+        BatchedSim::from_program(Arc::new(program), lanes)
+    }
+
+    /// Instantiates `lanes` lanes of execution state over a shared
+    /// program (the fleet path: compile once, stripe many sessions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+    pub(crate) fn from_program(program: Arc<Program>, lanes: usize) -> BatchedSim {
+        assert!(
+            SUPPORTED_LANES.contains(&lanes),
+            "unsupported lane width {lanes} (supported: {SUPPORTED_LANES:?})"
+        );
+        // Lane-stripe a single-session array: each source element becomes
+        // `lanes` contiguous copies (slot-/address-major layout), split
+        // into value halves.
+        let stripe = |src: &[Value], half: fn(Value) -> u64| -> Vec<u64> {
+            let mut out = Vec::with_capacity(src.len() * lanes);
+            for &x in src {
+                out.extend(std::iter::repeat_n(half(x), lanes));
+            }
+            out
+        };
+        let values_lo = stripe(&program.init_values, lo64);
+        let values_hi = stripe(&program.init_values, hi64);
+        let n = values_lo.len();
+        let mem_lo: Vec<Vec<u64>> = program.mem_init.iter().map(|c| stripe(c, lo64)).collect();
+        let mem_hi: Vec<Vec<u64>> = program.mem_init.iter().map(|c| stripe(c, hi64)).collect();
+        let (pt_conf, pt_integ) = (
+            Label::PUBLIC_TRUSTED.conf.raw(),
+            Label::PUBLIC_TRUSTED.integ.raw(),
+        );
+        let mem_lab_conf: Vec<Vec<u8>> = mem_lo.iter().map(|c| vec![pt_conf; c.len()]).collect();
+        let mem_lab_integ: Vec<Vec<u8>> = mem_lo.iter().map(|c| vec![pt_integ; c.len()]).collect();
+        let reg_count = program.regs.len() * lanes;
+        BatchedSim {
+            lanes,
+            values_lo,
+            values_hi,
+            lab_conf: vec![pt_conf; n],
+            lab_integ: vec![pt_integ; n],
+            mem_lo,
+            mem_hi,
+            mem_lab_conf,
+            mem_lab_integ,
+            reg_scratch_lo: vec![0; reg_count],
+            reg_scratch_hi: vec![0; reg_count],
+            reg_scratch_conf: vec![pt_conf; reg_count],
+            reg_scratch_integ: vec![pt_integ; reg_count],
+            room: vec![0; lanes],
+            clean: false,
+            cycle: 0,
+            violations: vec![Vec::new(); lanes],
+            violation_cap: DEFAULT_VIOLATION_CAP,
+            violations_truncated: vec![false; lanes],
+            program,
+        }
+    }
+
+    /// A fresh batch over the same compiled program with a (possibly
+    /// different) lane width: state is reinitialised, the tape, tables,
+    /// and optimizer results are shared. This is how a fleet stripes many
+    /// sessions over one compilation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not one of [`SUPPORTED_LANES`].
+    #[must_use]
+    pub fn with_lanes(&self, lanes: usize) -> BatchedSim {
+        BatchedSim::from_program(Arc::clone(&self.program), lanes)
+    }
+
+    /// The wrapped netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.program.net
+    }
+
+    /// The tracking mode this backend was compiled for.
+    #[must_use]
+    pub fn mode(&self) -> TrackMode {
+        self.program.mode
+    }
+
+    /// Number of lanes (independent sessions) in this batch.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The shared cycle count (all lanes are always on the same cycle).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of instructions on the shared tape (diagnostic).
+    #[must_use]
+    pub fn tape_len(&self) -> usize {
+        self.program.tape.len()
+    }
+
+    /// Statistics of the optimizer passes that ran at construction.
+    #[must_use]
+    pub fn opt_stats(&self) -> &OptStats {
+        &self.program.opt_stats
+    }
+
+    /// One lane's recorded violation stream.
+    #[must_use]
+    pub fn violations(&self, lane: usize) -> &[RuntimeViolation] {
+        &self.violations[lane]
+    }
+
+    /// Whether one lane's stream was truncated at the cap.
+    #[must_use]
+    pub fn violations_truncated(&self, lane: usize) -> bool {
+        self.violations_truncated[lane]
+    }
+
+    /// Bounds every lane's recorded violation stream.
+    pub fn set_violation_cap(&mut self, cap: usize) {
+        self.violation_cap = cap;
+    }
+
+    fn slot(&self, id: NodeId) -> usize {
+        self.program.slot_of[id.index()] as usize
+    }
+
+    /// Drives one lane's input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port has that name, or `lane` is out of range.
+    pub fn set(&mut self, lane: usize, name: &str, value: Value) {
+        let id = self.program.resolve_input(name);
+        self.set_node(lane, id, value);
+    }
+
+    /// Drives one lane's input by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is pinned by the optimizer config, or `lane`
+    /// is out of range.
+    pub fn set_node(&mut self, lane: usize, id: NodeId, value: Value) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert!(
+            !self.program.pinned[id.index()],
+            "input node {id:?} is pinned to a constant by the optimizer config"
+        );
+        let width = self.program.node_widths[id.index()];
+        let idx = self.slot(id) * self.lanes + lane;
+        let v = mask(value, width);
+        self.values_lo[idx] = lo64(v);
+        self.values_hi[idx] = hi64(v);
+        self.clean = false;
+    }
+
+    /// Sets one lane's runtime label on an input (no-op with tracking
+    /// off, matching the single-session backends).
+    pub fn set_label(&mut self, lane: usize, name: &str, label: Label) {
+        let id = self.program.resolve_input(name);
+        self.set_node_label(lane, id, label);
+    }
+
+    /// Sets one lane's runtime label on an input by node id (the
+    /// transaction drivers resolve their port names once and drive by
+    /// id every cycle).
+    pub fn set_node_label(&mut self, lane: usize, id: NodeId, label: Label) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        if self.mode() != TrackMode::Off {
+            let idx = self.slot(id) * self.lanes + lane;
+            self.lab_conf[idx] = label.conf.raw();
+            self.lab_integ[idx] = label.integ.raw();
+        }
+        self.clean = false;
+    }
+
+    /// Reads one lane's settled value by port or node name.
+    pub fn peek(&mut self, lane: usize, name: &str) -> Value {
+        let id = self.program.lookup(name);
+        self.peek_node(lane, id)
+    }
+
+    /// Reads one lane's settled runtime label by name.
+    pub fn peek_label(&mut self, lane: usize, name: &str) -> Label {
+        let id = self.program.lookup(name);
+        self.peek_node_label(lane, id)
+    }
+
+    /// Reads one lane's settled value by node id.
+    pub fn peek_node(&mut self, lane: usize, id: NodeId) -> Value {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.eval();
+        let idx = self.slot(id) * self.lanes + lane;
+        join64(self.values_lo[idx], self.values_hi[idx])
+    }
+
+    /// Reads one lane's settled runtime label by node id.
+    pub fn peek_node_label(&mut self, lane: usize, id: NodeId) -> Label {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.eval();
+        let idx = self.slot(id) * self.lanes + lane;
+        label_of(self.lab_conf[idx], self.lab_integ[idx])
+    }
+
+    /// Finds a memory's index by its declared name.
+    #[must_use]
+    pub fn mem_index(&self, name: &str) -> Option<usize> {
+        self.program.net.mems.iter().position(|m| m.name == name)
+    }
+
+    /// Reads one lane's memory cell directly.
+    #[must_use]
+    pub fn mem_cell(&self, lane: usize, mem: usize, addr: usize) -> Value {
+        let idx = addr * self.lanes + lane;
+        join64(self.mem_lo[mem][idx], self.mem_hi[mem][idx])
+    }
+
+    /// Reads one lane's memory cell label directly.
+    #[must_use]
+    pub fn mem_cell_label(&self, lane: usize, mem: usize, addr: usize) -> Label {
+        let idx = addr * self.lanes + lane;
+        label_of(self.mem_lab_conf[mem][idx], self.mem_lab_integ[mem][idx])
+    }
+
+    /// Sets one lane's memory cell label directly (provisioned secrets).
+    pub fn set_mem_cell_label(&mut self, lane: usize, mem: usize, addr: usize, label: Label) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let idx = addr * self.lanes + lane;
+        self.mem_lab_conf[mem][idx] = label.conf.raw();
+        self.mem_lab_integ[mem][idx] = label.integ.raw();
+        self.clean = false;
+    }
+
+    /// Settles combinational logic of every lane for the current inputs.
+    /// Idempotent.
+    pub fn eval(&mut self) {
+        if self.clean {
+            return;
+        }
+        self.refresh_room();
+        self.dispatch(false);
+        self.clean = true;
+    }
+
+    /// Advances every lane one clock cycle.
+    pub fn tick(&mut self) {
+        if self.clean {
+            // Same settled fast path as `CompiledSim::tick`: only the
+            // violation scan (downgrade gates + release checks) runs.
+            self.record_settled_violations();
+        } else {
+            self.refresh_room();
+            self.dispatch(true);
+        }
+        self.clean = false;
+        match (self.lanes, self.mode()) {
+            (1, TrackMode::Off) => self.clock_edge::<1, false>(),
+            (1, _) => self.clock_edge::<1, true>(),
+            (2, TrackMode::Off) => self.clock_edge::<2, false>(),
+            (2, _) => self.clock_edge::<2, true>(),
+            (4, TrackMode::Off) => self.clock_edge::<4, false>(),
+            (4, _) => self.clock_edge::<4, true>(),
+            (8, TrackMode::Off) => self.clock_edge::<8, false>(),
+            (8, _) => self.clock_edge::<8, true>(),
+            (16, TrackMode::Off) => self.clock_edge::<16, false>(),
+            (16, _) => self.clock_edge::<16, true>(),
+            _ => unreachable!("lane width validated at construction"),
+        }
+    }
+
+    /// Runs `n` clock cycles with the current inputs, hoisting the mode
+    /// and lane-width dispatch, the settled check (first iteration only),
+    /// and the per-lane violation room out of the per-tick path.
+    pub fn run(&mut self, n: u64) {
+        match self.lanes {
+            1 => self.run_width::<1>(n),
+            2 => self.run_width::<2>(n),
+            4 => self.run_width::<4>(n),
+            8 => self.run_width::<8>(n),
+            16 => self.run_width::<16>(n),
+            _ => unreachable!("lane width validated at construction"),
+        }
+    }
+
+    fn run_width<const W: usize>(&mut self, n: u64) {
+        match self.mode() {
+            TrackMode::Off => self.run_inner::<W, false, false>(n),
+            TrackMode::Conservative => self.run_inner::<W, true, false>(n),
+            TrackMode::Precise => self.run_inner::<W, true, true>(n),
+        }
+    }
+
+    fn run_inner<const W: usize, const TRACK: bool, const PRECISE: bool>(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.clean {
+            self.record_settled_violations();
+        } else {
+            self.refresh_room();
+            self.exec::<W, TRACK, PRECISE>(true);
+        }
+        self.clean = false;
+        self.clock_edge::<W, TRACK>();
+        self.refresh_room();
+        for _ in 1..n {
+            self.exec::<W, TRACK, PRECISE>(true);
+            self.clock_edge::<W, TRACK>();
+        }
+    }
+
+    /// Recomputes every lane's remaining violation room from the cap.
+    fn refresh_room(&mut self) {
+        for l in 0..self.lanes {
+            self.room[l] = self.violation_cap.saturating_sub(self.violations[l].len());
+        }
+    }
+
+    fn dispatch(&mut self, record: bool) {
+        match self.lanes {
+            1 => self.dispatch_mode::<1>(record),
+            2 => self.dispatch_mode::<2>(record),
+            4 => self.dispatch_mode::<4>(record),
+            8 => self.dispatch_mode::<8>(record),
+            16 => self.dispatch_mode::<16>(record),
+            _ => unreachable!("lane width validated at construction"),
+        }
+    }
+
+    fn dispatch_mode<const W: usize>(&mut self, record: bool) {
+        match self.mode() {
+            TrackMode::Off => self.exec::<W, false, false>(record),
+            TrackMode::Conservative => self.exec::<W, true, false>(record),
+            TrackMode::Precise => self.exec::<W, true, true>(record),
+        }
+    }
+
+    /// The clock edge for all lanes: two-phase register snapshot, then
+    /// memory write ports, then the shared cycle counter.
+    fn clock_edge<const W: usize, const TRACK: bool>(&mut self) {
+        let BatchedSim {
+            program,
+            values_lo,
+            values_hi,
+            lab_conf,
+            lab_integ,
+            mem_lo,
+            mem_hi,
+            mem_lab_conf,
+            mem_lab_integ,
+            reg_scratch_lo,
+            reg_scratch_hi,
+            reg_scratch_conf,
+            reg_scratch_integ,
+            cycle,
+            ..
+        } = self;
+        let (lo_ch, _) = values_lo.as_chunks_mut::<W>();
+        let (hi_ch, _) = values_hi.as_chunks_mut::<W>();
+        let (conf_ch, _) = lab_conf.as_chunks_mut::<W>();
+        let (integ_ch, _) = lab_integ.as_chunks_mut::<W>();
+        let (slo_ch, _) = reg_scratch_lo.as_chunks_mut::<W>();
+        let (shi_ch, _) = reg_scratch_hi.as_chunks_mut::<W>();
+        let (sconf_ch, _) = reg_scratch_conf.as_chunks_mut::<W>();
+        let (sinteg_ch, _) = reg_scratch_integ.as_chunks_mut::<W>();
+        for (i, r) in program.regs.iter().enumerate() {
+            let src = r.src as usize;
+            let (ml, mh) = (lo64(r.mask), hi64(r.mask));
+            let sv = lo_ch[src];
+            let sc = &mut slo_ch[i];
+            for l in 0..W {
+                sc[l] = sv[l] & ml;
+            }
+            let svh = hi_ch[src];
+            let sch = &mut shi_ch[i];
+            for l in 0..W {
+                sch[l] = svh[l] & mh;
+            }
+            if TRACK {
+                sconf_ch[i] = conf_ch[src];
+                sinteg_ch[i] = integ_ch[src];
+            }
+        }
+        for wp in &program.write_ports {
+            let mem = wp.mem as usize;
+            let (mlo_ch, _) = mem_lo[mem].as_chunks_mut::<W>();
+            let (mhi_ch, _) = mem_hi[mem].as_chunks_mut::<W>();
+            let depth = mlo_ch.len();
+            let en = lo_ch[wp.en as usize];
+            let addr = lo_ch[wp.addr as usize];
+            let data_lo = lo_ch[wp.data as usize];
+            let data_hi = hi_ch[wp.data as usize];
+            let wrap = |v: u64| match program.mem_addr_mask[mem] {
+                Some(amask) => (v as usize) & amask,
+                None => (v as usize) % depth,
+            };
+            for l in 0..W {
+                if en[l] & 1 == 1 {
+                    let cell = wrap(addr[l]);
+                    mlo_ch[cell][l] = data_lo[l];
+                    mhi_ch[cell][l] = data_hi[l];
+                }
+            }
+            if TRACK {
+                let (mconf_ch, _) = mem_lab_conf[mem].as_chunks_mut::<W>();
+                let (minteg_ch, _) = mem_lab_integ[mem].as_chunks_mut::<W>();
+                let en_c = conf_ch[wp.en as usize];
+                let en_i = integ_ch[wp.en as usize];
+                let ad_c = conf_ch[wp.addr as usize];
+                let ad_i = integ_ch[wp.addr as usize];
+                let da_c = conf_ch[wp.data as usize];
+                let da_i = integ_ch[wp.data as usize];
+                for l in 0..W {
+                    if en[l] & 1 == 1 {
+                        let cell = wrap(addr[l]);
+                        mconf_ch[cell][l] = da_c[l].max(ad_c[l]).max(en_c[l]);
+                        minteg_ch[cell][l] = da_i[l].min(ad_i[l]).min(en_i[l]);
+                    }
+                }
+            }
+        }
+        for (i, r) in program.regs.iter().enumerate() {
+            lo_ch[r.dst as usize] = slo_ch[i];
+            hi_ch[r.dst as usize] = shi_ch[i];
+            if TRACK {
+                conf_ch[r.dst as usize] = sconf_ch[i];
+                integ_ch[r.dst as usize] = sinteg_ch[i];
+            }
+        }
+        *cycle += 1;
+    }
+
+    /// The settled-state violation scan: recomputes each downgrade gate's
+    /// accept/reject per lane from settled operands, then runs the output
+    /// release checks, without re-executing the tape.
+    fn record_settled_violations(&mut self) {
+        if self.mode() == TrackMode::Off {
+            return;
+        }
+        self.refresh_room();
+        let w = self.lanes;
+        let BatchedSim {
+            program,
+            values_lo,
+            values_hi,
+            lab_conf,
+            lab_integ,
+            violations,
+            violations_truncated,
+            room,
+            cycle,
+            ..
+        } = self;
+        let tape = &program.tape;
+        for &i in &program.downgrades {
+            let i = i as usize;
+            let to = Label::from(SecurityTag::from_bits(tape.aux[i] as u8));
+            let (ab, bb) = (tape.a[i] as usize * w, tape.b[i] as usize * w);
+            for l in 0..w {
+                let from = label_of(lab_conf[ab + l], lab_integ[ab + l]);
+                let p = Label::from(SecurityTag::from_bits(values_lo[bb + l] as u8));
+                let rejected = match tape.ops[i] {
+                    Op::Declassify => ifc_lattice::declassify(from, to, p).is_err(),
+                    _ => ifc_lattice::endorse(from, to, p).is_err(),
+                };
+                if rejected {
+                    push_violation(
+                        &mut violations[l],
+                        &mut room[l],
+                        &mut violations_truncated[l],
+                        RuntimeViolation::DowngradeRejected {
+                            cycle: *cycle,
+                            node: NodeId::from_raw(tape.c[i]),
+                            from,
+                            to,
+                            principal: p,
+                        },
+                    );
+                }
+            }
+        }
+        for check in &program.output_checks {
+            let sb = check.slot as usize * w;
+            for l in 0..w {
+                let allowed = match &check.allowed {
+                    AllowedLabel::Const(lbl) => *lbl,
+                    AllowedLabel::Dynamic(expr) => {
+                        let mut resolve = |sig: NodeId| {
+                            let idx = program.slot_of[sig.index()] as usize * w + l;
+                            join64(values_lo[idx], values_hi[idx])
+                        };
+                        expr.eval(&mut resolve)
+                    }
+                };
+                let label = label_of(lab_conf[sb + l], lab_integ[sb + l]);
+                if !label.flows_to(allowed) {
+                    push_violation(
+                        &mut violations[l],
+                        &mut room[l],
+                        &mut violations_truncated[l],
+                        RuntimeViolation::OutputLeak {
+                            cycle: *cycle,
+                            port: check.port.clone(),
+                            label,
+                            allowed,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The batched dispatch loop: one opcode match per same-op run, each
+    /// arm looping its instructions and lanes. `TRACK`/`PRECISE` as in
+    /// `CompiledSim::exec`; the caller has refreshed the per-lane room
+    /// scratch.
+    ///
+    /// Value halves are addressed as `[u64; W]` lane chunks and labels as
+    /// `[u8; W]` level chunks (`as_chunks_mut`): one bounds check per
+    /// operand component instead of per lane, and the lane loops run over
+    /// fixed-size arrays the compiler vectorises. The high value half of
+    /// an instruction is skipped when its result mask has no bits above
+    /// 64 — the destination's high half is all-zero by invariant (see the
+    /// [module docs](self)).
+    #[allow(clippy::too_many_lines)]
+    fn exec<const W: usize, const TRACK: bool, const PRECISE: bool>(&mut self, record: bool) {
+        let BatchedSim {
+            program,
+            values_lo,
+            values_hi,
+            lab_conf,
+            lab_integ,
+            mem_lo,
+            mem_hi,
+            mem_lab_conf,
+            mem_lab_integ,
+            violations,
+            violations_truncated,
+            room,
+            cycle,
+            ..
+        } = self;
+        let tape = &program.tape;
+        let n = tape.ops.len();
+        let col_dst = &tape.dst[..n];
+        let col_a = &tape.a[..n];
+        let col_b = &tape.b[..n];
+        let col_c = &tape.c[..n];
+        let col_aux = &tape.aux[..n];
+        let col_mask = &tape.out_mask[..n];
+        let (lo_ch, _) = values_lo.as_chunks_mut::<W>();
+        let (hi_ch, _) = values_hi.as_chunks_mut::<W>();
+        let (conf_ch, _) = lab_conf.as_chunks_mut::<W>();
+        let (integ_ch, _) = lab_integ.as_chunks_mut::<W>();
+        let tag8 = |v: u64| Label::from(SecurityTag::from_bits(v as u8));
+        for &(op, start, end) in &program.runs {
+            let (s, e) = (start as usize, end as usize);
+            // `copy_labels`/`join_labels`: the unary and binary label
+            // rules — copy `a`'s level chunks, or join `a`'s and `b`'s
+            // lanewise (byte max on confidentiality, byte min on
+            // integrity). `bitwise1`/`bitwise2`: ops whose low result
+            // bits depend only on low operand bits — the high half runs
+            // only when the result mask has high bits. `cmp2`: full-width
+            // comparisons producing a 1-bit result in the low half.
+            macro_rules! copy_labels {
+                ($a:expr, $d:expr) => {
+                    if TRACK {
+                        conf_ch[$d] = conf_ch[$a];
+                        integ_ch[$d] = integ_ch[$a];
+                    }
+                };
+            }
+            macro_rules! join_labels {
+                ($a:expr, $b:expr, $d:expr) => {
+                    if TRACK {
+                        let ca = conf_ch[$a];
+                        let cb = conf_ch[$b];
+                        let cd = &mut conf_ch[$d];
+                        for l in 0..W {
+                            cd[l] = ca[l].max(cb[l]);
+                        }
+                        let ia = integ_ch[$a];
+                        let ib = integ_ch[$b];
+                        let id = &mut integ_ch[$d];
+                        for l in 0..W {
+                            id[l] = ia[l].min(ib[l]);
+                        }
+                    }
+                };
+            }
+            macro_rules! bitwise1 {
+                (|$va:ident| $expr:expr) => {{
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let sa = lo_ch[a];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            let $va = sa[l];
+                            dst[l] = ($expr) & ml;
+                        }
+                        if mh != 0 {
+                            let sa = hi_ch[a];
+                            let dst = &mut hi_ch[d];
+                            for l in 0..W {
+                                let $va = sa[l];
+                                dst[l] = ($expr) & mh;
+                            }
+                        }
+                        copy_labels!(a, d);
+                    }
+                }};
+            }
+            macro_rules! bitwise2 {
+                (|$va:ident, $vb:ident| $expr:expr) => {{
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let sa = lo_ch[a];
+                        let sb = lo_ch[b];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            let $va = sa[l];
+                            let $vb = sb[l];
+                            dst[l] = ($expr) & ml;
+                        }
+                        if mh != 0 {
+                            let sa = hi_ch[a];
+                            let sb = hi_ch[b];
+                            let dst = &mut hi_ch[d];
+                            for l in 0..W {
+                                let $va = sa[l];
+                                let $vb = sb[l];
+                                dst[l] = ($expr) & mh;
+                            }
+                        }
+                        join_labels!(a, b, d);
+                    }
+                }};
+            }
+            // Full-width comparison: both halves in, one bit out (the
+            // destination's high half is zero by invariant).
+            macro_rules! cmp2 {
+                (|$al:ident, $ah:ident, $bl:ident, $bh:ident| $expr:expr) => {{
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let sal = lo_ch[a];
+                        let sbl = lo_ch[b];
+                        let sah = hi_ch[a];
+                        let sbh = hi_ch[b];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            let $al = sal[l];
+                            let $ah = sah[l];
+                            let $bl = sbl[l];
+                            let $bh = sbh[l];
+                            dst[l] = u64::from($expr);
+                        }
+                        join_labels!(a, b, d);
+                    }
+                }};
+            }
+            // Tag algebra on the low byte (8-bit operands and results).
+            macro_rules! tagop {
+                (|$ta:ident, $tb:ident| $expr:expr) => {{
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let ml = lo64(col_mask[i]);
+                        let sa = lo_ch[a];
+                        let sb = lo_ch[b];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            let $ta = tag8(sa[l]);
+                            let $tb = tag8(sb[l]);
+                            dst[l] = ($expr) & ml;
+                        }
+                        join_labels!(a, b, d);
+                    }
+                }};
+            }
+            match op {
+                Op::Not => bitwise1!(|va| !va),
+                Op::ReduceOr => {
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let sal = lo_ch[a];
+                        let sah = hi_ch[a];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            dst[l] = u64::from((sal[l] | sah[l]) != 0);
+                        }
+                        copy_labels!(a, d);
+                    }
+                }
+                Op::ReduceAnd => {
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let full = col_aux[i];
+                        let (fl, fh) = (lo64(full), hi64(full));
+                        let sal = lo_ch[a];
+                        let sah = hi_ch[a];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            dst[l] = u64::from(sal[l] == fl && sah[l] == fh);
+                        }
+                        copy_labels!(a, d);
+                    }
+                }
+                Op::ReduceXor => {
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let sal = lo_ch[a];
+                        let sah = hi_ch[a];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            dst[l] =
+                                u64::from((sal[l].count_ones() + sah[l].count_ones()) % 2 == 1);
+                        }
+                        copy_labels!(a, d);
+                    }
+                }
+                Op::And => bitwise2!(|va, vb| va & vb),
+                Op::Or => bitwise2!(|va, vb| va | vb),
+                Op::Xor => bitwise2!(|va, vb| va ^ vb),
+                Op::Add | Op::Sub => {
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let sal = lo_ch[a];
+                        let sbl = lo_ch[b];
+                        let sah = hi_ch[a];
+                        let sbh = hi_ch[b];
+                        for l in 0..W {
+                            if op == Op::Add {
+                                let (lo, carry) = sal[l].overflowing_add(sbl[l]);
+                                lo_ch[d][l] = lo & ml;
+                                hi_ch[d][l] =
+                                    sah[l].wrapping_add(sbh[l]).wrapping_add(u64::from(carry)) & mh;
+                            } else {
+                                let (lo, borrow) = sal[l].overflowing_sub(sbl[l]);
+                                lo_ch[d][l] = lo & ml;
+                                hi_ch[d][l] =
+                                    sah[l].wrapping_sub(sbh[l]).wrapping_sub(u64::from(borrow))
+                                        & mh;
+                            }
+                        }
+                        join_labels!(a, b, d);
+                    }
+                }
+                Op::Eq => cmp2!(|al, ah, bl, bh| al == bl && ah == bh),
+                Op::Ne => cmp2!(|al, ah, bl, bh| al != bl || ah != bh),
+                Op::Lt => cmp2!(|al, ah, bl, bh| ah < bh || (ah == bh && al < bl)),
+                Op::Ge => cmp2!(|al, ah, bl, bh| ah > bh || (ah == bh && al >= bl)),
+                Op::TagLeq => tagop!(|ta, tb| u64::from(ta.flows_to(tb))),
+                Op::TagJoin => tagop!(|ta, tb| u64::from(SecurityTag::from(ta.join(tb)).bits())),
+                Op::TagMeet => tagop!(|ta, tb| u64::from(SecurityTag::from(ta.meet(tb)).bits())),
+                Op::Mux => {
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let c = col_c[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let sel = lo_ch[a];
+                        let vbl = lo_ch[b];
+                        let vcl = lo_ch[c];
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            dst[l] = (if sel[l] & 1 == 1 { vbl[l] } else { vcl[l] }) & ml;
+                        }
+                        if mh != 0 {
+                            let vbh = hi_ch[b];
+                            let vch = hi_ch[c];
+                            let dst = &mut hi_ch[d];
+                            for l in 0..W {
+                                dst[l] = (if sel[l] & 1 == 1 { vbh[l] } else { vch[l] }) & mh;
+                            }
+                        }
+                        if TRACK {
+                            let ca = conf_ch[a];
+                            let cb = conf_ch[b];
+                            let cc = conf_ch[c];
+                            let ia = integ_ch[a];
+                            let ib = integ_ch[b];
+                            let ic = integ_ch[c];
+                            let cd = &mut conf_ch[d];
+                            let id = &mut integ_ch[d];
+                            for l in 0..W {
+                                let (csel, isel) = if PRECISE {
+                                    if sel[l] & 1 == 1 {
+                                        (cb[l], ib[l])
+                                    } else {
+                                        (cc[l], ic[l])
+                                    }
+                                } else {
+                                    (cb[l].max(cc[l]), ib[l].min(ic[l]))
+                                };
+                                cd[l] = ca[l].max(csel);
+                                id[l] = ia[l].min(isel);
+                            }
+                        }
+                    }
+                }
+                Op::Slice => {
+                    // `va >> sh`, split by where the shift lands. The
+                    // `sh >= 64` result fits the low half entirely, so
+                    // its mask has no high bits.
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let sh = col_b[i];
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let sal = lo_ch[a];
+                        let sah = hi_ch[a];
+                        if sh == 0 {
+                            let dst = &mut lo_ch[d];
+                            for l in 0..W {
+                                dst[l] = sal[l] & ml;
+                            }
+                            if mh != 0 {
+                                let dst = &mut hi_ch[d];
+                                for l in 0..W {
+                                    dst[l] = sah[l] & mh;
+                                }
+                            }
+                        } else if sh < 64 {
+                            let dst = &mut lo_ch[d];
+                            for l in 0..W {
+                                dst[l] = ((sal[l] >> sh) | (sah[l] << (64 - sh))) & ml;
+                            }
+                            if mh != 0 {
+                                let dst = &mut hi_ch[d];
+                                for l in 0..W {
+                                    dst[l] = (sah[l] >> sh) & mh;
+                                }
+                            }
+                        } else {
+                            let dst = &mut lo_ch[d];
+                            for l in 0..W {
+                                dst[l] = (sah[l] >> (sh - 64)) & ml;
+                            }
+                        }
+                        copy_labels!(a, d);
+                    }
+                }
+                Op::Cat => {
+                    // `(va << sh) | vb`, split the same way.
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let sh = col_c[i];
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let sal = lo_ch[a];
+                        let sbl = lo_ch[b];
+                        let sah = hi_ch[a];
+                        let sbh = hi_ch[b];
+                        if sh == 0 {
+                            let dst = &mut lo_ch[d];
+                            for l in 0..W {
+                                dst[l] = (sal[l] | sbl[l]) & ml;
+                            }
+                            if mh != 0 {
+                                let dst = &mut hi_ch[d];
+                                for l in 0..W {
+                                    dst[l] = (sah[l] | sbh[l]) & mh;
+                                }
+                            }
+                        } else if sh < 64 {
+                            let dst = &mut lo_ch[d];
+                            for l in 0..W {
+                                dst[l] = ((sal[l] << sh) | sbl[l]) & ml;
+                            }
+                            if mh != 0 {
+                                let dst = &mut hi_ch[d];
+                                for l in 0..W {
+                                    dst[l] = ((sah[l] << sh) | (sal[l] >> (64 - sh)) | sbh[l]) & mh;
+                                }
+                            }
+                        } else {
+                            let dst = &mut lo_ch[d];
+                            for l in 0..W {
+                                dst[l] = sbl[l] & ml;
+                            }
+                            if mh != 0 {
+                                let dst = &mut hi_ch[d];
+                                for l in 0..W {
+                                    dst[l] = ((sal[l] << (sh - 64)) | sbh[l]) & mh;
+                                }
+                            }
+                        }
+                        join_labels!(a, b, d);
+                    }
+                }
+                Op::MemRead => {
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let (mlo_ch, _) = mem_lo[b].as_chunks::<W>();
+                        let depth = mlo_ch.len();
+                        let sal = lo_ch[a];
+                        // Power-of-two depths wrap with a mask instead of
+                        // an integer division (identical result).
+                        let mut addrs = [0usize; W];
+                        match program.mem_addr_mask[b] {
+                            Some(amask) => {
+                                for l in 0..W {
+                                    addrs[l] = (sal[l] as usize) & amask;
+                                }
+                            }
+                            None => {
+                                for l in 0..W {
+                                    addrs[l] = (sal[l] as usize) % depth;
+                                }
+                            }
+                        }
+                        let dst = &mut lo_ch[d];
+                        for l in 0..W {
+                            dst[l] = mlo_ch[addrs[l]][l] & ml;
+                        }
+                        if mh != 0 {
+                            let (mhi_ch, _) = mem_hi[b].as_chunks::<W>();
+                            let dst = &mut hi_ch[d];
+                            for l in 0..W {
+                                dst[l] = mhi_ch[addrs[l]][l] & mh;
+                            }
+                        }
+                        if TRACK {
+                            let (mconf_ch, _) = mem_lab_conf[b].as_chunks::<W>();
+                            let (minteg_ch, _) = mem_lab_integ[b].as_chunks::<W>();
+                            let ca = conf_ch[a];
+                            let ia = integ_ch[a];
+                            let cd = &mut conf_ch[d];
+                            let id = &mut integ_ch[d];
+                            for l in 0..W {
+                                cd[l] = mconf_ch[addrs[l]][l].max(ca[l]);
+                                id[l] = minteg_ch[addrs[l]][l].min(ia[l]);
+                            }
+                        }
+                    }
+                }
+                Op::Declassify | Op::Endorse => {
+                    for i in s..e {
+                        let a = col_a[i] as usize;
+                        let b = col_b[i] as usize;
+                        let d = col_dst[i] as usize;
+                        let m = col_mask[i];
+                        let (ml, mh) = (lo64(m), hi64(m));
+                        let to = Label::from(SecurityTag::from_bits(col_aux[i] as u8));
+                        let sal = lo_ch[a];
+                        let sbl = lo_ch[b];
+                        {
+                            let dst = &mut lo_ch[d];
+                            for l in 0..W {
+                                dst[l] = sal[l] & ml;
+                            }
+                        }
+                        if mh != 0 {
+                            let sah = hi_ch[a];
+                            let dst = &mut hi_ch[d];
+                            for l in 0..W {
+                                dst[l] = sah[l] & mh;
+                            }
+                        }
+                        if TRACK {
+                            let ca = conf_ch[a];
+                            let ia = integ_ch[a];
+                            let cd = &mut conf_ch[d];
+                            let id = &mut integ_ch[d];
+                            for l in 0..W {
+                                let from = label_of(ca[l], ia[l]);
+                                let p = Label::from(SecurityTag::from_bits(sbl[l] as u8));
+                                let downgraded = if op == Op::Declassify {
+                                    ifc_lattice::declassify(from, to, p)
+                                } else {
+                                    ifc_lattice::endorse(from, to, p)
+                                };
+                                let out = match downgraded {
+                                    Ok(lbl) => lbl,
+                                    Err(_) => {
+                                        if record {
+                                            push_violation(
+                                                &mut violations[l],
+                                                &mut room[l],
+                                                &mut violations_truncated[l],
+                                                RuntimeViolation::DowngradeRejected {
+                                                    cycle: *cycle,
+                                                    node: NodeId::from_raw(col_c[i]),
+                                                    from,
+                                                    to,
+                                                    principal: p,
+                                                },
+                                            );
+                                        }
+                                        from
+                                    }
+                                };
+                                cd[l] = out.conf.raw();
+                                id[l] = out.integ.raw();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if record && TRACK {
+            for check in &program.output_checks {
+                let s = check.slot as usize;
+                for l in 0..W {
+                    let allowed = match &check.allowed {
+                        AllowedLabel::Const(lbl) => *lbl,
+                        AllowedLabel::Dynamic(expr) => {
+                            let mut resolve = |sig: NodeId| {
+                                let slot = program.slot_of[sig.index()] as usize;
+                                join64(lo_ch[slot][l], hi_ch[slot][l])
+                            };
+                            expr.eval(&mut resolve)
+                        }
+                    };
+                    let label = label_of(conf_ch[s][l], integ_ch[s][l]);
+                    if !label.flows_to(allowed) {
+                        push_violation(
+                            &mut violations[l],
+                            &mut room[l],
+                            &mut violations_truncated[l],
+                            RuntimeViolation::OutputLeak {
+                                cycle: *cycle,
+                                port: check.port.clone(),
+                                label,
+                                allowed,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

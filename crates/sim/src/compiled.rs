@@ -6,12 +6,16 @@
 //!
 //! * **Flat struct-of-arrays tape.** Each combinational node becomes one
 //!   fixed-size instruction (opcode + pre-resolved operand slots +
-//!   precomputed output mask) in topological order. The dispatch loop
-//!   walks parallel arrays instead of pattern-matching a recursive
-//!   [`Node`](hdl::Node) enum through pointer-chasing lookups.
+//!   precomputed output mask) in topological order — see
+//!   [`Program`](crate::program::Program), which this backend shares with
+//!   the lane-batched [`BatchedSim`](crate::BatchedSim) behind an `Arc`,
+//!   so cloning a compiled session costs only its state arrays.
 //! * **Wires cost nothing.** Wire nodes are aliased to their transitive
 //!   driver's value slot at compile time, so the chains of named wires a
 //!   lowered design produces generate no instructions and no copies.
+//! * **Optional tape optimizer.** [`with_tracking_opt`](Self::with_tracking_opt)
+//!   runs the [`opt`](crate::opt) passes (constant folding, CSE, dead-node
+//!   elimination) over the tape before execution.
 //! * **Compiled label tracking.** The executor is monomorphised over the
 //!   tracking mode: with [`TrackMode::Off`] the label code paths are
 //!   compiled out entirely, so untracked simulation pays zero label cost.
@@ -20,6 +24,10 @@
 //!   two-phase scratch buffer. (Recording a violation stores a
 //!   heap-allocated report, but a design that raises no violations never
 //!   allocates after construction.)
+//! * **Hoisted run loop.** [`run`](Self::run) dispatches on the tracking
+//!   mode once, hoists the settled-state check out of the per-tick path
+//!   (only the first iteration can be settled), and hoists the violation
+//!   cap comparison to once per run instead of once per push.
 //!
 //! Semantics are bit-for-bit identical to the interpreting
 //! [`Simulator`](crate::Simulator) — values, labels, and the recorded
@@ -27,157 +35,29 @@
 //! enforce. The interpreter remains the reference oracle; this backend is
 //! the throughput engine.
 
-use hdl::{mask, BinOp, Netlist, Node, NodeId, UnOp, Value};
+use std::sync::Arc;
+
+use hdl::{mask, Netlist, NodeId, Value};
 use ifc_lattice::{Label, SecurityTag};
 
-use crate::simulator::{build_output_checks, compute_widths, AllowedLabel, DEFAULT_VIOLATION_CAP};
+use crate::opt::{self, OptConfig, OptStats};
+use crate::program::{push_violation, CompiledCheck, Op, Program};
+use crate::simulator::{AllowedLabel, DEFAULT_VIOLATION_CAP};
 use crate::violation::RuntimeViolation;
 use crate::TrackMode;
-
-/// Tape opcodes. One per combinational node kind; `Input`, `Const`,
-/// `Reg`, and `Wire` nodes compile to no instruction at all (their
-/// values live directly in slots, wires alias their driver's slot).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
-    /// Bitwise complement of `a`.
-    Not,
-    /// OR-reduce `a` to one bit.
-    ReduceOr,
-    /// AND-reduce: `a == aux` (aux holds the operand's full mask).
-    ReduceAnd,
-    /// XOR-reduce (parity) of `a`.
-    ReduceXor,
-    /// `a & b`.
-    And,
-    /// `a | b`.
-    Or,
-    /// `a ^ b`.
-    Xor,
-    /// Wrapping `a + b`.
-    Add,
-    /// Wrapping `a - b`.
-    Sub,
-    /// `a == b`, one bit.
-    Eq,
-    /// `a != b`, one bit.
-    Ne,
-    /// `a < b`, one bit.
-    Lt,
-    /// `a >= b`, one bit.
-    Ge,
-    /// Packed-tag flow check `a ⊑ b`, one bit.
-    TagLeq,
-    /// Packed-tag join.
-    TagJoin,
-    /// Packed-tag meet.
-    TagMeet,
-    /// `if a & 1 { b } else { c }`.
-    Mux,
-    /// `(a >> b) & out_mask`.
-    Slice,
-    /// `(a << c) | b`.
-    Cat,
-    /// Read memory `b` at address `a` (modulo depth).
-    MemRead,
-    /// Declassify data `a` on behalf of principal signal `b`; `aux` is
-    /// the packed target tag, `c` the original node id (for reports).
-    Declassify,
-    /// Endorse — integrity dual of [`Op::Declassify`].
-    Endorse,
-}
-
-/// The instruction tape in struct-of-arrays layout: parallel arrays
-/// indexed by instruction, so the dispatch loop streams each field
-/// sequentially through cache.
-#[derive(Debug, Clone, Default)]
-struct Tape {
-    ops: Vec<Op>,
-    /// Destination value/label slot.
-    dst: Vec<u32>,
-    /// First operand slot.
-    a: Vec<u32>,
-    /// Second operand slot, slice shift amount, or memory index.
-    b: Vec<u32>,
-    /// Third operand slot, cat shift amount, or original node id.
-    c: Vec<u32>,
-    /// Wide immediate: ReduceAnd full-operand mask, downgrade target tag.
-    aux: Vec<Value>,
-    /// Precomputed width mask applied to every result.
-    out_mask: Vec<Value>,
-}
-
-impl Tape {
-    #[allow(clippy::too_many_arguments)]
-    fn push(&mut self, op: Op, dst: u32, a: u32, b: u32, c: u32, aux: Value, out_mask: Value) {
-        self.ops.push(op);
-        self.dst.push(dst);
-        self.a.push(a);
-        self.b.push(b);
-        self.c.push(c);
-        self.aux.push(aux);
-        self.out_mask.push(out_mask);
-    }
-}
-
-/// A compiled register update: on the clock edge, `dst` slot takes the
-/// settled value of `src` slot, masked to the register's width.
-#[derive(Debug, Clone, Copy)]
-struct RegUpdate {
-    dst: u32,
-    src: u32,
-    mask: Value,
-}
-
-/// A compiled memory write port (operand node ids pre-resolved to slots).
-#[derive(Debug, Clone, Copy)]
-struct CompiledWritePort {
-    mem: u32,
-    addr: u32,
-    data: u32,
-    en: u32,
-}
-
-/// One output-port release check with the port node pre-resolved to its
-/// slot.
-#[derive(Debug, Clone)]
-struct CompiledCheck {
-    port: String,
-    slot: u32,
-    allowed: AllowedLabel,
-}
-
-/// Width mask for a slot/instruction result (all-ones at full width so a
-/// plain `&` is always correct).
-fn mask_of(width: u16) -> Value {
-    mask(Value::MAX, width.max(1))
-}
-
-/// Appends a violation, honouring the cap.
-fn push_violation(
-    violations: &mut Vec<RuntimeViolation>,
-    cap: usize,
-    truncated: &mut bool,
-    v: RuntimeViolation,
-) {
-    if violations.len() < cap {
-        violations.push(v);
-    } else {
-        *truncated = true;
-    }
-}
 
 /// The runtime release gate over settled slots, against the precompiled
 /// check table. Shared between the recording propagation and the
 /// settled-state fast path in [`CompiledSim::tick`].
 #[allow(clippy::too_many_arguments)]
-fn run_output_checks(
+pub(crate) fn run_output_checks(
     output_checks: &[CompiledCheck],
     values: &[Value],
     labels: &[Label],
     slot_of: &[u32],
     cycle: u64,
     violations: &mut Vec<RuntimeViolation>,
-    cap: usize,
+    room: &mut usize,
     truncated: &mut bool,
 ) {
     for check in output_checks {
@@ -192,7 +72,7 @@ fn run_output_checks(
         if !label.flows_to(allowed) {
             push_violation(
                 violations,
-                cap,
+                room,
                 truncated,
                 RuntimeViolation::OutputLeak {
                     cycle,
@@ -213,13 +93,7 @@ fn run_output_checks(
 /// [module docs](self) for how it gets there.
 #[derive(Debug, Clone)]
 pub struct CompiledSim {
-    net: Netlist,
-    mode: TrackMode,
-    /// Node index → value/label slot (wires alias their driver's slot).
-    slot_of: Vec<u32>,
-    /// Per-*node* widths (needed to mask driven input values).
-    node_widths: Vec<u16>,
-    tape: Tape,
+    program: Arc<Program>,
     /// Per-slot settled values. Register and input state lives here
     /// directly — there is no separate state array to copy from.
     values: Vec<Value>,
@@ -227,15 +101,9 @@ pub struct CompiledSim {
     labels: Vec<Label>,
     mem_state: Vec<Vec<Value>>,
     mem_labels: Vec<Vec<Label>>,
-    regs: Vec<RegUpdate>,
     /// Two-phase clock-edge scratch (preallocated; see [`tick`](Self::tick)).
     reg_scratch: Vec<Value>,
     reg_label_scratch: Vec<Label>,
-    write_ports: Vec<CompiledWritePort>,
-    output_checks: Vec<CompiledCheck>,
-    /// Tape indices of the downgrade instructions, for the settled-state
-    /// violation scan in [`tick`](Self::tick).
-    downgrades: Vec<u32>,
     clean: bool,
     cycle: u64,
     violations: Vec<RuntimeViolation>,
@@ -250,227 +118,55 @@ impl CompiledSim {
         CompiledSim::with_tracking(net, TrackMode::default())
     }
 
-    /// Compiles a netlist for the given tracking mode.
-    ///
-    /// This is the one-time lowering pass: it assigns value slots
-    /// (aliasing wires away), precomputes widths and masks, and emits the
-    /// instruction tape in topological order.
+    /// Compiles a netlist for the given tracking mode, with no optimizer
+    /// passes (the tape runs exactly as lowered).
     #[must_use]
     pub fn with_tracking(net: Netlist, mode: TrackMode) -> CompiledSim {
-        let n = net.node_count();
-        let node_widths = compute_widths(&net);
+        CompiledSim::with_tracking_opt(net, mode, &OptConfig::none())
+    }
 
-        // Slot assignment: every non-wire node owns a slot; wires alias
-        // the slot of their transitive driver.
-        let mut slot_of = vec![u32::MAX; n];
-        let mut num_slots: u32 = 0;
-        for id in net.node_ids() {
-            if !matches!(net.node(id), Node::Wire { .. }) {
-                slot_of[id.index()] = num_slots;
-                num_slots += 1;
-            }
-        }
-        for id in net.node_ids() {
-            if matches!(net.node(id), Node::Wire { .. }) {
-                slot_of[id.index()] = slot_of[net.resolve_driver(id).index()];
-            }
-        }
-        let slot = |id: NodeId| slot_of[id.index()];
+    /// Compiles a netlist and runs the configured optimizer passes over
+    /// the tape before execution.
+    #[must_use]
+    pub fn with_tracking_opt(net: Netlist, mode: TrackMode, config: &OptConfig) -> CompiledSim {
+        let mut program = Program::compile(net, mode);
+        opt::optimize(&mut program, config);
+        CompiledSim::from_program(Arc::new(program))
+    }
 
-        // Initial slot state: constants and register init values are
-        // baked in; everything else starts at zero / public-trusted.
-        let mut values = vec![0 as Value; num_slots as usize];
-        for id in net.node_ids() {
-            match *net.node(id) {
-                Node::Const { value, width } => {
-                    values[slot(id) as usize] = mask(value, width.max(1));
-                }
-                Node::Reg { init, width } => {
-                    values[slot(id) as usize] = mask(init, width.max(1));
-                }
-                _ => {}
-            }
-        }
-
-        // The instruction tape, in the netlist's combinational order.
-        let mut tape = Tape::default();
-        for &id in &net.topo {
-            let idx = id.index();
-            let dst = slot_of[idx];
-            let out_mask = mask_of(node_widths[idx]);
-            match *net.node(id) {
-                // Stateful / constant / aliased nodes need no instruction.
-                Node::Input { .. } | Node::Const { .. } | Node::Reg { .. } | Node::Wire { .. } => {}
-                Node::MemRead { mem, addr } => {
-                    tape.push(
-                        Op::MemRead,
-                        dst,
-                        slot(addr),
-                        mem.index() as u32,
-                        0,
-                        0,
-                        out_mask,
-                    );
-                }
-                Node::Unary { op, a } => {
-                    let (op, aux) = match op {
-                        UnOp::Not => (Op::Not, 0),
-                        UnOp::ReduceOr => (Op::ReduceOr, 0),
-                        UnOp::ReduceAnd => (Op::ReduceAnd, mask_of(node_widths[a.index()])),
-                        UnOp::ReduceXor => (Op::ReduceXor, 0),
-                    };
-                    tape.push(op, dst, slot(a), 0, 0, aux, out_mask);
-                }
-                Node::Binary { op, a, b } => {
-                    let op = match op {
-                        BinOp::And => Op::And,
-                        BinOp::Or => Op::Or,
-                        BinOp::Xor => Op::Xor,
-                        BinOp::Add => Op::Add,
-                        BinOp::Sub => Op::Sub,
-                        BinOp::Eq => Op::Eq,
-                        BinOp::Ne => Op::Ne,
-                        BinOp::Lt => Op::Lt,
-                        BinOp::Ge => Op::Ge,
-                        BinOp::TagLeq => Op::TagLeq,
-                        BinOp::TagJoin => Op::TagJoin,
-                        BinOp::TagMeet => Op::TagMeet,
-                    };
-                    tape.push(op, dst, slot(a), slot(b), 0, 0, out_mask);
-                }
-                Node::Mux { sel, t, f } => {
-                    tape.push(Op::Mux, dst, slot(sel), slot(t), slot(f), 0, out_mask);
-                }
-                Node::Slice { a, lo, .. } => {
-                    tape.push(Op::Slice, dst, slot(a), u32::from(lo), 0, 0, out_mask);
-                }
-                Node::Cat { hi, lo } => {
-                    let shift = u32::from(node_widths[lo.index()]);
-                    tape.push(Op::Cat, dst, slot(hi), slot(lo), shift, 0, out_mask);
-                }
-                Node::Declassify {
-                    data,
-                    to_tag,
-                    principal,
-                } => {
-                    tape.push(
-                        Op::Declassify,
-                        dst,
-                        slot(data),
-                        slot(principal),
-                        idx as u32,
-                        Value::from(to_tag),
-                        out_mask,
-                    );
-                }
-                Node::Endorse {
-                    data,
-                    to_tag,
-                    principal,
-                } => {
-                    tape.push(
-                        Op::Endorse,
-                        dst,
-                        slot(data),
-                        slot(principal),
-                        idx as u32,
-                        Value::from(to_tag),
-                        out_mask,
-                    );
-                }
-            }
-        }
-
-        // Clock-edge tables.
-        let mut regs = Vec::new();
-        for id in net.node_ids() {
-            let idx = id.index();
-            if let Some(next) = net.reg_next[idx] {
-                regs.push(RegUpdate {
-                    dst: slot_of[idx],
-                    src: slot_of[next.index()],
-                    mask: mask_of(node_widths[idx]),
-                });
-            }
-        }
-        let write_ports = net
-            .write_ports
-            .iter()
-            .map(|wp| CompiledWritePort {
-                mem: wp.mem.index() as u32,
-                addr: slot(wp.addr),
-                data: slot(wp.data),
-                en: slot(wp.en),
-            })
-            .collect();
-
-        let mem_state: Vec<Vec<Value>> = net
-            .mems
-            .iter()
-            .map(|m| {
-                let mut cells = m.init.clone();
-                cells.resize(m.depth, 0);
-                cells
-            })
-            .collect();
-        let mem_labels = net
-            .mems
-            .iter()
-            .map(|m| vec![Label::PUBLIC_TRUSTED; m.depth])
-            .collect();
-
-        let output_checks = build_output_checks(&net)
-            .into_iter()
-            .map(|c| CompiledCheck {
-                slot: slot_of[c.node.index()],
-                port: c.port,
-                allowed: c.allowed,
-            })
-            .collect();
-
-        let downgrades = tape
-            .ops
-            .iter()
-            .enumerate()
-            .filter(|(_, op)| matches!(op, Op::Declassify | Op::Endorse))
-            .map(|(i, _)| i as u32)
-            .collect();
-
-        let reg_count = regs.len();
+    /// Instantiates one lane of execution state over a shared program.
+    pub(crate) fn from_program(program: Arc<Program>) -> CompiledSim {
+        let reg_count = program.regs.len();
         CompiledSim {
-            mode,
-            slot_of,
-            node_widths,
-            tape,
-            labels: vec![Label::PUBLIC_TRUSTED; values.len()],
-            values,
-            mem_state,
-            mem_labels,
-            regs,
+            values: program.init_values.clone(),
+            labels: program.init_labels(),
+            mem_state: program.mem_init.clone(),
+            mem_labels: program
+                .mem_init
+                .iter()
+                .map(|cells| vec![Label::PUBLIC_TRUSTED; cells.len()])
+                .collect(),
             reg_scratch: vec![0; reg_count],
             reg_label_scratch: vec![Label::PUBLIC_TRUSTED; reg_count],
-            write_ports,
-            output_checks,
-            downgrades,
             clean: false,
             cycle: 0,
             violations: Vec::new(),
             violation_cap: DEFAULT_VIOLATION_CAP,
             violations_truncated: false,
-            net,
+            program,
         }
     }
 
     /// The wrapped netlist.
     #[must_use]
     pub fn netlist(&self) -> &Netlist {
-        &self.net
+        &self.program.net
     }
 
     /// The tracking mode this backend was compiled for.
     #[must_use]
     pub fn mode(&self) -> TrackMode {
-        self.mode
+        self.program.mode
     }
 
     /// The current cycle count (number of completed [`tick`](Self::tick)s).
@@ -499,28 +195,32 @@ impl CompiledSim {
     }
 
     /// Number of instructions on the compiled tape (diagnostic; wires and
-    /// state nodes contribute none).
+    /// state nodes contribute none, and optimizer passes may have removed
+    /// more).
     #[must_use]
     pub fn tape_len(&self) -> usize {
-        self.tape.ops.len()
+        self.program.tape.len()
     }
 
-    fn resolve_input(&self, name: &str) -> NodeId {
-        self.net
-            .input(name)
-            .unwrap_or_else(|| panic!("no input port named {name:?}"))
+    /// Statistics of the optimizer passes that ran at construction
+    /// (empty for [`with_tracking`](Self::with_tracking)).
+    #[must_use]
+    pub fn opt_stats(&self) -> &OptStats {
+        &self.program.opt_stats
     }
 
-    fn lookup(&self, name: &str) -> NodeId {
-        self.net
-            .output(name)
-            .or_else(|| self.net.input(name))
-            .or_else(|| {
-                self.net
-                    .node_ids()
-                    .find(|&id| self.net.name_of(id) == Some(name))
-            })
-            .unwrap_or_else(|| panic!("no port or node named {name:?}"))
+    /// Instruction counts per opcode name (diagnostic, sorted descending).
+    #[must_use]
+    pub fn op_histogram(&self) -> Vec<(&'static str, usize)> {
+        self.program.op_histogram()
+    }
+
+    /// Number of maximal same-opcode runs on the tape (diagnostic; the
+    /// batched executor dispatches once per run).
+    #[must_use]
+    pub fn op_run_count(&self) -> usize {
+        let ops = &self.program.tape.ops;
+        ops.windows(2).filter(|w| w[0] != w[1]).count() + usize::from(!ops.is_empty())
     }
 
     /// Drives an input port.
@@ -529,14 +229,23 @@ impl CompiledSim {
     ///
     /// Panics if no input port has that name.
     pub fn set(&mut self, name: &str, value: Value) {
-        let id = self.resolve_input(name);
+        let id = self.program.resolve_input(name);
         self.set_node(id, value);
     }
 
     /// Drives an input port by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input was pinned to a constant by the optimizer
+    /// configuration.
     pub fn set_node(&mut self, id: NodeId, value: Value) {
-        let width = self.node_widths[id.index()];
-        self.values[self.slot_of[id.index()] as usize] = mask(value, width);
+        assert!(
+            !self.program.pinned[id.index()],
+            "input node {id:?} is pinned to a constant by the optimizer config"
+        );
+        let width = self.program.node_widths[id.index()];
+        self.values[self.program.slot_of[id.index()] as usize] = mask(value, width);
         self.clean = false;
     }
 
@@ -544,9 +253,9 @@ impl CompiledSim {
     /// `(P,T)`). A no-op with tracking off, matching the interpreter
     /// (whose labels stay at their initial public-trusted state).
     pub fn set_label(&mut self, name: &str, label: Label) {
-        let id = self.resolve_input(name);
-        if self.mode != TrackMode::Off {
-            self.labels[self.slot_of[id.index()] as usize] = label;
+        let id = self.program.resolve_input(name);
+        if self.mode() != TrackMode::Off {
+            self.labels[self.program.slot_of[id.index()] as usize] = label;
         }
         self.clean = false;
     }
@@ -557,28 +266,28 @@ impl CompiledSim {
     ///
     /// Panics if no port or named node matches.
     pub fn peek(&mut self, name: &str) -> Value {
-        let id = self.lookup(name);
+        let id = self.program.lookup(name);
         self.eval();
-        self.values[self.slot_of[id.index()] as usize]
+        self.values[self.program.slot_of[id.index()] as usize]
     }
 
     /// Reads a signal's settled runtime label.
     pub fn peek_label(&mut self, name: &str) -> Label {
-        let id = self.lookup(name);
+        let id = self.program.lookup(name);
         self.eval();
-        self.labels[self.slot_of[id.index()] as usize]
+        self.labels[self.program.slot_of[id.index()] as usize]
     }
 
     /// Reads a settled value by node id.
     pub fn peek_node(&mut self, id: NodeId) -> Value {
         self.eval();
-        self.values[self.slot_of[id.index()] as usize]
+        self.values[self.program.slot_of[id.index()] as usize]
     }
 
     /// Reads a settled runtime label by node id.
     pub fn peek_node_label(&mut self, id: NodeId) -> Label {
         self.eval();
-        self.labels[self.slot_of[id.index()] as usize]
+        self.labels[self.program.slot_of[id.index()] as usize]
     }
 
     /// Reads a memory cell directly (for test assertions).
@@ -596,7 +305,7 @@ impl CompiledSim {
     /// Finds a memory's index by its declared name.
     #[must_use]
     pub fn mem_index(&self, name: &str) -> Option<usize> {
-        self.net.mems.iter().position(|m| m.name == name)
+        self.program.net.mems.iter().position(|m| m.name == name)
     }
 
     /// Sets a memory cell's runtime label directly (provisioned secrets;
@@ -636,55 +345,110 @@ impl CompiledSim {
             self.propagate(true);
         }
         self.clean = false;
-
-        let track = self.mode != TrackMode::Off;
-        // Clock edge, phase 1: snapshot every register's next value while
-        // all slots still hold settled combinational state. Registers
-        // live in the same slot array their readers see, so installing
-        // in-place without the snapshot would let one register's update
-        // corrupt another's (or a write port's) view of this cycle.
-        for (i, r) in self.regs.iter().enumerate() {
-            self.reg_scratch[i] = self.values[r.src as usize] & r.mask;
+        match self.mode() {
+            TrackMode::Off => self.clock_edge::<false>(),
+            _ => self.clock_edge::<true>(),
         }
-        if track {
-            for (i, r) in self.regs.iter().enumerate() {
-                self.reg_label_scratch[i] = self.labels[r.src as usize];
+    }
+
+    /// Runs `n` clock cycles with the current inputs.
+    ///
+    /// Semantically `n` repeated [`tick`](Self::tick)s, but the loop is
+    /// monomorphised once per tracking mode, the settled-state check is
+    /// hoisted (only the first iteration can be settled), and the
+    /// violation cap is re-derived once per run instead of per tick.
+    pub fn run(&mut self, n: u64) {
+        match self.mode() {
+            TrackMode::Off => self.run_inner::<false, false>(n),
+            TrackMode::Conservative => self.run_inner::<true, false>(n),
+            TrackMode::Precise => self.run_inner::<true, true>(n),
+        }
+    }
+
+    fn run_inner<const TRACK: bool, const PRECISE: bool>(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        // First cycle: honour a settled eval exactly like `tick`.
+        if self.clean {
+            self.record_settled_violations();
+        } else {
+            let mut room = self.violation_room();
+            self.exec::<TRACK, PRECISE>(true, &mut room);
+        }
+        self.clean = false;
+        self.clock_edge::<TRACK>();
+        // Steady state: never settled, cap re-derived once.
+        let mut room = self.violation_room();
+        for _ in 1..n {
+            self.exec::<TRACK, PRECISE>(true, &mut room);
+            self.clock_edge::<TRACK>();
+        }
+    }
+
+    /// Remaining space in the recorded violation stream.
+    fn violation_room(&self) -> usize {
+        self.violation_cap.saturating_sub(self.violations.len())
+    }
+
+    /// The clock edge: registers and memory write ports observe settled
+    /// pre-edge state via a two-phase snapshot, then the cycle counter
+    /// advances.
+    fn clock_edge<const TRACK: bool>(&mut self) {
+        let CompiledSim {
+            program,
+            values,
+            labels,
+            mem_state,
+            mem_labels,
+            reg_scratch,
+            reg_label_scratch,
+            cycle,
+            ..
+        } = self;
+        // Phase 1: snapshot every register's next value while all slots
+        // still hold settled combinational state. Registers live in the
+        // same slot array their readers see, so installing in-place
+        // without the snapshot would let one register's update corrupt
+        // another's (or a write port's) view of this cycle.
+        for (i, r) in program.regs.iter().enumerate() {
+            reg_scratch[i] = values[r.src as usize] & r.mask;
+        }
+        if TRACK {
+            for (i, r) in program.regs.iter().enumerate() {
+                reg_label_scratch[i] = labels[r.src as usize];
             }
         }
         // Memory write ports next, in statement order — they too must
         // observe the settled pre-edge values (address/data/enable may
         // read register slots).
-        for wp in &self.write_ports {
-            if self.values[wp.en as usize] & 1 == 1 {
+        for wp in &program.write_ports {
+            if values[wp.en as usize] & 1 == 1 {
                 let mem = wp.mem as usize;
-                let depth = self.mem_state[mem].len();
-                let addr = (self.values[wp.addr as usize] as usize) % depth;
-                self.mem_state[mem][addr] = self.values[wp.data as usize];
-                if track {
-                    let label = self.labels[wp.data as usize]
-                        .join(self.labels[wp.addr as usize])
-                        .join(self.labels[wp.en as usize]);
-                    self.mem_labels[mem][addr] = label;
+                let depth = mem_state[mem].len();
+                let addr = match program.mem_addr_mask[mem] {
+                    Some(amask) => (values[wp.addr as usize] as usize) & amask,
+                    None => (values[wp.addr as usize] as usize) % depth,
+                };
+                mem_state[mem][addr] = values[wp.data as usize];
+                if TRACK {
+                    let label = labels[wp.data as usize]
+                        .join(labels[wp.addr as usize])
+                        .join(labels[wp.en as usize]);
+                    mem_labels[mem][addr] = label;
                 }
             }
         }
         // Phase 2: install the snapshot.
-        for (i, r) in self.regs.iter().enumerate() {
-            self.values[r.dst as usize] = self.reg_scratch[i];
+        for (i, r) in program.regs.iter().enumerate() {
+            values[r.dst as usize] = reg_scratch[i];
         }
-        if track {
-            for (i, r) in self.regs.iter().enumerate() {
-                self.labels[r.dst as usize] = self.reg_label_scratch[i];
+        if TRACK {
+            for (i, r) in program.regs.iter().enumerate() {
+                labels[r.dst as usize] = reg_label_scratch[i];
             }
         }
-        self.cycle += 1;
-    }
-
-    /// Runs `n` clock cycles with the current inputs.
-    pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.tick();
-        }
+        *cycle += 1;
     }
 
     /// Records exactly the violations a recording propagation would raise
@@ -693,23 +457,21 @@ impl CompiledSim {
     /// operands (in tape order, matching the recording order of a full
     /// pass), then the output release checks run. Only valid when `clean`.
     fn record_settled_violations(&mut self) {
-        if self.mode == TrackMode::Off {
+        if self.mode() == TrackMode::Off {
             return;
         }
+        let mut room = self.violation_room();
         let CompiledSim {
-            tape,
+            program,
             values,
             labels,
             violations,
-            violation_cap,
             violations_truncated,
-            output_checks,
-            slot_of,
             cycle,
-            downgrades,
             ..
         } = self;
-        for &i in downgrades.iter() {
+        let tape = &program.tape;
+        for &i in &program.downgrades {
             let i = i as usize;
             let from = labels[tape.a[i] as usize];
             let to = Label::from(SecurityTag::from_bits(tape.aux[i] as u8));
@@ -721,7 +483,7 @@ impl CompiledSim {
             if rejected {
                 push_violation(
                     violations,
-                    *violation_cap,
+                    &mut room,
                     violations_truncated,
                     RuntimeViolation::DowngradeRejected {
                         cycle: *cycle,
@@ -734,23 +496,24 @@ impl CompiledSim {
             }
         }
         run_output_checks(
-            output_checks,
+            &program.output_checks,
             values,
             labels,
-            slot_of,
+            &program.slot_of,
             *cycle,
             violations,
-            *violation_cap,
+            &mut room,
             violations_truncated,
         );
     }
 
     /// Dispatches to the executor monomorphised for this tracking mode.
     fn propagate(&mut self, record: bool) {
-        match self.mode {
-            TrackMode::Off => self.exec::<false, false>(record),
-            TrackMode::Conservative => self.exec::<true, false>(record),
-            TrackMode::Precise => self.exec::<true, true>(record),
+        let mut room = self.violation_room();
+        match self.mode() {
+            TrackMode::Off => self.exec::<false, false>(record, &mut room),
+            TrackMode::Conservative => self.exec::<true, false>(record, &mut room),
+            TrackMode::Precise => self.exec::<true, true>(record, &mut room),
         }
     }
 
@@ -759,23 +522,21 @@ impl CompiledSim {
     /// when `record` (i.e. from [`tick`](Self::tick), never from
     /// [`eval`](Self::eval)), matching the interpreter.
     #[allow(clippy::too_many_lines)]
-    fn exec<const TRACK: bool, const PRECISE: bool>(&mut self, record: bool) {
-        // Disjoint field borrows: the tape is read-only while slots,
+    fn exec<const TRACK: bool, const PRECISE: bool>(&mut self, record: bool, room: &mut usize) {
+        // Disjoint field borrows: the program is read-only while slots,
         // memories, and the violation stream are written.
         let CompiledSim {
-            tape,
+            program,
             values,
             labels,
             mem_state,
             mem_labels,
             violations,
-            violation_cap,
             violations_truncated,
-            output_checks,
-            slot_of,
             cycle,
             ..
         } = self;
+        let tape = &program.tape;
         // Reslicing every tape column to the common length lets the
         // compiler prove the per-instruction column indexing in bounds
         // and drop the checks from the dispatch loop.
@@ -925,7 +686,10 @@ impl CompiledSim {
                 }
                 Op::MemRead => {
                     let depth = mem_state[b].len();
-                    let addr = (values[a] as usize) % depth;
+                    let addr = match program.mem_addr_mask[b] {
+                        Some(amask) => (values[a] as usize) & amask,
+                        None => (values[a] as usize) % depth,
+                    };
                     if TRACK {
                         label = mem_labels[b][addr].join(labels[a]);
                     }
@@ -947,7 +711,7 @@ impl CompiledSim {
                                 if record {
                                     push_violation(
                                         violations,
-                                        *violation_cap,
+                                        room,
                                         violations_truncated,
                                         RuntimeViolation::DowngradeRejected {
                                             cycle: *cycle,
@@ -977,13 +741,13 @@ impl CompiledSim {
         // The runtime release gate, against the precompiled check table.
         if record && TRACK {
             run_output_checks(
-                output_checks,
+                &program.output_checks,
                 values,
                 labels,
-                slot_of,
+                &program.slot_of,
                 *cycle,
                 violations,
-                *violation_cap,
+                room,
                 violations_truncated,
             );
         }

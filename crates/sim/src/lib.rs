@@ -45,13 +45,18 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod batched;
 mod compiled;
+pub mod opt;
+mod program;
 mod simulator;
 pub mod vcd;
 mod violation;
 
 pub use backend::SimBackend;
+pub use batched::{BatchedSim, SUPPORTED_LANES};
 pub use compiled::CompiledSim;
+pub use opt::{OptConfig, OptStats, PassStats};
 pub use simulator::{Simulator, TrackMode};
 pub use vcd::VcdRecorder;
 pub use violation::RuntimeViolation;

@@ -1,0 +1,82 @@
+//! Dead-node elimination for unobserved cones.
+//!
+//! An instruction is live when its destination slot can reach something
+//! observable: an output port (including the slots a dynamic release
+//! label reads), a *named* node (peekable by name through the public
+//! API), a register's next-value, a memory write port operand, or a
+//! downgrade gate (which must keep firing — its accept/reject decisions
+//! are part of the recorded violation stream, and its operand cone with
+//! it). Everything else is removed; the dead slots simply keep their
+//! initial values, which nothing observable ever reads.
+
+use crate::program::{expr_signals, Program};
+use crate::simulator::AllowedLabel;
+
+/// Runs the pass: seeds liveness from the observable roots, sweeps the
+/// tape backwards (topological order guarantees producers precede
+/// consumers), and drops dead instructions.
+pub(super) fn run(program: &mut Program) {
+    let mut live = vec![false; program.num_slots];
+
+    // Roots: output ports and the signals their dynamic labels read.
+    let mut expr_sigs = Vec::new();
+    for check in &program.output_checks {
+        live[check.slot as usize] = true;
+        if let AllowedLabel::Dynamic(expr) = &check.allowed {
+            expr_signals(expr, &mut expr_sigs);
+        }
+    }
+    for sig in expr_sigs {
+        live[program.slot_of[sig.index()] as usize] = true;
+    }
+    // Roots: named nodes (reachable via peek-by-name).
+    for id in program.net.node_ids() {
+        if program.net.name_of(id).is_some() {
+            live[program.slot_of[id.index()] as usize] = true;
+        }
+    }
+    // Roots: register next-values and memory write operands (state).
+    for r in &program.regs {
+        live[r.src as usize] = true;
+    }
+    for wp in &program.write_ports {
+        live[wp.addr as usize] = true;
+        live[wp.data as usize] = true;
+        live[wp.en as usize] = true;
+    }
+
+    // Backward sweep: a kept instruction's operands become live.
+    let tape = &program.tape;
+    let n = tape.len();
+    let mut keep = vec![false; n];
+    for i in (0..n).rev() {
+        let op = tape.ops[i];
+        if live[tape.dst[i] as usize] || op.is_downgrade() {
+            keep[i] = true;
+            live[tape.a[i] as usize] = true;
+            if op.b_is_slot() {
+                live[tape.b[i] as usize] = true;
+            }
+            if op.c_is_slot() {
+                live[tape.c[i] as usize] = true;
+            }
+        }
+    }
+
+    let old = std::mem::take(&mut program.tape);
+    let mut new = crate::program::Tape::default();
+    for (i, &kept) in keep.iter().enumerate() {
+        if kept {
+            new.push(
+                old.ops[i],
+                old.dst[i],
+                old.a[i],
+                old.b[i],
+                old.c[i],
+                old.aux[i],
+                old.out_mask[i],
+            );
+        }
+    }
+    program.tape = new;
+}

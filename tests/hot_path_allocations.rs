@@ -12,7 +12,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use secure_aes_ifc::accel::protected;
-use secure_aes_ifc::sim::{CompiledSim, SimBackend, Simulator, TrackMode};
+use secure_aes_ifc::sim::{
+    BatchedSim, CompiledSim, SimBackend, Simulator, TrackMode, SUPPORTED_LANES,
+};
 
 struct CountingAlloc;
 
@@ -63,6 +65,44 @@ fn measure<B: SimBackend>(sim: &mut B) -> usize {
     after - before
 }
 
+/// The same steady-state loop on a batched backend, driving every lane.
+fn measure_batched(sim: &mut BatchedSim) -> usize {
+    let lanes = sim.lanes();
+    for i in 0..16u64 {
+        for lane in 0..lanes {
+            sim.set(
+                lane,
+                "in_block",
+                u128::from(i + lane as u64) * 0x0123_4567_89ab_cdef,
+            );
+            sim.set(lane, "in_valid", u128::from(i % 2));
+        }
+        sim.eval();
+        sim.tick();
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..200u64 {
+        for lane in 0..lanes {
+            sim.set(
+                lane,
+                "in_block",
+                u128::from(i + lane as u64) * 0x0fed_cba9_8765_4321,
+            );
+            sim.set(lane, "in_valid", u128::from(i % 2));
+        }
+        sim.eval();
+        sim.tick();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    for lane in 0..lanes {
+        assert!(
+            sim.violations(lane).is_empty(),
+            "workload must stay violation-free for this measurement"
+        );
+    }
+    after - before
+}
+
 #[test]
 fn tick_and_eval_do_not_allocate() {
     let net = protected().lower().expect("accelerator lowers");
@@ -80,5 +120,24 @@ fn tick_and_eval_do_not_allocate() {
             0,
             "Simulator allocated in the hot path ({mode:?})"
         );
+    }
+}
+
+#[test]
+fn batched_tick_and_eval_do_not_allocate() {
+    // Every supported lane width, conservative tracking (the fleet
+    // benchmark configuration) plus tracking off as the floor; the
+    // batched prototype shares one compiled program across widths.
+    let net = protected().lower().expect("accelerator lowers");
+    for mode in [TrackMode::Off, TrackMode::Conservative] {
+        let prototype = BatchedSim::with_tracking(net.clone(), mode, 1);
+        for lanes in SUPPORTED_LANES {
+            let mut batched = prototype.with_lanes(lanes);
+            assert_eq!(
+                measure_batched(&mut batched),
+                0,
+                "BatchedSim allocated in the hot path ({mode:?}, {lanes} lanes)"
+            );
+        }
     }
 }
