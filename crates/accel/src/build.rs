@@ -758,6 +758,56 @@ fn build_full(p: Protection, params: AccelParams, mech: Mechanisms, trojan: bool
         m.output("dbg_out", dbg_out);
     }
 
+    // ----- shared response-tag store (Fig. 3) --------------------------------
+    // The paper's motivating dependent-label example, instantiated as the
+    // accelerator's slice of the SoC's shared cache-tag array: way 0 is
+    // the trusted OS way, way 1 the untrusted guest way, and the shared
+    // input/output ports carry the dependent label `DL(way)`. Present at
+    // every protection level so area comparisons stay like-for-like; the
+    // labels exist only on the annotated designs. The mutation campaign
+    // targets the `DL(sel)` table entries here.
+    let ct_we = m.input("ctag_we", 1);
+    let ct_way = m.input("ctag_way", 1);
+    let ct_index = m.input("ctag_index", 8);
+    let ct_in = m.input("ctag_in", 19);
+    let dl_way = LabelExpr::dl2(ct_way.id(), pt, Label::PUBLIC_UNTRUSTED);
+    if annotate {
+        for sig in [ct_we, ct_way, ct_index] {
+            m.set_label(sig, pt);
+        }
+        m.set_label(ct_in, dl_way.clone());
+    }
+    let ct_way0 = m.mem("ctag.way0", 19, 256, vec![]);
+    let ct_way1 = m.mem("ctag.way1", 19, 256, vec![]);
+    if annotate {
+        m.set_mem_label(ct_way0, pt);
+        m.set_mem_label(ct_way1, Label::PUBLIC_UNTRUSTED);
+    }
+    let ct_is0 = m.eq_lit(ct_way, 0);
+    m.when(ct_we, |m| {
+        m.when_else(
+            ct_is0,
+            |m| m.mem_write(ct_way0, ct_index, ct_in),
+            |m| m.mem_write(ct_way1, ct_index, ct_in),
+        );
+    });
+    let ct_rd0 = m.mem_read(ct_way0, ct_index);
+    let ct_rd1 = m.mem_read(ct_way1, ct_index);
+    let ct_out = m.wire("ctag.out", 19);
+    if annotate {
+        m.set_label(ct_out, dl_way.clone());
+    }
+    m.when_else(
+        ct_is0,
+        |m| m.connect(ct_out, ct_rd0),
+        |m| m.connect(ct_out, ct_rd1),
+    );
+    if annotate {
+        m.output_labeled("ctag_out", ct_out, dl_way);
+    } else {
+        m.output("ctag_out", ct_out);
+    }
+
     m.finish()
 }
 

@@ -18,7 +18,7 @@
 use aes_core::Aes;
 use hdl::Netlist;
 use ifc_lattice::Label;
-use sim::{BatchedSim, OptConfig, SimBackend, TrackMode, SUPPORTED_LANES};
+use sim::{BatchedSim, OptConfig, RuntimeViolation, SimBackend, TrackMode, SUPPORTED_LANES};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -65,6 +65,9 @@ pub struct SessionStats {
     pub cycles: u64,
     /// Ciphertexts that matched the software AES oracle.
     pub verified: usize,
+    /// Cycle of the first runtime violation, if any — the mutation
+    /// campaign's cycles-to-kill measurement.
+    pub first_violation: Option<u64>,
 }
 
 /// Aggregated results of a fleet run.
@@ -100,6 +103,23 @@ impl FleetStats {
         self.sessions
             .iter()
             .all(|s| s.verified == s.responses && s.responses > 0)
+    }
+
+    /// The earliest violation cycle across all sessions, if any session
+    /// recorded a runtime violation.
+    #[must_use]
+    pub fn first_violation_cycle(&self) -> Option<u64> {
+        self.sessions.iter().filter_map(|s| s.first_violation).min()
+    }
+
+    /// Whether every session completed its full workload with a
+    /// verified ciphertext for each submitted block — the functional
+    /// acceptance a test bench without IFC oversight would apply.
+    #[must_use]
+    pub fn functionally_clean(&self, blocks_per_session: usize) -> bool {
+        self.sessions
+            .iter()
+            .all(|s| s.responses == blocks_per_session && s.verified == s.responses)
     }
 }
 
@@ -153,6 +173,7 @@ pub fn run_session<B: SimBackend>(
         violations: driver.violations().len(),
         cycles: driver.cycle(),
         verified,
+        first_violation: driver.violations().first().map(RuntimeViolation::cycle),
     }
 }
 
@@ -269,6 +290,7 @@ pub fn run_lane_sessions(
                 violations: driver.violations(l).len(),
                 cycles: driver.cycle(),
                 verified,
+                first_violation: driver.violations(l).first().map(RuntimeViolation::cycle),
             }
         })
         .collect()

@@ -1,5 +1,6 @@
 //! NIST AESAVS known-answer tests (GFSbox, KeySbox, VarTxt, VarKey
-//! samples) for all three key sizes, plus multi-block consistency checks.
+//! samples) for all three key sizes, the AESAVS ECB Monte Carlo
+//! procedure in both directions, plus multi-block consistency checks.
 
 use aes_core::{ecb_encrypt, Aes};
 
@@ -178,6 +179,145 @@ fn aesavs_keysbox_256() {
         pt,
         "4bf3b0a69aeb6657794f2901b1440ad4",
     );
+}
+
+/// One outer round of the AESAVS ECB Monte Carlo procedure: 1000 chained
+/// block operations (`OUT[j]` feeds `IN[j+1]`), then the key is xored
+/// with the tail of `OUT[998] ‖ OUT[999]` sized to the key — the AESAVS
+/// §6.4.1 feedback rule, which degenerates to `key ^= OUT[999]` for
+/// 128-bit keys but pulls in `OUT[998]` bytes for 192/256.
+fn mct_round(key: &mut [u8], text: [u8; 16], decrypt: bool) -> [u8; 16] {
+    let aes = Aes::new(key).expect("valid key");
+    let mut prev = [0u8; 16];
+    let mut x = text;
+    for _ in 0..1000 {
+        prev = x;
+        x = if decrypt {
+            aes.decrypt_block(x)
+        } else {
+            aes.encrypt_block(x)
+        };
+    }
+    let feedback: Vec<u8> = prev.iter().chain(x.iter()).copied().collect();
+    let tail = &feedback[feedback.len() - key.len()..];
+    for (k, t) in key.iter_mut().zip(tail) {
+        *k ^= t;
+    }
+    x
+}
+
+/// Runs `outer` MCT rounds from the all-zero seed and returns the last
+/// round's result.
+fn mct_chain(key_bytes: usize, outer: usize, decrypt: bool) -> [u8; 16] {
+    let mut key = vec![0u8; key_bytes];
+    let mut text = [0u8; 16];
+    for _ in 0..outer {
+        text = mct_round(&mut key, text, decrypt);
+    }
+    text
+}
+
+// The pinned chain values below are *chain-derived*: computed with this
+// crate's implementation (itself anchored to the official single-block
+// AESAVS vectors above and the FIPS-197 worked example) rather than
+// transcribed from the ECBMCT*.rsp files, which the offline build
+// environment cannot fetch. They freeze today's behaviour so any future
+// key-schedule or round-function regression — including ones that only
+// show up under iteration — breaks loudly. The full AESAVS run is 100
+// outer rounds; ten keeps the debug-profile suite fast while still
+// exercising the key-feedback rule repeatedly.
+
+#[test]
+fn aesavs_mct_ecb_encrypt_chain() {
+    for (key_bytes, round0, round9) in [
+        (
+            16,
+            "adc883cf76c234032f31b33734aa4b51",
+            "df47d38fcffa458303c603e82617a571",
+        ),
+        (
+            24,
+            "96bd35dd817a2d381a66d6f2c7bec1a9",
+            "de1caac949671457be741befc38fddef",
+        ),
+        (
+            32,
+            "709a586288928e038d0fb13c13bceade",
+            "e1d225d9a1ebc352017b9a2a868aef4c",
+        ),
+    ] {
+        assert_eq!(
+            mct_chain(key_bytes, 1, false),
+            block(round0),
+            "MCT-{} encrypt round 0",
+            key_bytes * 8
+        );
+        assert_eq!(
+            mct_chain(key_bytes, 10, false),
+            block(round9),
+            "MCT-{} encrypt round 9",
+            key_bytes * 8
+        );
+    }
+}
+
+#[test]
+fn aesavs_mct_ecb_decrypt_chain() {
+    for (key_bytes, round0, round9) in [
+        (
+            16,
+            "53b1766bc7f55aab974d05c2edd90856",
+            "eeeb615cb942fb6dd77367d53f56c39f",
+        ),
+        (
+            24,
+            "b25486a65fd9f6fddd0a5d858c0b0497",
+            "1955d70f6b66694a410fc50cab44cf2c",
+        ),
+        (
+            32,
+            "33015ca1b953ac7b240d73c72f0b47be",
+            "6ffb5d07a7d6a0e4bc3f2605e5ec526e",
+        ),
+    ] {
+        assert_eq!(
+            mct_chain(key_bytes, 1, true),
+            block(round0),
+            "MCT-{} decrypt round 0",
+            key_bytes * 8
+        );
+        assert_eq!(
+            mct_chain(key_bytes, 10, true),
+            block(round9),
+            "MCT-{} decrypt round 9",
+            key_bytes * 8
+        );
+    }
+}
+
+#[test]
+fn mct_encrypt_chain_inverts_under_decrypt() {
+    // Structural cross-check that needs no external pin: a round's
+    // 1000-deep encrypt chain must unwind exactly under 1000 decrypts
+    // with the same key, for every key size.
+    for key_bytes in [16usize, 24, 32] {
+        let key = vec![0x5au8; key_bytes];
+        let aes = Aes::new(&key).expect("valid key");
+        let seed = block("f34481ec3cc627bacd5dc3fb08f273e6");
+        let mut x = seed;
+        for _ in 0..1000 {
+            x = aes.encrypt_block(x);
+        }
+        for _ in 0..1000 {
+            x = aes.decrypt_block(x);
+        }
+        assert_eq!(
+            x,
+            seed,
+            "E^1000 then D^1000 with a {}-bit key",
+            key_bytes * 8
+        );
+    }
 }
 
 #[test]

@@ -2,17 +2,17 @@
 //! observe (a) which attack class becomes exploitable again, and (b)
 //! whether the static checker catches the hole at design time.
 //!
-//! This ablates the design choices DESIGN.md calls out and substantiates
-//! the paper's claim structure: each mechanism is *necessary* for its
-//! attack class, and the value-flow mechanisms are all statically visible
-//! (the stall policy is architectural — its absence shows up in the
-//! noninterference experiment instead of as a label error).
+//! [`Lesion`] names the builder-level ablations; the study itself is the
+//! `mechanism-drop` class of the mutation campaign (`crate::mutate`), so
+//! there is exactly one mutant catalogue and one outcome type. The old
+//! standalone `LesionOutcome` enum is gone — [`lesion_study`] now returns
+//! the campaign's [`MutantOutcome`](crate::mutate::MutantOutcome) rows.
 
-use accel::{protected_with, Mechanisms};
+use accel::{protected, protected_with, Mechanisms};
 use hdl::Design;
 
-use crate::noninterference::eve_trace_on;
-use crate::scenarios::{run_scenario_on, AttackKind, AttackResult};
+use crate::mutate::{run_mutant, CampaignConfig, MutantOutcome, MutationClass};
+use crate::scenarios::AttackKind;
 
 /// One lesion: which mechanism was removed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,47 +94,26 @@ impl std::fmt::Display for Lesion {
     }
 }
 
-/// The outcome of probing one lesion.
-#[derive(Debug, Clone)]
-pub struct LesionOutcome {
-    /// The lesion probed.
-    pub lesion: Lesion,
-    /// The guarded attack, replayed against the lesioned design.
-    pub attack: AttackResult,
-    /// Whether the attack became exploitable again (for the stall lesion:
-    /// whether noninterference broke).
-    pub exploitable: bool,
-    /// Number of static label errors on the lesioned design.
-    pub static_violations: usize,
-}
-
-/// Runs the full lesion study.
+/// Runs the lesion study: the `mechanism-drop` slice of the mutation
+/// campaign, one row per lesion, in [`Lesion::ALL`] order.
 #[must_use]
-pub fn lesion_study() -> Vec<LesionOutcome> {
-    Lesion::ALL
+pub fn lesion_study() -> Vec<MutantOutcome> {
+    let base = protected();
+    let cfg = CampaignConfig::default();
+    let mut rows: Vec<MutantOutcome> = crate::mutate::enumerate(&base, cfg.seed)
         .iter()
-        .map(|&lesion| {
-            let design = lesion.design();
-            let static_violations = ifc_check::check(&design).violations.len();
-            let attack = run_scenario_on(lesion.guarded_attack(), &design);
-            let exploitable = match lesion {
-                Lesion::StallPolicy => {
-                    // Timing lesions are judged by the noninterference
-                    // experiment.
-                    let quiet = eve_trace_on(&design, 0);
-                    let noisy = eve_trace_on(&design, 1);
-                    quiet != noisy
-                }
-                _ => attack.succeeded(),
-            };
-            LesionOutcome {
-                lesion,
-                attack,
-                exploitable,
-                static_violations,
-            }
-        })
-        .collect()
+        .filter(|m| m.class() == MutationClass::MechanismDrop)
+        .map(|m| run_mutant(&base, m.as_ref(), &cfg))
+        .collect();
+    // Back to presentation order (enumeration is seed-shuffled).
+    let order = |site: &str| {
+        Lesion::ALL
+            .iter()
+            .position(|&l| crate::mutate::mechanism_site(l) == site)
+            .unwrap_or(usize::MAX)
+    };
+    rows.sort_by_key(|o| order(&o.site));
+    rows
 }
 
 #[cfg(test)]
@@ -142,26 +121,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_lesion_reopens_its_attack_class() {
-        for outcome in lesion_study() {
+    fn every_lesion_is_killed_by_the_campaign() {
+        let rows = lesion_study();
+        assert_eq!(rows.len(), Lesion::ALL.len());
+        for o in &rows {
             assert!(
-                outcome.exploitable,
-                "lesion '{}' should re-enable its attack: {}",
-                outcome.lesion, outcome.attack.detail
+                !o.survived(),
+                "lesion '{}' must be killed (static, runtime, or attack): {}",
+                o.site,
+                o.detail
             );
-        }
-    }
-
-    #[test]
-    fn value_flow_lesions_are_statically_visible() {
-        for outcome in lesion_study() {
-            if outcome.lesion.statically_visible() {
-                assert!(
-                    outcome.static_violations > 0,
-                    "lesion '{}' must be flagged at design time",
-                    outcome.lesion
-                );
-            }
         }
     }
 

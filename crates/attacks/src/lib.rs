@@ -19,20 +19,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 mod keysched;
 pub mod lesion;
 mod matrix;
+pub mod mutate;
 pub mod noninterference;
 mod scenarios;
 pub mod trojan;
 
 pub use keysched::invert_key_expansion;
-pub use lesion::{lesion_study, Lesion, LesionOutcome};
+pub use lesion::{lesion_study, Lesion};
 pub use matrix::{attack_matrix, static_findings, usability_checks, AttackReport};
+pub use mutate::{
+    enumerate, run_campaign, run_mutant, CampaignConfig, KillStage, MutantOutcome, Mutation,
+    MutationClass, MutationReport,
+};
 pub use noninterference::{eve_trace, eve_trace_on, noninterference_holds, EveTrace};
 pub use scenarios::{
-    config_tamper, debug_key_disclosure, design_for, master_key_misuse, partial_result_disclosure,
-    run_scenario_on, scratchpad_overrun, supervisor_master_key_use, timing_channel, AttackKind,
-    AttackOutcome, AttackResult,
+    config_tamper, debug_key_disclosure, design_for, master_key_misuse, master_key_misuse_as_on,
+    partial_result_disclosure, run_scenario_on, scratchpad_overrun, supervisor_master_key_use,
+    timing_channel, AttackKind, AttackOutcome, AttackResult,
 };
 pub use trojan::{trojan_exfiltration, trojan_static_detection};

@@ -1,0 +1,169 @@
+//! The three-stage kill pipeline and the campaign runner.
+
+use accel::fleet::{run_fleet_batched, FleetConfig};
+use hdl::{Design, Rewriter};
+use sim::TrackMode;
+
+use super::report::{KillStage, MutantOutcome, MutationReport};
+use super::{catalog, Mutation};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Enumeration-order seed (also the fleet's traffic seed).
+    pub seed: u64,
+    /// Tracking mode for the runtime stage.
+    pub mode: TrackMode,
+    /// Fleet sessions. Four covers all user labels — their integrity
+    /// values {2, 5, 8, 11} together exercise every integrity tag bit,
+    /// which is what makes the stuck-bit class killable by traffic alone.
+    pub sessions: usize,
+    /// Encryptions per session in the runtime stage.
+    pub blocks_per_session: usize,
+    /// Control arm: skip the static stage, strip every label, track
+    /// nothing — the unprotected evaluation of the same fault.
+    pub control: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            seed: 2019,
+            mode: TrackMode::Precise,
+            sessions: 4,
+            blocks_per_session: 4,
+            control: false,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The enforcement-ablated control arm of the same campaign.
+    #[must_use]
+    pub fn control_arm(self) -> CampaignConfig {
+        CampaignConfig {
+            control: true,
+            ..self
+        }
+    }
+}
+
+/// Pushes one mutant through the kill pipeline.
+///
+/// Protected arm: static check → fleet traffic under tracking → stage-3
+/// adversaries. Control arm: labels stripped, tracking off; the only
+/// detector left is functional verification of the fleet's ciphertexts —
+/// exactly what a test suite without IFC would see.
+///
+/// A mutant that fails to lower is reported as a *survivor* with a
+/// curation-error detail: the guard must fail loudly on a broken
+/// catalogue rather than count a build error as a kill.
+#[must_use]
+pub fn run_mutant(base: &Design, mutation: &dyn Mutation, cfg: &CampaignConfig) -> MutantOutcome {
+    let design = mutation.apply(base);
+    let mut outcome = MutantOutcome {
+        id: mutation.id(),
+        class: mutation.class(),
+        site: mutation.site(),
+        description: mutation.description(),
+        kill: None,
+        detail: String::new(),
+        cycles_to_kill: None,
+    };
+
+    // Stage 1: design-time verification (skipped in the control arm — an
+    // unprotected flow has no checker).
+    if !cfg.control {
+        let report = ifc_check::check(&design);
+        if let Some(first) = report.violations.first() {
+            outcome.kill = Some(KillStage::Static);
+            outcome.detail = format!(
+                "{} static violation(s); first: {first}",
+                report.violations.len()
+            );
+            return outcome;
+        }
+    }
+
+    // Stage 2: ordinary multi-user fleet traffic.
+    let sim_design = if cfg.control {
+        let mut rw = Rewriter::new(&design);
+        rw.strip_labels();
+        rw.finish()
+    } else {
+        design.clone()
+    };
+    let net = match sim_design.lower() {
+        Ok(net) => net,
+        Err(e) => {
+            outcome.detail = format!("curation error: mutant does not lower: {e:?}");
+            return outcome;
+        }
+    };
+    let stats = run_fleet_batched(
+        &net,
+        FleetConfig {
+            sessions: cfg.sessions,
+            blocks_per_session: cfg.blocks_per_session,
+            mode: if cfg.control {
+                TrackMode::Off
+            } else {
+                cfg.mode
+            },
+            seed: cfg.seed,
+        },
+    );
+    if cfg.control {
+        // No tracking, no checker: only functional testing is left.
+        if !stats.functionally_clean(cfg.blocks_per_session) {
+            outcome.kill = Some(KillStage::Functional);
+            outcome.detail =
+                "functional testing catches the fault (missing or wrong ciphertexts)".into();
+        } else {
+            outcome.detail = "functionally clean — invisible without enforcement".into();
+        }
+        return outcome;
+    }
+    if stats.total_violations() > 0 {
+        outcome.kill = Some(KillStage::Runtime);
+        outcome.cycles_to_kill = stats.first_violation_cycle();
+        outcome.detail = format!(
+            "{} tracking violation(s) raised by ordinary fleet traffic",
+            stats.total_violations()
+        );
+        return outcome;
+    }
+
+    // Stage 3: replay the adversaries this fault should re-enable.
+    for probe in mutation.probes() {
+        let result = probe.run(&design);
+        if result.succeeded() {
+            outcome.kill = Some(KillStage::Attack);
+            outcome.detail = format!("{}: {}", result.name, result.detail);
+            return outcome;
+        }
+    }
+
+    outcome.detail = "survived static, runtime, and attack stages".into();
+    outcome
+}
+
+/// Runs the whole campaign: enumerate the catalogue against `base` and
+/// push every mutant through the pipeline.
+#[must_use]
+pub fn run_campaign(base: &Design, cfg: &CampaignConfig) -> MutationReport {
+    let mutants = catalog::enumerate(base, cfg.seed);
+    MutationReport {
+        design: if cfg.control {
+            format!("{} (control: enforcement ablated)", base.name())
+        } else {
+            base.name().to_string()
+        },
+        control: cfg.control,
+        seed: cfg.seed,
+        outcomes: mutants
+            .iter()
+            .map(|m| run_mutant(base, m.as_ref(), cfg))
+            .collect(),
+    }
+}

@@ -1,0 +1,173 @@
+//! Structural site finders: locate the enforcement hardware inside the
+//! protected design by shape and name, not by hard-coded node ids, so the
+//! catalogue survives unrelated builder changes.
+
+use hdl::{BinOp, Design, Node, NodeId};
+
+/// A located `TagLeq` runtime check.
+#[derive(Debug, Clone)]
+pub struct TagCheck {
+    /// The check node.
+    pub node: NodeId,
+    /// Stable site name derived from what the check guards.
+    pub site: &'static str,
+    /// Whether this is the configuration-integrity check (drives the
+    /// config-tamper / debug probes rather than the scratchpad ones).
+    pub guards_config: bool,
+}
+
+/// Every `TagLeq` check node, classified by the memory whose tags it
+/// reads: the Fig. 5 scratchpad write guard, the two decrypt-table read
+/// guards, and the config-integrity check (no memory operand).
+#[must_use]
+pub fn tag_checks(design: &Design) -> Vec<TagCheck> {
+    let mem_name = |id: NodeId| -> Option<&str> {
+        match *design.node(id) {
+            Node::MemRead { mem, .. } => Some(design.mems()[mem.index()].name.as_str()),
+            _ => None,
+        }
+    };
+    let mut decpad_seen = 0usize;
+    design
+        .node_ids()
+        .filter_map(|id| {
+            let Node::Binary {
+                op: BinOp::TagLeq,
+                b,
+                ..
+            } = *design.node(id)
+            else {
+                return None;
+            };
+            let (site, guards_config) = match mem_name(b) {
+                Some("scratchpad.tags") => ("scratchpad-wr", false),
+                Some("decpad.tags") => {
+                    decpad_seen += 1;
+                    (
+                        if decpad_seen == 1 {
+                            "decpad-rd-hi"
+                        } else {
+                            "decpad-rd-lo"
+                        },
+                        false,
+                    )
+                }
+                _ => ("cfg-integrity", true),
+            };
+            Some(TagCheck {
+                node: id,
+                site,
+                guards_config,
+            })
+        })
+        .collect()
+}
+
+/// The Fig. 8 stall guard, located by shape: `permitted = (meet_conf >=
+/// req_conf)` is the unique `Ge` whose operands are both `Slice{7,4}` of
+/// 8-bit tags.
+#[derive(Debug, Clone, Copy)]
+pub struct StallGuard {
+    /// The `permitted` comparison node.
+    pub permitted: NodeId,
+    /// The `req_conf` slice operand.
+    pub req_conf: NodeId,
+    /// The root of the pipeline-wide `TagMeet` reduction tree.
+    pub meet_root: NodeId,
+}
+
+/// Finds the stall guard; `None` on designs built without it.
+#[must_use]
+pub fn stall_guard(design: &Design) -> Option<StallGuard> {
+    let conf_slice = |id: NodeId| matches!(*design.node(id), Node::Slice { hi: 7, lo: 4, .. });
+    design.node_ids().find_map(|id| {
+        let Node::Binary {
+            op: BinOp::Ge,
+            a,
+            b,
+        } = *design.node(id)
+        else {
+            return None;
+        };
+        if !(conf_slice(a) && conf_slice(b)) {
+            return None;
+        }
+        let Node::Slice { a: meet_root, .. } = *design.node(a) else {
+            return None;
+        };
+        Some(StallGuard {
+            permitted: id,
+            req_conf: b,
+            meet_root,
+        })
+    })
+}
+
+/// The nonmalleable-release authority gate `nm_ok`, located by shape: the
+/// final `Ge` whose left operand is the authority mux and whose right is a
+/// `Slice{7,4}` confidentiality extract.
+#[must_use]
+pub fn nm_gate(design: &Design) -> Option<NodeId> {
+    design.node_ids().find(|&id| {
+        let Node::Binary {
+            op: BinOp::Ge,
+            a,
+            b,
+        } = *design.node(id)
+        else {
+            return false;
+        };
+        matches!(*design.node(a), Node::Mux { .. })
+            && matches!(*design.node(b), Node::Slice { hi: 7, lo: 4, .. })
+    })
+}
+
+/// The output declassification node (`released`).
+#[must_use]
+pub fn declassify_node(design: &Design) -> Option<NodeId> {
+    design
+        .node_ids()
+        .find(|&id| matches!(design.node(id), Node::Declassify { .. }))
+}
+
+/// A node found by its builder-assigned name.
+#[must_use]
+pub fn named_node(design: &Design, name: &str) -> Option<NodeId> {
+    design
+        .node_ids()
+        .find(|&id| design.name_of(id) == Some(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accel::{baseline, protected};
+
+    #[test]
+    fn protected_design_has_every_site() {
+        let d = protected();
+        let checks = tag_checks(&d);
+        assert_eq!(checks.len(), 4, "{checks:?}");
+        assert_eq!(checks.iter().filter(|c| c.guards_config).count(), 1);
+        let sg = stall_guard(&d).expect("stall guard");
+        assert!(matches!(
+            d.node(sg.meet_root),
+            Node::Binary {
+                op: BinOp::TagMeet,
+                ..
+            }
+        ));
+        assert!(nm_gate(&d).is_some());
+        assert!(declassify_node(&d).is_some());
+        assert!(named_node(&d, "pipe.tag0").is_some());
+        assert!(named_node(&d, "ctag.out").is_some());
+    }
+
+    #[test]
+    fn baseline_has_no_enforcement_sites() {
+        let d = baseline();
+        assert!(tag_checks(&d).is_empty());
+        assert!(stall_guard(&d).is_none());
+        assert!(declassify_node(&d).is_none());
+    }
+}

@@ -321,8 +321,17 @@ pub fn master_key_misuse(protection: Protection) -> AttackResult {
 /// [`master_key_misuse`] against an arbitrary design.
 #[must_use]
 pub fn master_key_misuse_on(design: &Design) -> AttackResult {
+    master_key_misuse_as_on(design, user_label(0))
+}
+
+/// [`master_key_misuse`] attempted by an arbitrary (non-supervisor)
+/// principal. The mutation campaign uses this to probe stuck-at-1 tag
+/// faults: a fault that inflates a particular user's integrity bits may
+/// open the master key to that user while Eve (user 0) stays blocked.
+#[must_use]
+pub fn master_key_misuse_as_on(design: &Design, user: ifc_lattice::Label) -> AttackResult {
     let mut drv = setup_on(design);
-    let eve = user_label(0);
+    let eve = user;
     let pt = [0x44u8; 16];
     drv.submit(&Request {
         block: pt,

@@ -121,14 +121,10 @@ fn main() {
     println!("\n[lesion study]");
     for o in lesion_study() {
         println!(
-            "  {:<34} {} ({} static error(s))",
-            o.lesion.to_string(),
-            if o.exploitable {
-                "EXPLOITABLE"
-            } else {
-                "blocked"
-            },
-            o.static_violations
+            "  {:<34} killed by {}",
+            o.description,
+            o.kill
+                .map_or("NOTHING (survived)".to_string(), |k| k.to_string())
         );
     }
 

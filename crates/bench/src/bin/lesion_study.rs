@@ -1,9 +1,13 @@
 //! The lesion study: remove each protection mechanism individually and
-//! show which attack class returns and whether the static checker sees
-//! the hole — the ablation evidence that every mechanism in the protected
-//! design is necessary.
+//! show how the mutation campaign's kill pipeline catches the hole — the
+//! ablation evidence that every mechanism in the protected design is
+//! necessary. Since the lesions are the `mechanism-drop` class of the
+//! campaign, each row reports the stage that killed it: `static` for the
+//! value-flow mechanisms, `attack` (the noninterference probe) for the
+//! timing-only stall policy.
 
 use attacks::lesion_study;
+use attacks::mutate::KillStage;
 use bench::table::render;
 
 fn main() {
@@ -12,33 +16,19 @@ fn main() {
         .iter()
         .map(|o| {
             vec![
-                o.lesion.to_string(),
-                o.attack.name.into(),
-                if o.exploitable {
-                    "EXPLOITABLE".into()
-                } else {
-                    "still blocked".into()
-                },
-                if o.lesion.statically_visible() {
-                    format!("{} label error(s)", o.static_violations)
-                } else {
-                    "architectural (see noninterference)".into()
-                },
+                o.description.clone(),
+                o.site.clone(),
+                o.kill
+                    .map_or_else(|| "SURVIVED".into(), |k: KillStage| k.to_string()),
+                o.detail.clone(),
             ]
         })
         .collect();
     println!(
         "{}",
-        render(
-            &[
-                "lesion",
-                "guarded attack",
-                "dynamic result",
-                "static detection"
-            ],
-            &rows
-        )
+        render(&["lesion", "site", "killed by", "evidence"], &rows)
     );
-    println!("Every mechanism is necessary: its removal re-enables exactly its");
-    println!("attack class, and all value-flow holes are visible at design time.");
+    println!("Every mechanism is necessary: its removal is killed by the campaign —");
+    println!("value-flow holes at design time, the timing-only stall policy by the");
+    println!("noninterference probe.");
 }

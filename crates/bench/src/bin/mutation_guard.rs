@@ -1,0 +1,109 @@
+//! CI guard for the security mutation campaign.
+//!
+//! Enumerates the full curated mutant catalogue against the protected
+//! accelerator, pushes every mutant through the three-stage kill pipeline
+//! (static check → tracked fleet traffic → replayed adversaries), writes
+//! `MUTATION_REPORT.json`, and **exits non-zero** if any mutant survives —
+//! a surviving mutant is a hole in the enforcement, not a test failure.
+//!
+//! The control arm re-runs the same catalogue with the enforcement
+//! ablated (labels stripped, tracking off): every class must show at
+//! least one silent survivor there, or the campaign isn't measuring
+//! anything the enforcement actually provides.
+//!
+//! Usage: `cargo run --release -p bench --bin mutation_guard [REPORT.json]`
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use accel::protected;
+use attacks::mutate::{run_campaign, CampaignConfig, KillStage};
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "MUTATION_REPORT.json".to_string());
+    let base = protected();
+    let cfg = CampaignConfig::default();
+
+    let start = Instant::now();
+    let report = run_campaign(&base, &cfg);
+    let campaign_secs = start.elapsed().as_secs_f64();
+
+    let control = run_campaign(&base, &cfg.control_arm());
+    let total_secs = start.elapsed().as_secs_f64();
+
+    println!(
+        "mutation campaign: {} mutants / {} classes in {campaign_secs:.1}s (control arm: +{:.1}s)",
+        report.outcomes.len(),
+        report.classes().len(),
+        total_secs - campaign_secs
+    );
+    println!(
+        "  kills: {} static, {} runtime, {} attack",
+        report.kills_at(KillStage::Static),
+        report.kills_at(KillStage::Runtime),
+        report.kills_at(KillStage::Attack)
+    );
+    for o in &report.outcomes {
+        let stage = o.kill.map_or("SURVIVED", KillStage::key);
+        println!("  [{stage:>9}] {}", o.id);
+    }
+
+    let mut failed = false;
+
+    let survivors = report.survivors();
+    if survivors.is_empty() {
+        println!("protected arm: 0 survivors");
+    } else {
+        failed = true;
+        eprintln!(
+            "mutation_guard: FAIL — {} surviving mutant(s):",
+            survivors.len()
+        );
+        for s in survivors {
+            eprintln!("  {} — {} ({})", s.id, s.description, s.detail);
+        }
+    }
+
+    if report.outcomes.len() < 60 || report.classes().len() < 6 {
+        failed = true;
+        eprintln!(
+            "mutation_guard: FAIL — catalogue too small: {} mutants / {} classes (need >= 60 / >= 6)",
+            report.outcomes.len(),
+            report.classes().len()
+        );
+    }
+
+    // Control sanity: with enforcement ablated, every class must leak at
+    // least one silent survivor.
+    let by_class = control.survivors_by_class();
+    println!("control arm survivors by class:");
+    for (class, n) in &by_class {
+        println!("  {class}: {n}");
+        if *n == 0 {
+            failed = true;
+            eprintln!(
+                "mutation_guard: FAIL — control arm has no survivor in class '{class}': \
+                 the campaign isn't measuring enforcement value there"
+            );
+        }
+    }
+
+    let json = format!(
+        "{{\n\"campaign\": {},\n\"control\": {},\n\"campaign_seconds\": {campaign_secs:.2},\n\"total_seconds\": {total_secs:.2}\n}}\n",
+        report.to_json(),
+        control.to_json()
+    );
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("mutation_guard: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {path}");
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("mutation_guard: OK");
+    ExitCode::SUCCESS
+}

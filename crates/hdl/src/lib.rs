@@ -48,6 +48,7 @@ mod lower;
 mod module;
 mod netlist;
 mod node;
+mod rewrite;
 mod stmt;
 mod value;
 pub mod verilog;
@@ -58,5 +59,6 @@ pub use lower::LowerError;
 pub use module::{MemHandle, ModuleBuilder, Sig};
 pub use netlist::{Netlist, WritePort};
 pub use node::{BinOp, MemId, Node, NodeId, UnOp};
+pub use rewrite::Rewriter;
 pub use stmt::{Action, Guard, Stmt};
 pub use value::{mask, Value, MAX_WIDTH};

@@ -1,0 +1,379 @@
+//! Netlist rewriting: controlled surgery on a finished [`Design`].
+//!
+//! The mutation campaign (`attacks::mutate`) needs to produce *faulted*
+//! variants of the protected accelerator — a dropped tag check, a
+//! stuck-at tag bit, a widened port label — without re-running the
+//! builder. [`Rewriter`] clones a design's parts, applies targeted edits,
+//! and reassembles a design that lowers and simulates like any other.
+//!
+//! The API deliberately distinguishes *value-path* edits (what the
+//! hardware computes) from *annotation* edits (what the designer claimed):
+//! a stuck-at fault on a tag distribution wire rewrites uses of the signal
+//! but leaves `FromTag` annotations pointing at the architected register,
+//! exactly the fault model where the checker's view of the design is
+//! intact while the silicon misbehaves.
+
+use crate::design::{Design, MemInfo, PortInfo};
+use crate::label_expr::LabelExpr;
+use crate::node::{Node, NodeId};
+use crate::stmt::{Action, Stmt};
+use crate::value::{mask, Value};
+
+/// An editable copy of a [`Design`]'s parts. Build one with
+/// [`Rewriter::new`], apply edits, and call [`Rewriter::finish`].
+#[derive(Debug, Clone)]
+pub struct Rewriter {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<Option<String>>,
+    labels: Vec<Option<LabelExpr>>,
+    stmts: Vec<Stmt>,
+    mems: Vec<MemInfo>,
+    inputs: Vec<PortInfo>,
+    outputs: Vec<PortInfo>,
+}
+
+impl Rewriter {
+    /// Starts a rewrite session on a copy of `design`.
+    #[must_use]
+    pub fn new(design: &Design) -> Rewriter {
+        Rewriter {
+            name: design.name().to_string(),
+            nodes: design.nodes().to_vec(),
+            names: design
+                .node_ids()
+                .map(|id| design.name_of(id).map(str::to_string))
+                .collect(),
+            labels: design
+                .node_ids()
+                .map(|id| design.label_of(id).cloned())
+                .collect(),
+            stmts: design.stmts().to_vec(),
+            mems: design.mems().to_vec(),
+            inputs: design.inputs().to_vec(),
+            outputs: design.outputs().to_vec(),
+        }
+    }
+
+    /// Renames the design (mutants carry their mutant id as a suffix).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The node table (for site scanning on the working copy).
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Appends a fresh node; returns its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId::from_raw(u32::try_from(self.nodes.len()).expect("node count fits u32"));
+        self.nodes.push(node);
+        self.names.push(None);
+        self.labels.push(None);
+        id
+    }
+
+    /// Appends a constant node of the given width.
+    pub fn add_const(&mut self, width: u16, value: Value) -> NodeId {
+        let value = mask(value, width);
+        self.add_node(Node::Const { width, value })
+    }
+
+    /// Replaces a node in place, keeping its id (and hence every
+    /// consumer). The replacement must produce the same width.
+    pub fn replace_node(&mut self, id: NodeId, node: Node) {
+        self.nodes[id.index()] = node;
+    }
+
+    /// Rewrites every *value-path* use of `old` to `new`: node operands,
+    /// statement guards, connect sources, memory-write addresses and
+    /// data, and output port drivers. The node `new` itself is skipped so
+    /// a patch like `new = old | mask` does not feed back into itself.
+    /// Connect *destinations* are identities, not reads, and stay.
+    ///
+    /// Label annotations are untouched; see
+    /// [`Rewriter::replace_uses_in_labels`].
+    pub fn replace_uses(&mut self, old: NodeId, new: NodeId) {
+        let subst = |id: &mut NodeId| {
+            if *id == old {
+                *id = new;
+            }
+        };
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if i == new.index() {
+                continue;
+            }
+            match node {
+                Node::Input { .. } | Node::Const { .. } | Node::Reg { .. } => {}
+                Node::Wire { default, .. } => {
+                    if let Some(d) = default {
+                        subst(d);
+                    }
+                }
+                Node::MemRead { addr, .. } => subst(addr),
+                Node::Unary { a, .. } | Node::Slice { a, .. } => subst(a),
+                Node::Binary { a, b, .. } => {
+                    subst(a);
+                    subst(b);
+                }
+                Node::Mux { sel, t, f } => {
+                    subst(sel);
+                    subst(t);
+                    subst(f);
+                }
+                Node::Cat { hi, lo } => {
+                    subst(hi);
+                    subst(lo);
+                }
+                Node::Declassify {
+                    data, principal, ..
+                }
+                | Node::Endorse {
+                    data, principal, ..
+                } => {
+                    subst(data);
+                    subst(principal);
+                }
+            }
+        }
+        for stmt in &mut self.stmts {
+            for guard in &mut stmt.guards {
+                subst(&mut guard.cond);
+            }
+            match &mut stmt.action {
+                Action::Connect { src, .. } => subst(src),
+                Action::MemWrite { addr, data, .. } => {
+                    subst(addr);
+                    subst(data);
+                }
+            }
+        }
+        for port in &mut self.outputs {
+            subst(&mut port.node);
+        }
+    }
+
+    /// Rewrites references to `old` inside *label annotations* (the
+    /// `FromTag` tag signals and `Table` selectors of node, memory, and
+    /// port labels). Kept separate from [`Rewriter::replace_uses`] so a
+    /// fault model can choose whether the tracking metadata follows the
+    /// faulted wire or the architected one.
+    pub fn replace_uses_in_labels(&mut self, old: NodeId, new: NodeId) {
+        fn patch(expr: &mut LabelExpr, old: NodeId, new: NodeId) {
+            match expr {
+                LabelExpr::Const(_) => {}
+                LabelExpr::Table { sel, .. } => {
+                    if *sel == old {
+                        *sel = new;
+                    }
+                }
+                LabelExpr::FromTag(id) => {
+                    if *id == old {
+                        *id = new;
+                    }
+                }
+                LabelExpr::Join(a, b) | LabelExpr::Meet(a, b) => {
+                    patch(a, old, new);
+                    patch(b, old, new);
+                }
+            }
+        }
+        for label in self.labels.iter_mut().flatten() {
+            patch(label, old, new);
+        }
+        for mem in &mut self.mems {
+            if let Some(l) = &mut mem.label {
+                patch(l, old, new);
+            }
+        }
+        for port in self.inputs.iter_mut().chain(self.outputs.iter_mut()) {
+            if let Some(l) = &mut port.label {
+                patch(l, old, new);
+            }
+        }
+    }
+
+    /// Sets (or clears) a node's label annotation.
+    pub fn set_node_label(&mut self, id: NodeId, label: Option<LabelExpr>) {
+        self.labels[id.index()] = label;
+    }
+
+    /// Sets (or clears) a memory's label annotation by name. Returns
+    /// `false` if no memory has that name.
+    pub fn set_mem_label(&mut self, name: &str, label: Option<LabelExpr>) -> bool {
+        match self.mems.iter_mut().find(|m| m.name == name) {
+            Some(m) => {
+                m.label = label;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets (or clears) an input port's label annotation. Input labels
+    /// canonically live on the port's *node* (that is what the checker and
+    /// the simulator read); the port record is kept in sync. Returns
+    /// `false` if no input has that name.
+    pub fn set_input_label(&mut self, name: &str, label: Option<LabelExpr>) -> bool {
+        match self.inputs.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.label.clone_from(&label);
+                let node = p.node;
+                self.labels[node.index()] = label;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sets (or clears) an output port's release label. Returns `false`
+    /// if no output has that name.
+    pub fn set_output_label(&mut self, name: &str, label: Option<LabelExpr>) -> bool {
+        match self.outputs.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.label = label;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-routes an output port to a different driver node. Returns
+    /// `false` if no output has that name.
+    pub fn set_output_node(&mut self, name: &str, node: NodeId) -> bool {
+        match self.outputs.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.node = node;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adds a brand-new output port.
+    pub fn add_output(&mut self, name: impl Into<String>, node: NodeId, label: Option<LabelExpr>) {
+        self.outputs.push(PortInfo {
+            name: name.into(),
+            node,
+            label,
+        });
+    }
+
+    /// Strips every security annotation — node labels, memory labels, and
+    /// port labels. The result is the *unprotected evaluation* of a
+    /// structure: same hardware, no IFC oversight. The mutation
+    /// campaign's baseline control runs mutants through this.
+    pub fn strip_labels(&mut self) {
+        for l in &mut self.labels {
+            *l = None;
+        }
+        for m in &mut self.mems {
+            m.label = None;
+        }
+        for p in self.inputs.iter_mut().chain(self.outputs.iter_mut()) {
+            p.label = None;
+        }
+    }
+
+    /// Reassembles the design.
+    #[must_use]
+    pub fn finish(self) -> Design {
+        Design::from_parts(
+            self.name,
+            self.nodes,
+            self.names,
+            self.labels,
+            self.stmts,
+            self.mems,
+            self.inputs,
+            self.outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+    use ifc_lattice::Label;
+
+    fn tiny() -> Design {
+        let mut m = ModuleBuilder::new("tiny");
+        let a = m.input("a", 8);
+        m.set_label(a, Label::PUBLIC_TRUSTED);
+        let b = m.input("b", 8);
+        let x = m.xor(a, b);
+        let r = m.reg("r", 8, 0);
+        m.connect(r, x);
+        m.output("o", r);
+        m.finish()
+    }
+
+    #[test]
+    fn replace_uses_rewrites_reads_not_identities() {
+        let d = tiny();
+        let a = d.input("a").expect("port");
+        let mut rw = Rewriter::new(&d);
+        let c = rw.add_const(8, 0x55);
+        rw.replace_uses(a, c);
+        let d2 = rw.finish();
+        // The xor now reads the constant, the input port itself remains.
+        let x = d2
+            .node_ids()
+            .find(|&id| matches!(d2.node(id), Node::Binary { .. }))
+            .expect("xor");
+        match *d2.node(x) {
+            Node::Binary { a: lhs, .. } => assert_eq!(lhs, c),
+            _ => unreachable!(),
+        }
+        assert_eq!(d2.input("a").expect("port"), a);
+        d2.lower().expect("still lowers");
+    }
+
+    #[test]
+    fn stuck_bit_patch_does_not_feed_back() {
+        let d = tiny();
+        let a = d.input("a").expect("port");
+        let mut rw = Rewriter::new(&d);
+        let bit = rw.add_const(8, 0x04);
+        let stuck = rw.add_node(Node::Binary {
+            op: crate::node::BinOp::Or,
+            a,
+            b: bit,
+        });
+        rw.replace_uses(a, stuck);
+        let d2 = rw.finish();
+        // The patch node still reads the original input.
+        match *d2.node(stuck) {
+            Node::Binary { a: lhs, .. } => assert_eq!(lhs, a),
+            _ => unreachable!(),
+        }
+        d2.lower().expect("still lowers");
+    }
+
+    #[test]
+    fn strip_labels_removes_every_annotation() {
+        let d = tiny();
+        let mut rw = Rewriter::new(&d);
+        rw.strip_labels();
+        let d2 = rw.finish();
+        assert!(d2.node_ids().all(|id| d2.label_of(id).is_none()));
+        assert!(d2.outputs().iter().all(|p| p.label.is_none()));
+    }
+
+    #[test]
+    fn replace_node_keeps_consumers() {
+        let d = tiny();
+        let mut rw = Rewriter::new(&d);
+        let x = d
+            .node_ids()
+            .find(|&id| matches!(d.node(id), Node::Binary { .. }))
+            .expect("xor");
+        rw.replace_node(x, Node::Const { width: 8, value: 9 });
+        let d2 = rw.finish();
+        assert!(matches!(d2.node(x), Node::Const { value: 9, .. }));
+        d2.lower().expect("still lowers");
+    }
+}

@@ -8,38 +8,19 @@
 //! cargo run --example attack_demo
 //! ```
 
+use secure_aes_ifc::attacks::harness::{render_matrix_row, verify_matrix};
 use secure_aes_ifc::attacks::{attack_matrix, static_findings, usability_checks};
 
 fn main() {
     println!("Running the attack suite against both designs...\n");
-    for row in attack_matrix() {
-        println!("== {} ==", row.name());
-        println!(
-            "  baseline : {:?} — {}",
-            row.baseline.outcome, row.baseline.detail
-        );
-        println!(
-            "  protected: {:?} — {}",
-            row.protected.outcome, row.protected.detail
-        );
-        assert!(
-            row.protection_effective(),
-            "the protection must stop this attack"
-        );
-        println!();
+    let matrix = attack_matrix();
+    for row in &matrix {
+        println!("{}", render_matrix_row(row));
     }
+    verify_matrix(&matrix).expect("the protection must stop every attack");
 
     for row in usability_checks() {
-        println!("== {} ==", row.name());
-        println!(
-            "  baseline : {:?} — {}",
-            row.baseline.outcome, row.baseline.detail
-        );
-        println!(
-            "  protected: {:?} — {}",
-            row.protected.outcome, row.protected.detail
-        );
-        println!();
+        println!("{}", render_matrix_row(&row));
     }
 
     let findings = static_findings();

@@ -1,7 +1,8 @@
 //! E-atk integration test: every discussed vulnerability is exploitable
 //! on the baseline, blocked on the protected design, and flagged at
-//! design time.
+//! design time. The row-checking loops live in `attacks::harness`.
 
+use secure_aes_ifc::attacks::harness::{verify_matrix, verify_usability};
 use secure_aes_ifc::attacks::{attack_matrix, static_findings, usability_checks};
 
 #[test]
@@ -12,28 +13,12 @@ fn protection_is_effective_for_every_scenario() {
         7,
         "seven vulnerability classes (incl. the hardware Trojan)"
     );
-    for row in &matrix {
-        assert!(
-            row.baseline.succeeded(),
-            "{} must be exploitable on the baseline: {}",
-            row.name(),
-            row.baseline.detail
-        );
-        assert!(
-            !row.protected.succeeded(),
-            "{} must be blocked on the protected design: {}",
-            row.name(),
-            row.protected.detail
-        );
-    }
+    verify_matrix(&matrix).expect("every scenario exploitable on baseline, blocked on protected");
 }
 
 #[test]
 fn legitimate_flows_keep_working() {
-    for row in usability_checks() {
-        assert!(row.baseline.succeeded(), "{}", row.baseline.detail);
-        assert!(row.protected.succeeded(), "{}", row.protected.detail);
-    }
+    verify_usability(&usability_checks()).expect("legitimate flows work on both designs");
 }
 
 #[test]
