@@ -131,7 +131,7 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn block_from(seed: u64, i: u64) -> [u8; 16] {
+pub(crate) fn block_from(seed: u64, i: u64) -> [u8; 16] {
     let hi = mix(seed ^ (2 * i));
     let lo = mix(seed ^ (2 * i + 1));
     let mut b = [0u8; 16];

@@ -31,6 +31,7 @@
 pub mod batch;
 mod build;
 mod bytes;
+pub mod crosscheck;
 pub mod driver;
 pub mod effort;
 pub mod engine;

@@ -1,7 +1,8 @@
-//! The three-stage kill pipeline and the campaign runner.
+//! The four-stage kill pipeline and the campaign runner.
 
 use accel::fleet::{run_fleet_batched, FleetConfig};
 use hdl::{Design, Rewriter};
+use ifc_check::{run_static_passes, LintConfig, Severity};
 use sim::TrackMode;
 
 use super::report::{KillStage, MutantOutcome, MutationReport};
@@ -50,10 +51,10 @@ impl CampaignConfig {
 
 /// Pushes one mutant through the kill pipeline.
 ///
-/// Protected arm: static check → fleet traffic under tracking → stage-3
-/// adversaries. Control arm: labels stripped, tracking off; the only
-/// detector left is functional verification of the fleet's ciphertexts —
-/// exactly what a test suite without IFC would see.
+/// Protected arm: netlist lint → static check → fleet traffic under
+/// tracking → stage-4 adversaries. Control arm: labels stripped, tracking
+/// off; the only detector left is functional verification of the fleet's
+/// ciphertexts — exactly what a test suite without IFC would see.
 ///
 /// A mutant that fails to lower is reported as a *survivor* with a
 /// curation-error detail: the guard must fail loudly on a broken
@@ -71,21 +72,7 @@ pub fn run_mutant(base: &Design, mutation: &dyn Mutation, cfg: &CampaignConfig) 
         cycles_to_kill: None,
     };
 
-    // Stage 1: design-time verification (skipped in the control arm — an
-    // unprotected flow has no checker).
-    if !cfg.control {
-        let report = ifc_check::check(&design);
-        if let Some(first) = report.violations.first() {
-            outcome.kill = Some(KillStage::Static);
-            outcome.detail = format!(
-                "{} static violation(s); first: {first}",
-                report.violations.len()
-            );
-            return outcome;
-        }
-    }
-
-    // Stage 2: ordinary multi-user fleet traffic.
+    // Lower once up front: the netlist feeds the lint stage and the fleet.
     let sim_design = if cfg.control {
         let mut rw = Rewriter::new(&design);
         rw.strip_labels();
@@ -100,6 +87,37 @@ pub fn run_mutant(base: &Design, mutation: &dyn Mutation, cfg: &CampaignConfig) 
             return outcome;
         }
     };
+
+    // Stages 1–2 are pre-execution and skipped in the control arm — an
+    // unprotected flow has neither a netlist lint nor a checker.
+    if !cfg.control {
+        // Stage 1: the static netlist verification suite on the lowered
+        // mutant, before any simulation.
+        let lint = run_static_passes(Some(&design), &net, &LintConfig::new());
+        let errors: Vec<_> = lint
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect();
+        if let Some(first) = errors.first() {
+            outcome.kill = Some(KillStage::Lint);
+            outcome.detail = format!("{} lint error(s); first: {first}", errors.len());
+            return outcome;
+        }
+
+        // Stage 2: design-time verification.
+        let report = ifc_check::check(&design);
+        if let Some(first) = report.violations.first() {
+            outcome.kill = Some(KillStage::Static);
+            outcome.detail = format!(
+                "{} static violation(s); first: {first}",
+                report.violations.len()
+            );
+            return outcome;
+        }
+    }
+
+    // Stage 3: ordinary multi-user fleet traffic.
     let stats = run_fleet_batched(
         &net,
         FleetConfig {
@@ -134,7 +152,7 @@ pub fn run_mutant(base: &Design, mutation: &dyn Mutation, cfg: &CampaignConfig) 
         return outcome;
     }
 
-    // Stage 3: replay the adversaries this fault should re-enable.
+    // Stage 4: replay the adversaries this fault should re-enable.
     for probe in mutation.probes() {
         let result = probe.run(&design);
         if result.succeeded() {
@@ -144,7 +162,7 @@ pub fn run_mutant(base: &Design, mutation: &dyn Mutation, cfg: &CampaignConfig) 
         }
     }
 
-    outcome.detail = "survived static, runtime, and attack stages".into();
+    outcome.detail = "survived lint, static, runtime, and attack stages".into();
     outcome
 }
 

@@ -11,6 +11,10 @@ use super::MutationClass;
 /// Which pipeline stage killed a mutant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KillStage {
+    /// The static netlist verification suite
+    /// (`ifc_check::dataflow::run_static_passes`) raised an error-severity
+    /// finding on the lowered mutant, before any simulation.
+    Lint,
     /// `ifc_check::check` flagged the faulted design at design time.
     Static,
     /// The batched fleet raised a tracking violation under ordinary
@@ -28,6 +32,7 @@ impl KillStage {
     #[must_use]
     pub fn key(self) -> &'static str {
         match self {
+            KillStage::Lint => "lint",
             KillStage::Static => "static",
             KillStage::Runtime => "runtime",
             KillStage::Attack => "attack",
@@ -39,6 +44,7 @@ impl KillStage {
     #[must_use]
     pub fn from_key(key: &str) -> Option<KillStage> {
         [
+            KillStage::Lint,
             KillStage::Static,
             KillStage::Runtime,
             KillStage::Attack,
@@ -46,6 +52,20 @@ impl KillStage {
         ]
         .into_iter()
         .find(|s| s.key() == key)
+    }
+
+    /// The report's derived `killed_by` category: `"static"` for kills
+    /// that needed no simulation (netlist lint, design-time checker),
+    /// `"dynamic"` for execution-based kills (tracked fleet traffic,
+    /// replayed adversaries), `"functional"` for the control arm's plain
+    /// functional testing.
+    #[must_use]
+    pub fn killed_by(self) -> &'static str {
+        match self {
+            KillStage::Lint | KillStage::Static => "static",
+            KillStage::Runtime | KillStage::Attack => "dynamic",
+            KillStage::Functional => "functional",
+        }
     }
 }
 
@@ -119,6 +139,21 @@ impl MutationReport {
         set.into_iter().collect()
     }
 
+    /// Classes whose every mutant was killed before any simulation ran —
+    /// at the [`KillStage::Lint`] or [`KillStage::Static`] stage.
+    #[must_use]
+    pub fn classes_killed_statically(&self) -> Vec<MutationClass> {
+        self.classes()
+            .into_iter()
+            .filter(|c| {
+                self.outcomes
+                    .iter()
+                    .filter(|o| o.class == *c)
+                    .all(|o| o.kill.is_some_and(|k| k.killed_by() == "static"))
+            })
+            .collect()
+    }
+
     /// Survivor count per class (classes with zero survivors included).
     #[must_use]
     pub fn survivors_by_class(&self) -> BTreeMap<MutationClass, usize> {
@@ -150,8 +185,12 @@ impl MutationReport {
             s.push_str(&format!("\"site\": \"{}\", ", esc(&o.site)));
             s.push_str(&format!("\"description\": \"{}\", ", esc(&o.description)));
             match o.kill {
-                Some(k) => s.push_str(&format!("\"kill_stage\": \"{}\", ", k.key())),
-                None => s.push_str("\"kill_stage\": null, "),
+                Some(k) => s.push_str(&format!(
+                    "\"kill_stage\": \"{}\", \"killed_by\": \"{}\", ",
+                    k.key(),
+                    k.killed_by()
+                )),
+                None => s.push_str("\"kill_stage\": null, \"killed_by\": null, "),
             }
             match o.cycles_to_kill {
                 Some(c) => s.push_str(&format!("\"cycles_to_kill\": {c}, ")),
@@ -480,5 +519,41 @@ mod tests {
         assert_eq!(report.kills_at(KillStage::Static), 1);
         assert_eq!(report.survivors_by_class()[&MutationClass::StallGuard], 1);
         assert_eq!(report.survivors_by_class()[&MutationClass::CheckBypass], 0);
+    }
+
+    #[test]
+    fn killed_by_categories_and_static_classes() {
+        assert_eq!(KillStage::Lint.killed_by(), "static");
+        assert_eq!(KillStage::Static.killed_by(), "static");
+        assert_eq!(KillStage::Runtime.killed_by(), "dynamic");
+        assert_eq!(KillStage::Attack.killed_by(), "dynamic");
+        assert_eq!(KillStage::Functional.killed_by(), "functional");
+
+        let mut report = sample();
+        // CheckBypass has its sole mutant killed statically; StallGuard's
+        // survived, so only CheckBypass counts.
+        assert_eq!(
+            report.classes_killed_statically(),
+            vec![MutationClass::CheckBypass]
+        );
+        report.outcomes[1].kill = Some(KillStage::Lint);
+        assert_eq!(
+            report.classes_killed_statically(),
+            vec![MutationClass::CheckBypass, MutationClass::StallGuard]
+        );
+        report.outcomes[1].kill = Some(KillStage::Runtime);
+        assert_eq!(
+            report.classes_killed_statically(),
+            vec![MutationClass::CheckBypass]
+        );
+    }
+
+    #[test]
+    fn killed_by_column_appears_in_json() {
+        let json = sample().to_json();
+        assert!(json.contains("\"killed_by\": \"static\""));
+        assert!(json.contains("\"killed_by\": null"));
+        let back = MutationReport::from_json(&json).expect("parses");
+        assert_eq!(back, sample());
     }
 }

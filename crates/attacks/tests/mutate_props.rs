@@ -46,6 +46,7 @@ fn arb_class() -> impl Strategy<Value = MutationClass> {
 fn arb_kill() -> impl Strategy<Value = Option<KillStage>> {
     prop_oneof![
         Just(None),
+        Just(Some(KillStage::Lint)),
         Just(Some(KillStage::Static)),
         Just(Some(KillStage::Runtime)),
         Just(Some(KillStage::Attack)),

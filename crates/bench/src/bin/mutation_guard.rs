@@ -1,10 +1,11 @@
 //! CI guard for the security mutation campaign.
 //!
 //! Enumerates the full curated mutant catalogue against the protected
-//! accelerator, pushes every mutant through the three-stage kill pipeline
-//! (static check → tracked fleet traffic → replayed adversaries), writes
-//! `MUTATION_REPORT.json`, and **exits non-zero** if any mutant survives —
-//! a surviving mutant is a hole in the enforcement, not a test failure.
+//! accelerator, pushes every mutant through the four-stage kill pipeline
+//! (netlist lint → static check → tracked fleet traffic → replayed
+//! adversaries), writes `MUTATION_REPORT.json`, and **exits non-zero** if
+//! any mutant survives — a surviving mutant is a hole in the enforcement,
+//! not a test failure.
 //!
 //! The control arm re-runs the same catalogue with the enforcement
 //! ablated (labels stripped, tracking off): every class must show at
@@ -40,14 +41,16 @@ fn main() -> ExitCode {
         total_secs - campaign_secs
     );
     println!(
-        "  kills: {} static, {} runtime, {} attack",
+        "  kills: {} lint, {} static, {} runtime, {} attack",
+        report.kills_at(KillStage::Lint),
         report.kills_at(KillStage::Static),
         report.kills_at(KillStage::Runtime),
         report.kills_at(KillStage::Attack)
     );
     for o in &report.outcomes {
         let stage = o.kill.map_or("SURVIVED", KillStage::key);
-        println!("  [{stage:>9}] {}", o.id);
+        let killed_by = o.kill.map_or("-", KillStage::killed_by);
+        println!("  [{stage:>9}|{killed_by:>10}] {}", o.id);
     }
 
     let mut failed = false;
@@ -72,6 +75,25 @@ fn main() -> ExitCode {
             "mutation_guard: FAIL — catalogue too small: {} mutants / {} classes (need >= 60 / >= 6)",
             report.outcomes.len(),
             report.classes().len()
+        );
+    }
+
+    // The pre-execution stages must carry real weight: at least three
+    // whole mutation classes killed without a single simulation cycle.
+    let static_classes = report.classes_killed_statically();
+    println!(
+        "classes killed statically (lint/check, no simulation): {}",
+        static_classes
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if static_classes.len() < 3 {
+        failed = true;
+        eprintln!(
+            "mutation_guard: FAIL — only {} class(es) killed statically (need >= 3)",
+            static_classes.len()
         );
     }
 

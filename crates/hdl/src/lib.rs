@@ -50,6 +50,7 @@ mod netlist;
 mod node;
 mod rewrite;
 mod stmt;
+pub mod topo;
 mod value;
 pub mod verilog;
 

@@ -12,10 +12,14 @@ use crate::stmt::{Action, Guard};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LowerError {
     /// A zero-latency feedback loop through combinational logic. The
-    /// payload names one node on the cycle.
+    /// payload names one node on the cycle and carries the full witness
+    /// path (each node combinationally depends on the next; the last
+    /// entry closes the loop back to the first).
     CombinationalCycle {
         /// A node on the detected cycle.
         node: String,
+        /// The cycle witness: described nodes in dependency order.
+        path: Vec<String>,
     },
     /// A wire is only driven under conditions and has no default, so its
     /// value would be undefined when no statement fires.
@@ -28,8 +32,12 @@ pub enum LowerError {
 impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LowerError::CombinationalCycle { node } => {
-                write!(f, "combinational cycle through {node}")
+            LowerError::CombinationalCycle { node, path } => {
+                write!(f, "combinational cycle through {node}")?;
+                if !path.is_empty() {
+                    write!(f, " ({})", path.join(" -> "))?;
+                }
+                Ok(())
             }
             LowerError::PartiallyDrivenWire { wire } => {
                 write!(
@@ -245,11 +253,17 @@ pub(crate) fn lower(design: &Design) -> Result<Netlist, LowerError> {
     wire_driver.resize(total, None);
     reg_next.resize(total, None);
 
-    let topo = toposort(&lw.nodes, &wire_driver, |id| {
-        design
-            .name_of(id)
-            .map(str::to_owned)
-            .unwrap_or_else(|| format!("{id:?}"))
+    let topo = crate::topo::toposort(&lw.nodes, &wire_driver).map_err(|witness| {
+        let describe = |id: NodeId| {
+            design
+                .name_of(id)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("{id:?}"))
+        };
+        LowerError::CombinationalCycle {
+            node: describe(witness[0]),
+            path: witness.iter().copied().map(describe).collect(),
+        }
     })?;
 
     Ok(Netlist {
@@ -265,73 +279,6 @@ pub(crate) fn lower(design: &Design) -> Result<Netlist, LowerError> {
         write_ports,
         topo,
     })
-}
-
-/// Topologically sorts the combinational graph. Registers are cut points
-/// (their value is state, not a combinational function), wires read their
-/// resolved driver.
-fn toposort(
-    nodes: &[Node],
-    wire_driver: &[Option<NodeId>],
-    describe: impl Fn(NodeId) -> String,
-) -> Result<Vec<NodeId>, LowerError> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum Mark {
-        White,
-        Grey,
-        Black,
-    }
-    let mut marks = vec![Mark::White; nodes.len()];
-    let mut order = Vec::with_capacity(nodes.len());
-    // Iterative DFS to avoid stack overflow on deep pipelines.
-    for start in 0..nodes.len() {
-        if marks[start] != Mark::White {
-            continue;
-        }
-        let mut stack: Vec<(u32, bool)> = vec![(start as u32, false)];
-        while let Some((n, children_done)) = stack.pop() {
-            let ni = n as usize;
-            if children_done {
-                marks[ni] = Mark::Black;
-                order.push(NodeId(n));
-                continue;
-            }
-            match marks[ni] {
-                Mark::Black => continue,
-                Mark::Grey => {
-                    return Err(LowerError::CombinationalCycle {
-                        node: describe(NodeId(n)),
-                    })
-                }
-                Mark::White => {}
-            }
-            marks[ni] = Mark::Grey;
-            stack.push((n, true));
-            let mut visit = |child: NodeId| match marks[child.index()] {
-                Mark::White => stack.push((child.0, false)),
-                Mark::Grey => {
-                    // Will be reported when popped; push a sentinel revisit.
-                    stack.push((child.0, false));
-                }
-                Mark::Black => {}
-            };
-            match &nodes[ni] {
-                // Registers are sequential: no combinational dependency.
-                Node::Reg { .. } | Node::Input { .. } | Node::Const { .. } => {}
-                Node::Wire { .. } => {
-                    if let Some(driver) = wire_driver[ni] {
-                        visit(driver);
-                    }
-                }
-                other => {
-                    for op in other.operands() {
-                        visit(op);
-                    }
-                }
-            }
-        }
-    }
-    Ok(order)
 }
 
 #[cfg(test)]
@@ -372,7 +319,13 @@ mod tests {
         let nb = m.not(b);
         m.connect(a, nb);
         let err = m.finish().lower().unwrap_err();
-        assert!(matches!(err, LowerError::CombinationalCycle { .. }));
+        let LowerError::CombinationalCycle { node, path } = &err else {
+            panic!("expected cycle, got {err:?}");
+        };
+        // The witness closes the loop and starts at the named node.
+        assert!(path.len() >= 3, "{path:?}");
+        assert_eq!(path.first(), path.last());
+        assert_eq!(path.first(), Some(node));
     }
 
     #[test]

@@ -123,4 +123,33 @@ impl Netlist {
     pub fn input_ports(&self) -> impl Iterator<Item = (&str, NodeId)> {
         self.inputs.iter().map(|p| (p.name.as_str(), p.node))
     }
+
+    /// Iterates over all nodes in combinational evaluation order — the
+    /// deterministic topological order computed at lowering time
+    /// (ascending node-id tie-breaking; see [`crate::topo::toposort`]).
+    pub fn topo_order(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topo.iter().copied()
+    }
+
+    /// The combinational dependencies of a node: the edges the
+    /// topological order respects. Registers, inputs and constants have
+    /// none; a wire depends on its resolved driver; every other node on
+    /// its operands, in operand order.
+    #[must_use]
+    pub fn comb_dependencies(&self, id: NodeId) -> Vec<NodeId> {
+        crate::topo::comb_dependencies(&self.nodes, &self.wire_driver, id)
+    }
+
+    /// Re-derives the topological order from scratch, returning the cycle
+    /// witness path if the (possibly externally mutated) graph is no
+    /// longer acyclic. Lowered netlists always succeed; static analyses
+    /// use this to audit netlists of unknown provenance.
+    ///
+    /// # Errors
+    ///
+    /// The nodes of a combinational cycle, in dependency order, with the
+    /// last entry closing the loop back to the first.
+    pub fn toposort(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
+        crate::topo::toposort(&self.nodes, &self.wire_driver)
+    }
 }

@@ -1,0 +1,243 @@
+//! The generic worklist/fixpoint dataflow engine over netlist graphs.
+//!
+//! Analyses plug in a [`Transfer`] function over a join-semilattice of
+//! facts; the engine owns the graph plumbing: one fact slot per node plus
+//! one per memory array, a dependency map covering combinational edges,
+//! register next-value edges, and memory read/write edges, and a
+//! deterministic worklist (seeded in topological order, drained FIFO) so
+//! the same netlist always produces the same fixpoint trajectory.
+
+use std::collections::{HashSet, VecDeque};
+
+use hdl::{Netlist, Node, NodeId};
+use ifc_lattice::Label;
+
+/// One element of the analysis universe: a netlist node, or a whole
+/// memory array (memories are summarised per array, joined over every
+/// write port — the same granularity the inference in `infer.rs` uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// A netlist node.
+    Node(NodeId),
+    /// A memory array, by index into [`Netlist::mems`].
+    Mem(usize),
+}
+
+/// A join-semilattice of dataflow facts.
+pub trait Lattice: Clone + PartialEq {
+    /// The least element (the initial fact everywhere).
+    fn bottom() -> Self;
+    /// The least upper bound.
+    fn join(&self, other: &Self) -> Self;
+}
+
+impl Lattice for Label {
+    fn bottom() -> Label {
+        Label::PUBLIC_TRUSTED
+    }
+    fn join(&self, other: &Label) -> Label {
+        Label::join(*self, *other)
+    }
+}
+
+/// The fact table a fixpoint computes: one fact per node and per memory.
+#[derive(Debug, Clone)]
+pub struct Facts<F> {
+    /// Per-node facts, indexed by [`NodeId::index`].
+    pub nodes: Vec<F>,
+    /// Per-memory facts, indexed by memory index.
+    pub mems: Vec<F>,
+}
+
+impl<F> Facts<F> {
+    /// The fact for a node.
+    pub fn node(&self, id: NodeId) -> &F {
+        &self.nodes[id.index()]
+    }
+
+    /// The fact for a memory array.
+    pub fn mem(&self, mem: usize) -> &F {
+        &self.mems[mem]
+    }
+}
+
+/// A pluggable transfer function: recomputes the fact for one slot from
+/// the current table. Must be **monotone** in the fact order implied by
+/// [`Lattice::join`], or the fixpoint may not terminate.
+pub trait Transfer {
+    /// The fact lattice this analysis computes over.
+    type Fact: Lattice;
+
+    /// The new fact for `slot`, given the current table.
+    fn transfer(&self, net: &Netlist, slot: Slot, facts: &Facts<Self::Fact>) -> Self::Fact;
+}
+
+/// Runs the worklist fixpoint of `transfer` over the netlist.
+///
+/// Every slot starts at [`Lattice::bottom`]; slots are (re)processed until
+/// no fact changes. The worklist is seeded with all nodes in the
+/// netlist's deterministic topological order (then the memories), and a
+/// slot re-enters the queue only when one of its dependencies changes, so
+/// acyclic regions settle in one sweep and cyclic regions (register
+/// feedback, memory loops) iterate to their least fixpoint.
+pub fn fixpoint<T: Transfer>(net: &Netlist, transfer: &T) -> Facts<T::Fact> {
+    let n = net.node_count();
+    let m = net.mems.len();
+    let mut facts = Facts {
+        nodes: vec![T::Fact::bottom(); n],
+        mems: vec![T::Fact::bottom(); m],
+    };
+
+    // Slot indexing: nodes 0..n, then memories n..n+m.
+    let slot_index = |slot: Slot| match slot {
+        Slot::Node(id) => id.index(),
+        Slot::Mem(mem) => n + mem,
+    };
+    let slot_of = |idx: usize| {
+        if idx < n {
+            Slot::Node(NodeId::from_raw(idx as u32))
+        } else {
+            Slot::Mem(idx - n)
+        }
+    };
+
+    // Reverse dependency map: who must be recomputed when a slot changes.
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n + m];
+    for id in net.node_ids() {
+        for dep in net.comb_dependencies(id) {
+            dependents[dep.index()].push(id.index());
+        }
+        if let Node::MemRead { mem, .. } = *net.node(id) {
+            dependents[n + mem.index()].push(id.index());
+        }
+        if let Some(next) = net.reg_next[id.index()] {
+            dependents[next.index()].push(id.index());
+        }
+    }
+    for wp in &net.write_ports {
+        for src in [wp.data, wp.addr, wp.en] {
+            dependents[src.index()].push(n + wp.mem.index());
+        }
+    }
+
+    // Seed in topological order: one sweep settles the acyclic core.
+    let mut queue: VecDeque<usize> = net.topo_order().map(NodeId::index).collect();
+    queue.extend(n..n + m);
+    let mut queued = vec![true; n + m];
+
+    let mut steps = 0usize;
+    while let Some(idx) = queue.pop_front() {
+        queued[idx] = false;
+        steps += 1;
+        assert!(
+            steps < 64 * (n + m + 1),
+            "dataflow fixpoint failed to converge (non-monotone transfer?)"
+        );
+        let slot = slot_of(idx);
+        let new = transfer.transfer(net, slot, &facts);
+        let old = match slot {
+            Slot::Node(id) => &mut facts.nodes[id.index()],
+            Slot::Mem(mem) => &mut facts.mems[mem],
+        };
+        if *old != new {
+            *old = new;
+            for &d in &dependents[slot_index(slot)] {
+                if !queued[d] {
+                    queued[d] = true;
+                    queue.push_back(d);
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// The combinational backward cone of `start`: every node index reachable
+/// from it through combinational dependency edges (wire drivers and
+/// operands), `start` included. The walk stops at the sequential/stateful
+/// frontier — registers, inputs, constants and memory reads contribute
+/// themselves but nothing behind them.
+#[must_use]
+pub fn comb_cone(net: &Netlist, start: NodeId) -> HashSet<usize> {
+    let mut cone = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(id) = stack.pop() {
+        if !cone.insert(id.index()) {
+            continue;
+        }
+        stack.extend(net.comb_dependencies(id));
+    }
+    cone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl::ModuleBuilder;
+    use ifc_lattice::Label;
+
+    /// A toy reachability analysis: "is this slot tainted by input `t`?"
+    struct Taint {
+        source: NodeId,
+    }
+
+    impl Lattice for bool {
+        fn bottom() -> bool {
+            false
+        }
+        fn join(&self, other: &bool) -> bool {
+            *self || *other
+        }
+    }
+
+    impl Transfer for Taint {
+        type Fact = bool;
+        fn transfer(&self, net: &Netlist, slot: Slot, facts: &Facts<bool>) -> bool {
+            match slot {
+                Slot::Node(id) => {
+                    if id == self.source {
+                        return true;
+                    }
+                    let mut acc = net.comb_dependencies(id).iter().any(|d| *facts.node(*d));
+                    if let hdl::Node::MemRead { mem, .. } = *net.node(id) {
+                        acc = acc || *facts.mem(mem.index());
+                    }
+                    if let Some(next) = net.reg_next[id.index()] {
+                        acc = acc || *facts.node(next);
+                    }
+                    acc
+                }
+                Slot::Mem(mem) => net
+                    .write_ports
+                    .iter()
+                    .filter(|wp| wp.mem.index() == mem)
+                    .any(|wp| *facts.node(wp.data) || *facts.node(wp.addr) || *facts.node(wp.en)),
+            }
+        }
+    }
+
+    #[test]
+    fn taint_flows_through_registers_and_memories() {
+        let mut m = ModuleBuilder::new("t");
+        let t = m.input("t", 8);
+        m.set_label(t, Label::SECRET_TRUSTED);
+        let clean = m.input("c", 8);
+        m.set_label(clean, Label::PUBLIC_TRUSTED);
+        let r = m.reg("r", 8, 0);
+        m.connect(r, t);
+        let addr = m.lit(0, 2);
+        let mem = m.mem("buf", 8, 4, vec![]);
+        m.mem_write(mem, addr, r);
+        let q = m.mem_read(mem, addr);
+        let mixed = m.xor(q, clean);
+        m.output("y", mixed);
+        let net = m.finish().lower().unwrap();
+
+        let facts = fixpoint(&net, &Taint { source: t.id() });
+        assert!(*facts.node(t.id()));
+        assert!(*facts.node(r.id()));
+        assert!(*facts.mem(0));
+        assert!(*facts.node(mixed.id()));
+        assert!(!*facts.node(clean.id()));
+    }
+}

@@ -1,0 +1,23 @@
+//! The static netlist verification suite.
+//!
+//! A generic worklist/fixpoint dataflow engine ([`engine`]) over lowered
+//! [`hdl::Netlist`]s, the static label planes computed with it
+//! ([`planes`]), the five lint passes and their pass manager ([`passes`]),
+//! and the machine-readable findings/report model with JSON and SARIF
+//! emission ([`findings`]).
+//!
+//! The `netlist_lint` binary (in `bench`) is the CLI front end; the
+//! mutation campaign (`attacks::mutate`) runs [`run_static_passes`] as its
+//! pre-execution kill stage.
+
+pub mod engine;
+pub mod findings;
+pub mod passes;
+pub mod planes;
+
+pub use engine::{comb_cone, fixpoint, Facts, Lattice, Slot, Transfer};
+pub use findings::{Finding, LintReport, Severity};
+pub use passes::{
+    crosscheck_findings, crosscheck_report, run_static_passes, LintConfig, ObservedPlane, PassId,
+};
+pub use planes::{bound_plane, release_plane, secret_cone, LabelBound};

@@ -16,6 +16,13 @@ pub struct Inference {
     pub iterations: usize,
     /// Non-fatal observations (e.g. unlabelled inputs assumed public).
     pub warnings: Vec<String>,
+    /// Wires whose drivers do not cover every cycle: no default, and the
+    /// `connect` statements targeting them (after `when`/`else` merging)
+    /// leave some guard combination undriven, so the value and label are
+    /// unconstrained there. **All** offenders are reported in one run,
+    /// one warning each — lowering stops at the first
+    /// (`LowerError::PartiallyDrivenWire`).
+    pub unconstrained: Vec<NodeId>,
 }
 
 impl Inference {
@@ -53,6 +60,18 @@ pub fn infer(design: &Design) -> Inference {
                 design.describe(id)
             ));
         }
+    }
+
+    // Unconstrained wires: collect the whole set in one pass — the
+    // diagnostic is most useful complete, whereas lowering bails at the
+    // first offender.
+    let unconstrained = unconstrained_wires(design);
+    for &id in &unconstrained {
+        warnings.push(format!(
+            "wire {} is not driven in every cycle and has no default; \
+             its value and label are unconstrained",
+            design.describe(id)
+        ));
     }
 
     let mut iterations = 0;
@@ -130,7 +149,69 @@ pub fn infer(design: &Design) -> Inference {
         mem_labels,
         iterations,
         warnings,
+        unconstrained,
     }
+}
+
+/// Every defaultless wire whose `connect` statements (after `when`/`else`
+/// merging) leave some guard combination undriven. Reported completely in
+/// one pass, in node order — unlike lowering, which stops at the first
+/// offender (`LowerError::PartiallyDrivenWire`). Shared by [`infer`] and
+/// the dead-logic lint pass.
+pub(crate) fn unconstrained_wires(design: &Design) -> Vec<NodeId> {
+    let mut connects: std::collections::HashMap<NodeId, Vec<Vec<hdl::Guard>>> =
+        std::collections::HashMap::new();
+    for stmt in design.stmts() {
+        if let Action::Connect { dst, .. } = stmt.action {
+            connects.entry(dst).or_default().push(stmt.guards.clone());
+        }
+    }
+    let mut unconstrained = Vec::new();
+    for id in design.node_ids() {
+        if let Node::Wire { default: None, .. } = design.node(id) {
+            let guards = connects.remove(&id).unwrap_or_default();
+            if !wire_fully_driven(&guards) {
+                unconstrained.push(id);
+            }
+        }
+    }
+    unconstrained
+}
+
+/// Whether a defaultless wire's guard sequences cover every cycle —
+/// exactly the acceptance rule lowering applies: adjacent statements
+/// whose guards differ only in a complementary final literal merge into
+/// their shared prefix (the `when_else` pattern), and the sequence is
+/// covering iff an unconditional driver exists before (or instead of)
+/// every conditional one.
+fn wire_fully_driven(guards: &[Vec<hdl::Guard>]) -> bool {
+    let mut seqs: Vec<Vec<hdl::Guard>> = guards.to_vec();
+    let mut i = 0;
+    while i + 1 < seqs.len() {
+        let (ga, gb) = (&seqs[i], &seqs[i + 1]);
+        let mergeable = !ga.is_empty()
+            && ga.len() == gb.len()
+            && ga[..ga.len() - 1] == gb[..gb.len() - 1]
+            && ga[ga.len() - 1].cond == gb[gb.len() - 1].cond
+            && ga[ga.len() - 1].polarity != gb[gb.len() - 1].polarity;
+        if mergeable {
+            let prefix = ga[..ga.len() - 1].to_vec();
+            seqs[i] = prefix;
+            seqs.remove(i + 1);
+            i = i.saturating_sub(1);
+        } else {
+            i += 1;
+        }
+    }
+    let mut covered = false;
+    for seq in &seqs {
+        if seq.is_empty() {
+            covered = true;
+        } else if !covered {
+            return false;
+        }
+    }
+    covered
 }
 
 #[cfg(test)]
@@ -215,5 +296,44 @@ mod tests {
         m.output("a", a);
         let inf = infer(&m.finish());
         assert_eq!(inf.warnings.len(), 1);
+        assert!(inf.unconstrained.is_empty());
+    }
+
+    #[test]
+    fn reports_all_unconstrained_wires_in_one_run() {
+        // Regression: three partially driven wires must yield three
+        // diagnostics in a single run — lowering stops at the first
+        // (`LowerError::PartiallyDrivenWire`).
+        let mut m = ModuleBuilder::new("t");
+        let c = m.input("c", 1);
+        m.set_label(c, Label::PUBLIC_TRUSTED);
+        let one = m.lit(1, 4);
+        let zero = m.lit(0, 4);
+        let u1 = m.wire("u1", 4);
+        let u2 = m.wire("u2", 4);
+        let u3 = m.wire("u3", 4);
+        for &u in &[u1, u2, u3] {
+            m.when(c, |m| m.connect(u, one));
+        }
+        let mixed = m.xor(u1, u2);
+        let all = m.xor(mixed, u3);
+        m.output("y", all);
+        // Covered wires are fine: a default, or a complementary
+        // when/else pair.
+        let ok_default = m.wire_default("ok_default", zero);
+        m.when(c, |m| m.connect(ok_default, one));
+        let ok_pair = m.wire("ok_pair", 4);
+        m.when_else(c, |m| m.connect(ok_pair, one), |m| m.connect(ok_pair, zero));
+        m.output("ok", ok_pair);
+        let d = m.finish();
+        assert!(d.lower().is_err(), "lowering stops at the first offender");
+        let inf = infer(&d);
+        assert_eq!(inf.unconstrained, vec![u1.id(), u2.id(), u3.id()]);
+        let wire_warnings = inf
+            .warnings
+            .iter()
+            .filter(|w| w.contains("unconstrained"))
+            .count();
+        assert_eq!(wire_warnings, 3, "{:?}", inf.warnings);
     }
 }

@@ -47,12 +47,15 @@ mod alabel;
 mod blame;
 mod checker;
 mod ctx;
+pub mod dataflow;
 mod infer;
 pub mod policy;
 mod report;
 
 pub use alabel::AbstractLabel;
 pub use checker::check;
+pub use dataflow::{run_static_passes, LintConfig, LintReport, ObservedPlane, PassId, Severity};
+pub use infer::{infer, Inference};
 pub use policy::{
     check_policies, check_policy, parse_policies, FlowPolicy, ParsePolicyError, PolicyKind,
     PolicyOutcome,

@@ -8,7 +8,7 @@
 //! differential suites rely on this to execute identical stimulus
 //! against both and compare values, labels, and violation streams.
 
-use hdl::{Netlist, Value};
+use hdl::{Netlist, NodeId, Value};
 use ifc_lattice::Label;
 
 use crate::violation::RuntimeViolation;
@@ -81,6 +81,37 @@ pub trait SimBackend {
 
     /// Sets a memory cell's runtime label directly (provisioned secrets).
     fn set_mem_cell_label(&mut self, mem: usize, addr: usize, label: Label);
+
+    /// Reads a node's settled runtime label by id.
+    fn peek_node_label(&mut self, id: NodeId) -> Label;
+
+    /// Joins the settled runtime label of every node into `acc`, indexed
+    /// by [`NodeId::index`]. The static/dynamic lint cross-check samples
+    /// this each cycle to build the observed tag plane.
+    fn fold_label_plane(&mut self, acc: &mut [Label]) {
+        let n = self.netlist().node_count();
+        assert_eq!(acc.len(), n, "accumulator must cover every node");
+        for (i, slot) in acc.iter_mut().enumerate() {
+            let label = self.peek_node_label(NodeId::from_raw(i as u32));
+            *slot = slot.join(label);
+        }
+    }
+
+    /// Joins every memory cell's runtime label into `acc`, summarised
+    /// per array (one join over all cells), indexed by memory index.
+    fn fold_mem_labels(&mut self, acc: &mut [Label]) {
+        let depths: Vec<usize> = self.netlist().mems.iter().map(|m| m.depth).collect();
+        assert_eq!(
+            acc.len(),
+            depths.len(),
+            "accumulator must cover every memory"
+        );
+        for (mem, depth) in depths.into_iter().enumerate() {
+            for addr in 0..depth {
+                acc[mem] = acc[mem].join(self.mem_cell_label(mem, addr));
+            }
+        }
+    }
 }
 
 impl SimBackend for Simulator {
@@ -150,6 +181,10 @@ impl SimBackend for Simulator {
 
     fn set_mem_cell_label(&mut self, mem: usize, addr: usize, label: Label) {
         Simulator::set_mem_cell_label(self, mem, addr, label);
+    }
+
+    fn peek_node_label(&mut self, id: NodeId) -> Label {
+        Simulator::peek_node_label(self, id)
     }
 }
 
@@ -227,5 +262,9 @@ impl SimBackend for CompiledSim {
 
     fn set_mem_cell_label(&mut self, mem: usize, addr: usize, label: Label) {
         CompiledSim::set_mem_cell_label(self, mem, addr, label);
+    }
+
+    fn peek_node_label(&mut self, id: NodeId) -> Label {
+        CompiledSim::peek_node_label(self, id)
     }
 }

@@ -390,6 +390,36 @@ impl BatchedSim {
         self.clean = false;
     }
 
+    /// Joins one lane's settled runtime label of every node into `acc`,
+    /// indexed by [`NodeId::index`] — the lane-batched counterpart of
+    /// [`crate::SimBackend::fold_label_plane`].
+    pub fn fold_label_plane(&mut self, lane: usize, acc: &mut [Label]) {
+        let n = self.program.net.node_count();
+        assert_eq!(acc.len(), n, "accumulator must cover every node");
+        for (i, slot) in acc.iter_mut().enumerate() {
+            let label = self.peek_node_label(lane, NodeId::from_raw(i as u32));
+            *slot = slot.join(label);
+        }
+    }
+
+    /// Joins one lane's memory cell labels into `acc`, summarised per
+    /// array — the lane-batched counterpart of
+    /// [`crate::SimBackend::fold_mem_labels`].
+    pub fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]) {
+        self.eval();
+        let depths: Vec<usize> = self.program.net.mems.iter().map(|m| m.depth).collect();
+        assert_eq!(
+            acc.len(),
+            depths.len(),
+            "accumulator must cover every memory"
+        );
+        for (mem, depth) in depths.into_iter().enumerate() {
+            for addr in 0..depth {
+                acc[mem] = acc[mem].join(self.mem_cell_label(lane, mem, addr));
+            }
+        }
+    }
+
     /// Settles combinational logic of every lane for the current inputs.
     /// Idempotent.
     pub fn eval(&mut self) {
