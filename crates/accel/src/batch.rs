@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use aes_core::{block_to_u128, u128_to_block};
 use hdl::NodeId;
 use ifc_lattice::{Label, SecurityTag};
-use sim::{BatchedSim, RuntimeViolation, TrackMode};
+use sim::{BatchedSim, LaneBackend, OptConfig, RuntimeViolation, TrackMode};
 
 use crate::driver::{Pending, Rejection, Request, Response};
 use crate::params::MASTER_KEY_SLOT;
@@ -51,10 +51,12 @@ struct Ports {
 }
 
 /// Drives W accelerator sessions at the transaction level over one
-/// lane-batched simulator. See the [module docs](self).
+/// lane-batched simulator (any [`LaneBackend`] — the interpreting
+/// [`BatchedSim`] by default, or the native-codegen
+/// [`NativeSim`](sim::NativeSim)). See the [module docs](self).
 #[derive(Debug)]
-pub struct BatchedDriver {
-    sim: BatchedSim,
+pub struct BatchedDriver<S: LaneBackend = BatchedSim> {
+    sim: S,
     ports: Ports,
     pending: Vec<VecDeque<Pending>>,
     /// Per-lane completed encryptions, in order.
@@ -64,16 +66,17 @@ pub struct BatchedDriver {
     receiver_ready: bool,
 }
 
-impl BatchedDriver {
-    /// Compiles a netlist and instantiates `lanes` driver sessions.
+impl<S: LaneBackend> BatchedDriver<S> {
+    /// Compiles a netlist (no optimizer passes) and instantiates `lanes`
+    /// driver sessions.
     ///
     /// # Panics
     ///
     /// Panics if `lanes` is not a supported lane width
     /// ([`sim::SUPPORTED_LANES`]).
     #[must_use]
-    pub fn from_netlist(net: hdl::Netlist, mode: TrackMode, lanes: usize) -> BatchedDriver {
-        BatchedDriver::from_batched(BatchedSim::with_tracking(net, mode, lanes))
+    pub fn from_netlist(net: hdl::Netlist, mode: TrackMode, lanes: usize) -> BatchedDriver<S> {
+        BatchedDriver::from_batched(S::with_tracking_opt(net, mode, lanes, &OptConfig::none()))
     }
 
     /// Wraps an already-constructed batched simulator (the fleet path:
@@ -83,7 +86,7 @@ impl BatchedDriver {
     ///
     /// Panics if the design has no output interface (not an accelerator).
     #[must_use]
-    pub fn from_batched(mut sim: BatchedSim) -> BatchedDriver {
+    pub fn from_batched(mut sim: S) -> BatchedDriver<S> {
         // The factory-provisioned master key carries (⊤,⊤) in every lane.
         if let Some(mem) = sim.mem_index("scratchpad.cells") {
             for lane in 0..sim.lanes() {
@@ -140,13 +143,13 @@ impl BatchedDriver {
     }
 
     /// The wrapped batched simulator.
-    pub fn sim_mut(&mut self) -> &mut BatchedSim {
+    pub fn sim_mut(&mut self) -> &mut S {
         &mut self.sim
     }
 
     /// Shared view of the wrapped simulator.
     #[must_use]
-    pub fn sim(&self) -> &BatchedSim {
+    pub fn sim(&self) -> &S {
         &self.sim
     }
 

@@ -14,7 +14,7 @@
 use hdl::Netlist;
 use ifc_check::dataflow::{bound_plane, crosscheck_findings, Finding, LintConfig, ObservedPlane};
 use ifc_lattice::Label;
-use sim::{CompiledSim, SimBackend, Simulator, TrackMode};
+use sim::{BatchedSim, CompiledSim, LaneBackend, SimBackend, Simulator, TrackMode};
 
 use crate::batch::BatchedDriver;
 use crate::driver::{AccelDriver, Request};
@@ -93,7 +93,7 @@ pub fn observe_sessions<B: SimBackend>(
     plane
 }
 
-fn fold_batched(driver: &mut BatchedDriver, plane: &mut ObservedPlane) {
+fn fold_batched<S: LaneBackend>(driver: &mut BatchedDriver<S>, plane: &mut ObservedPlane) {
     for lane in 0..driver.lanes() {
         let sim = driver.sim_mut();
         sim.fold_label_plane(lane, &mut plane.nodes);
@@ -101,11 +101,13 @@ fn fold_batched(driver: &mut BatchedDriver, plane: &mut ObservedPlane) {
     }
 }
 
-/// The lane-batched counterpart of [`observe_sessions`]: all sessions run
-/// as lanes of one [`BatchedSim`], so the cross-check also covers the
-/// bit-sliced tag-plane implementation.
+/// The lane-parallel counterpart of [`observe_sessions`]: all sessions
+/// run as lanes of one [`LaneBackend`] — the batched interpreter
+/// ([`sim::BatchedSim`]) or the native-codegen executor
+/// ([`sim::NativeSim`]) — so the cross-check also covers the bit-sliced
+/// tag-plane implementations.
 #[must_use]
-pub fn observe_batched(
+pub fn observe_lanes<S: LaneBackend>(
     net: &Netlist,
     mode: TrackMode,
     lanes: usize,
@@ -113,7 +115,7 @@ pub fn observe_batched(
     base_seed: u64,
 ) -> ObservedPlane {
     let mut plane = ObservedPlane::new(net);
-    let mut driver = BatchedDriver::from_netlist(net.clone(), mode, lanes);
+    let mut driver = BatchedDriver::<S>::from_netlist(net.clone(), mode, lanes);
     let users: Vec<Label> = (0..lanes).map(|l| user_label(l % 4)).collect();
     let seeds: Vec<u64> = (0..lanes)
         .map(|l| base_seed ^ (0xba7c * (l as u64 + 1)))
@@ -151,6 +153,19 @@ pub fn observe_batched(
         assert!(guard < 10_000, "batched cross-check failed to drain");
     }
     plane
+}
+
+/// [`observe_lanes`] on the lane-batched interpreter (the historical
+/// entry point; kept for callers that don't pick a backend).
+#[must_use]
+pub fn observe_batched(
+    net: &Netlist,
+    mode: TrackMode,
+    lanes: usize,
+    blocks: usize,
+    base_seed: u64,
+) -> ObservedPlane {
+    observe_lanes::<BatchedSim>(net, mode, lanes, blocks, base_seed)
 }
 
 /// The outcome of a full cross-check campaign.

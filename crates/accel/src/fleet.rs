@@ -18,7 +18,10 @@
 use aes_core::Aes;
 use hdl::Netlist;
 use ifc_lattice::Label;
-use sim::{BatchedSim, OptConfig, RuntimeViolation, SimBackend, TrackMode, SUPPORTED_LANES};
+use sim::{
+    BatchedSim, LaneBackend, NativeSim, OptConfig, RuntimeViolation, SimBackend, TrackMode,
+    SUPPORTED_LANES,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -239,8 +242,8 @@ pub fn run_fleet_on_netlist<B: SimBackend + Clone + Send + Sync>(
 ///
 /// Panics if `users` and `seeds` do not hold one entry per lane, or the
 /// pipeline refuses input for 10 000 consecutive cycles.
-pub fn run_lane_sessions(
-    driver: &mut BatchedDriver,
+pub fn run_lane_sessions<S: LaneBackend>(
+    driver: &mut BatchedDriver<S>,
     blocks: usize,
     users: &[Label],
     seeds: &[u64],
@@ -315,6 +318,38 @@ pub fn run_fleet_batched(net: &Netlist, config: FleetConfig) -> FleetStats {
 /// executes, so every session benefits from the shrunken tape.
 #[must_use]
 pub fn run_fleet_batched_opt(net: &Netlist, config: FleetConfig, opt: &OptConfig) -> FleetStats {
+    run_fleet_lanes_opt::<BatchedSim>(net, config, opt)
+}
+
+/// Runs the lane-batched fleet on the native-codegen backend
+/// ([`NativeSim`]) with every optimizer pass enabled — the tape the
+/// executor specializes code for. The first launch on a given
+/// (netlist, mode, width) set pays one `rustc` invocation per distinct
+/// lane width; later launches hit the on-disk compile cache
+/// (see [`sim::cache_stats`]).
+#[must_use]
+pub fn run_fleet_native(net: &Netlist, config: FleetConfig) -> FleetStats {
+    run_fleet_native_opt(net, config, &OptConfig::all())
+}
+
+/// [`run_fleet_native`] with an explicit optimizer configuration.
+#[must_use]
+pub fn run_fleet_native_opt(net: &Netlist, config: FleetConfig, opt: &OptConfig) -> FleetStats {
+    run_fleet_lanes_opt::<NativeSim>(net, config, opt)
+}
+
+/// The generic lane-batched fleet engine behind
+/// [`run_fleet_batched_opt`] and [`run_fleet_native_opt`]: sessions are
+/// greedily grouped into the widest supported lane batches, one
+/// prototype backend compiles the shared tape once, and a bounded worker
+/// pool claims batches and re-stripes the prototype to each batch's
+/// width.
+#[must_use]
+pub fn run_fleet_lanes_opt<S: LaneBackend + Send + Sync>(
+    net: &Netlist,
+    config: FleetConfig,
+    opt: &OptConfig,
+) -> FleetStats {
     // Greedy partition into the widest supported batches.
     let mut batches: Vec<(usize, usize)> = Vec::new(); // (first session, width)
     let mut i = 0;
@@ -330,7 +365,7 @@ pub fn run_fleet_batched_opt(net: &Netlist, config: FleetConfig, opt: &OptConfig
     }
 
     // Compile once; every batch re-stripes the same program.
-    let prototype = BatchedSim::with_tracking_opt(net.clone(), config.mode, 1, opt);
+    let prototype = S::with_tracking_opt(net.clone(), config.mode, 1, opt);
     let next = AtomicUsize::new(0);
     let results = Mutex::new(vec![SessionStats::default(); config.sessions]);
     thread::scope(|s| {

@@ -1,0 +1,65 @@
+//! The mutation kill-pipeline on the native-codegen fleet backend.
+//!
+//! `CampaignConfig::backend = FleetBackend::Native` routes stage-3 fleet
+//! traffic through `rustc`-compiled executors (`sim::NativeSim`). Every
+//! mutant netlist is a distinct compile-cache key, so the test below is
+//! `#[ignore]`d from the default suite: it pays one native compile per
+//! lane width for the mutant it certifies (minutes, once per cache).
+//! Run it explicitly —
+//!
+//! ```text
+//! cargo test --release -p attacks --test native_mutation -- --ignored
+//! ```
+//!
+//! — or certify the whole catalogue with
+//! `cargo run --release -p bench --bin mutation_guard -- --backend native`.
+
+use accel::protected;
+use attacks::mutate::{enumerate, run_mutant, CampaignConfig, FleetBackend, KillStage};
+
+/// A mutant the batched fleet kills with ordinary traffic must die
+/// identically when the same traffic is served by the native-codegen
+/// executors: same stage, same first-violation cycle, same evidence.
+#[test]
+#[ignore = "compiles native executors for a mutant netlist (minutes on a cold cache)"]
+fn runtime_killed_mutant_dies_identically_on_native_backend() {
+    let base = protected();
+    let cfg = CampaignConfig::default();
+    assert_eq!(cfg.backend, FleetBackend::Batched);
+
+    // Scan the catalogue (on the fast interpreter) for the first mutant
+    // that ordinary fleet traffic kills at the runtime stage — the only
+    // stage the backend choice can affect.
+    let mutants = enumerate(&base, cfg.seed);
+    let (victim, batched) = mutants
+        .iter()
+        .find_map(|m| {
+            let o = run_mutant(&base, m.as_ref(), &cfg);
+            (o.kill == Some(KillStage::Runtime)).then_some((m, o))
+        })
+        .expect("catalogue contains a runtime-killed mutant");
+
+    let native_cfg = CampaignConfig {
+        backend: FleetBackend::Native,
+        ..cfg
+    };
+    let native = run_mutant(&base, victim.as_ref(), &native_cfg);
+
+    assert_eq!(
+        native.kill,
+        Some(KillStage::Runtime),
+        "mutant {} survived the native fleet: {}",
+        native.id,
+        native.detail
+    );
+    assert_eq!(
+        native.cycles_to_kill, batched.cycles_to_kill,
+        "first-violation cycle diverged between backends for {}",
+        native.id
+    );
+    assert_eq!(
+        native.detail, batched.detail,
+        "kill evidence diverged between backends for {}",
+        native.id
+    );
+}

@@ -12,20 +12,47 @@
 //! least one silent survivor there, or the campaign isn't measuring
 //! anything the enforcement actually provides.
 //!
-//! Usage: `cargo run --release -p bench --bin mutation_guard [REPORT.json]`
+//! Usage: `cargo run --release -p bench --bin mutation_guard
+//! [--backend batched|native] [REPORT.json]`
+//!
+//! `--backend native` routes the stage-3 fleet traffic through the
+//! native-codegen executor (`sim::NativeSim`) instead of the batched
+//! interpreter. Every mutant netlist is a distinct compile-cache key, so
+//! the native run pays one `rustc` invocation per (mutant, lane width)
+//! that reaches stage 3 — expect it to take much longer than the default
+//! on a cold cache. Use it to certify that the kill matrix holds on the
+//! codegen backend, not as the CI default.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use accel::protected;
-use attacks::mutate::{run_campaign, CampaignConfig, KillStage};
+use attacks::mutate::{run_campaign, CampaignConfig, FleetBackend, KillStage};
 
 fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "MUTATION_REPORT.json".to_string());
+    let mut path = "MUTATION_REPORT.json".to_string();
+    let mut backend = FleetBackend::Batched;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--backend" {
+            backend = match args.next().as_deref() {
+                Some("batched") => FleetBackend::Batched,
+                Some("native") => FleetBackend::Native,
+                other => {
+                    let got = other.unwrap_or("nothing");
+                    eprintln!("mutation_guard: --backend expects 'batched' or 'native', got {got}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else {
+            path = arg;
+        }
+    }
     let base = protected();
-    let cfg = CampaignConfig::default();
+    let cfg = CampaignConfig {
+        backend,
+        ..CampaignConfig::default()
+    };
 
     let start = Instant::now();
     let report = run_campaign(&base, &cfg);
@@ -35,7 +62,7 @@ fn main() -> ExitCode {
     let total_secs = start.elapsed().as_secs_f64();
 
     println!(
-        "mutation campaign: {} mutants / {} classes in {campaign_secs:.1}s (control arm: +{:.1}s)",
+        "mutation campaign ({backend:?} fleet): {} mutants / {} classes in {campaign_secs:.1}s (control arm: +{:.1}s)",
         report.outcomes.len(),
         report.classes().len(),
         total_secs - campaign_secs

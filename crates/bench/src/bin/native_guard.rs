@@ -1,0 +1,138 @@
+//! Regression guard for the native-codegen backend.
+//!
+//! Three checks, and CI goes red if any fails:
+//!
+//! 1. **Differential pin** — an 8-session fleet on the generated
+//!    executors ([`sim::NativeSim`]) must report per-session statistics
+//!    identical to the lane-batched interpreter on the same seeded
+//!    traffic: responses, rejections, violations, cycles, verified
+//!    ciphertexts, and first-violation cycles.
+//! 2. **Warm cache** — once the pin run has populated the compile cache,
+//!    the measured repetitions must not invoke `rustc` again; a cache-key
+//!    instability would silently turn every fleet launch into a compile.
+//! 3. **Throughput floor** — the re-measured native fleet must clear a
+//!    fraction of the `native_fleet8_blocks_per_sec` baseline recorded
+//!    in `BENCH_sim.json` (written by `sim_backends`). The floor is
+//!    deliberately loose: it tolerates shared-runner load variance while
+//!    catching an order-of-magnitude codegen regression. Note the
+//!    recorded baseline is an honest number, not a victory lap — on
+//!    small hosts the megabytes of generated straight-line code are
+//!    instruction-fetch bound and the interpreter's compact hot loop
+//!    wins (see DESIGN.md §10).
+//!
+//! Usage: `cargo run --release -p bench --bin native_guard [BENCH_sim.json]`
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use accel::fleet::{run_fleet_batched_opt, run_fleet_native, FleetConfig};
+use accel::protected;
+use sim::{cache_stats, OptConfig, TrackMode};
+
+const SESSIONS: usize = 8;
+const BLOCKS: usize = 32;
+const REPS: usize = 5;
+/// Fraction of the recorded baseline the re-measured throughput must
+/// clear.
+const FLOOR: f64 = 0.25;
+
+/// Pulls a number out of hand-rolled JSON by key, no JSON dependency:
+/// finds `"key":` and parses the digits (and dot) that follow.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("native_guard: cannot read {path}: {e}");
+            eprintln!("run `cargo run --release -p bench --bin sim_backends` first");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(baseline) = json_number(&json, "native_fleet8_blocks_per_sec") else {
+        eprintln!("native_guard: {path} has no native baseline; regenerate it");
+        return ExitCode::FAILURE;
+    };
+
+    let net = protected().lower().expect("protected lowers");
+    let config = FleetConfig {
+        sessions: SESSIONS,
+        blocks_per_session: BLOCKS,
+        mode: TrackMode::Conservative,
+        seed: 42,
+    };
+
+    // Check 1: differential pin against the lane-batched interpreter.
+    // This run also pays any cold-cache `rustc` compiles.
+    let native_stats = run_fleet_native(&net, config);
+    let batched_stats = run_fleet_batched_opt(&net, config, &OptConfig::all());
+    if native_stats.sessions != batched_stats.sessions {
+        eprintln!(
+            "native_guard: FAIL — native fleet diverged from the batched interpreter:\n  \
+             native:  {:?}\n  batched: {:?}",
+            native_stats.sessions, batched_stats.sessions
+        );
+        return ExitCode::FAILURE;
+    }
+    if !native_stats.all_verified() {
+        eprintln!("native_guard: FAIL — native fleet produced a bad ciphertext");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "differential pin: {} sessions identical to the batched interpreter",
+        native_stats.sessions.len()
+    );
+
+    // Checks 2+3: measured repetitions on the now-warm cache.
+    let warm = cache_stats();
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            let stats = run_fleet_native(&net, config);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(stats.all_verified(), "fleet produced a bad ciphertext");
+            (SESSIONS * BLOCKS) as f64 / elapsed
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite throughput"));
+    let measured = samples[samples.len() / 2];
+
+    let after = cache_stats();
+    if after.compiles != warm.compiles || after.disk_hits != warm.disk_hits {
+        eprintln!(
+            "native_guard: FAIL — warm-cache fleet launches still hit rustc/disk \
+             (compiles {} -> {}, disk hits {} -> {}): the cache key is unstable",
+            warm.compiles, after.compiles, warm.disk_hits, after.disk_hits
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "warm cache: {REPS} fleet launches, 0 new compiles ({} memory hit(s))",
+        after.memory_hits - warm.memory_hits
+    );
+
+    println!(
+        "native {SESSIONS}-session: {measured:.0} blocks/s (recorded baseline {baseline:.0}, floor {:.0})",
+        baseline * FLOOR
+    );
+    if measured < baseline * FLOOR {
+        eprintln!(
+            "native_guard: FAIL — native {SESSIONS}-session throughput ({measured:.0} blocks/s) \
+             fell below {FLOOR}x the recorded baseline ({baseline:.0} blocks/s)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("native_guard: OK");
+    ExitCode::SUCCESS
+}

@@ -53,6 +53,7 @@ use std::sync::Arc;
 use hdl::{mask, Netlist, NodeId, Value};
 use ifc_lattice::{Conf, Integ, Label, SecurityTag};
 
+use crate::backend::{self, RunEngine};
 use crate::opt::{self, OptConfig, OptStats};
 use crate::program::{push_violation, Op, Program};
 use crate::simulator::{AllowedLabel, DEFAULT_VIOLATION_CAP};
@@ -81,7 +82,7 @@ fn join64(lo: u64, hi: u64) -> Value {
 /// arrays (the arrays only ever hold values produced by `raw()`, so the
 /// range assertions in the constructors cannot fire).
 #[inline]
-fn label_of(conf: u8, integ: u8) -> Label {
+pub(crate) fn label_of(conf: u8, integ: u8) -> Label {
     Label::new(Conf::new(conf), Integ::new(integ))
 }
 
@@ -90,37 +91,78 @@ fn label_of(conf: u8, integ: u8) -> Label {
 /// [module docs](self).
 #[derive(Debug, Clone)]
 pub struct BatchedSim {
-    program: Arc<Program>,
-    lanes: usize,
+    // Fields are `pub(crate)` so the native-codegen backend
+    // (`crate::native`) can reuse this state layout verbatim: the
+    // generated code executes over the same striped arrays, and the host
+    // wrapper manipulates them without re-triggering the interpreter.
+    pub(crate) program: Arc<Program>,
+    pub(crate) lanes: usize,
     /// Low 64 value bits, slot-major lane-striped: slot `s`, lane `l` at
     /// `s * W + l`.
-    values_lo: Vec<u64>,
+    pub(crate) values_lo: Vec<u64>,
     /// High 64 value bits, parallel to `values_lo` (all zero for slots
     /// narrower than 65 bits).
-    values_hi: Vec<u64>,
+    pub(crate) values_hi: Vec<u64>,
     /// Raw confidentiality levels, parallel to `values_lo`.
-    lab_conf: Vec<u8>,
+    pub(crate) lab_conf: Vec<u8>,
     /// Raw integrity levels, parallel to `values_lo`.
-    lab_integ: Vec<u8>,
+    pub(crate) lab_integ: Vec<u8>,
     /// Per-memory cell arrays, address-major lane-striped, split like
     /// the value slots.
-    mem_lo: Vec<Vec<u64>>,
-    mem_hi: Vec<Vec<u64>>,
-    mem_lab_conf: Vec<Vec<u8>>,
-    mem_lab_integ: Vec<Vec<u8>>,
+    pub(crate) mem_lo: Vec<Vec<u64>>,
+    pub(crate) mem_hi: Vec<Vec<u64>>,
+    pub(crate) mem_lab_conf: Vec<Vec<u8>>,
+    pub(crate) mem_lab_integ: Vec<Vec<u8>>,
     /// Two-phase clock-edge scratch, register-major lane-striped.
-    reg_scratch_lo: Vec<u64>,
-    reg_scratch_hi: Vec<u64>,
-    reg_scratch_conf: Vec<u8>,
-    reg_scratch_integ: Vec<u8>,
+    pub(crate) reg_scratch_lo: Vec<u64>,
+    pub(crate) reg_scratch_hi: Vec<u64>,
+    pub(crate) reg_scratch_conf: Vec<u8>,
+    pub(crate) reg_scratch_integ: Vec<u8>,
     /// Per-lane remaining violation room (hoisted cap check scratch).
-    room: Vec<usize>,
-    clean: bool,
-    cycle: u64,
+    pub(crate) room: Vec<usize>,
+    pub(crate) clean: bool,
+    pub(crate) cycle: u64,
     /// Per-lane recorded violation streams.
-    violations: Vec<Vec<RuntimeViolation>>,
-    violation_cap: usize,
-    violations_truncated: Vec<bool>,
+    pub(crate) violations: Vec<Vec<RuntimeViolation>>,
+    pub(crate) violation_cap: usize,
+    pub(crate) violations_truncated: Vec<bool>,
+    /// Per-opcode run timing (zero-sized no-op without the `profile`
+    /// feature).
+    pub(crate) profile: crate::profile::ProfileData,
+}
+
+/// [`RunEngine`] adapter binding the shared settled-state run loop to a
+/// `BatchedSim` monomorphised over one lane width and tracking mode.
+struct BatchedEngine<'a, const W: usize, const TRACK: bool, const PRECISE: bool>(
+    &'a mut BatchedSim,
+);
+
+impl<const W: usize, const TRACK: bool, const PRECISE: bool> RunEngine
+    for BatchedEngine<'_, W, TRACK, PRECISE>
+{
+    fn is_clean(&self) -> bool {
+        self.0.clean
+    }
+
+    fn set_dirty(&mut self) {
+        self.0.clean = false;
+    }
+
+    fn refresh_room(&mut self) {
+        self.0.refresh_room();
+    }
+
+    fn settled_scan(&mut self) {
+        self.0.record_settled_violations();
+    }
+
+    fn exec_record(&mut self) {
+        self.0.exec::<W, TRACK, PRECISE>(true);
+    }
+
+    fn edge(&mut self) {
+        self.0.clock_edge::<W, TRACK>();
+    }
 }
 
 impl BatchedSim {
@@ -209,6 +251,7 @@ impl BatchedSim {
             violations: vec![Vec::new(); lanes],
             violation_cap: DEFAULT_VIOLATION_CAP,
             violations_truncated: vec![false; lanes],
+            profile: crate::profile::ProfileData::default(),
             program,
         }
     }
@@ -254,6 +297,37 @@ impl BatchedSim {
     #[must_use]
     pub fn tape_len(&self) -> usize {
         self.program.tape.len()
+    }
+
+    /// Human-readable listing of the (possibly optimized) instruction
+    /// tape; round-trips exactly through [`crate::disasm::parse`].
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        crate::disasm::render(&self.program.tape)
+    }
+
+    /// FNV-1a hash over every tape column; matches
+    /// [`crate::disasm::ParsedTape::fingerprint`] for an exact round
+    /// trip.
+    #[must_use]
+    pub fn tape_fingerprint(&self) -> u64 {
+        crate::disasm::fingerprint(&self.program.tape)
+    }
+
+    /// Aggregated per-opcode executor timing since construction (or the
+    /// last [`BatchedSim::profile_reset`]). Only built with the
+    /// `profile` cargo feature.
+    #[cfg(feature = "profile")]
+    #[must_use]
+    pub fn profile_report(&self) -> crate::ProfileReport {
+        self.profile.report()
+    }
+
+    /// Clears the profiler's accumulated buckets. Only built with the
+    /// `profile` cargo feature.
+    #[cfg(feature = "profile")]
+    pub fn profile_reset(&mut self) {
+        self.profile.reset();
     }
 
     /// Statistics of the optimizer passes that ran at construction.
@@ -432,28 +506,28 @@ impl BatchedSim {
     }
 
     /// Advances every lane one clock cycle.
+    ///
+    /// Same settled fast path as `CompiledSim::tick` (the shared
+    /// `backend::tick_engine` loop): after an `eval`, only the violation
+    /// scan (downgrade gates + release checks) runs.
     pub fn tick(&mut self) {
-        if self.clean {
-            // Same settled fast path as `CompiledSim::tick`: only the
-            // violation scan (downgrade gates + release checks) runs.
-            self.record_settled_violations();
-        } else {
-            self.refresh_room();
-            self.dispatch(true);
-        }
-        self.clean = false;
-        match (self.lanes, self.mode()) {
-            (1, TrackMode::Off) => self.clock_edge::<1, false>(),
-            (1, _) => self.clock_edge::<1, true>(),
-            (2, TrackMode::Off) => self.clock_edge::<2, false>(),
-            (2, _) => self.clock_edge::<2, true>(),
-            (4, TrackMode::Off) => self.clock_edge::<4, false>(),
-            (4, _) => self.clock_edge::<4, true>(),
-            (8, TrackMode::Off) => self.clock_edge::<8, false>(),
-            (8, _) => self.clock_edge::<8, true>(),
-            (16, TrackMode::Off) => self.clock_edge::<16, false>(),
-            (16, _) => self.clock_edge::<16, true>(),
+        match self.lanes {
+            1 => self.tick_width::<1>(),
+            2 => self.tick_width::<2>(),
+            4 => self.tick_width::<4>(),
+            8 => self.tick_width::<8>(),
+            16 => self.tick_width::<16>(),
             _ => unreachable!("lane width validated at construction"),
+        }
+    }
+
+    fn tick_width<const W: usize>(&mut self) {
+        match self.mode() {
+            TrackMode::Off => backend::tick_engine(&mut BatchedEngine::<W, false, false>(self)),
+            TrackMode::Conservative => {
+                backend::tick_engine(&mut BatchedEngine::<W, true, false>(self));
+            }
+            TrackMode::Precise => backend::tick_engine(&mut BatchedEngine::<W, true, true>(self)),
         }
     }
 
@@ -473,33 +547,40 @@ impl BatchedSim {
 
     fn run_width<const W: usize>(&mut self, n: u64) {
         match self.mode() {
-            TrackMode::Off => self.run_inner::<W, false, false>(n),
-            TrackMode::Conservative => self.run_inner::<W, true, false>(n),
-            TrackMode::Precise => self.run_inner::<W, true, true>(n),
+            TrackMode::Off => backend::run_engine(&mut BatchedEngine::<W, false, false>(self), n),
+            TrackMode::Conservative => {
+                backend::run_engine(&mut BatchedEngine::<W, true, false>(self), n);
+            }
+            TrackMode::Precise => {
+                backend::run_engine(&mut BatchedEngine::<W, true, true>(self), n);
+            }
         }
     }
 
-    fn run_inner<const W: usize, const TRACK: bool, const PRECISE: bool>(&mut self, n: u64) {
-        if n == 0 {
-            return;
+    /// The clock edge with the lane width and tracking mode dispatched at
+    /// runtime — the native backend advances registers and write ports
+    /// host-side between generated tape executions.
+    pub(crate) fn clock_edge_dispatch(&mut self) {
+        match self.lanes {
+            1 => self.clock_edge_mode::<1>(),
+            2 => self.clock_edge_mode::<2>(),
+            4 => self.clock_edge_mode::<4>(),
+            8 => self.clock_edge_mode::<8>(),
+            16 => self.clock_edge_mode::<16>(),
+            _ => unreachable!("lane width validated at construction"),
         }
-        if self.clean {
-            self.record_settled_violations();
+    }
+
+    fn clock_edge_mode<const W: usize>(&mut self) {
+        if self.mode() == TrackMode::Off {
+            self.clock_edge::<W, false>();
         } else {
-            self.refresh_room();
-            self.exec::<W, TRACK, PRECISE>(true);
-        }
-        self.clean = false;
-        self.clock_edge::<W, TRACK>();
-        self.refresh_room();
-        for _ in 1..n {
-            self.exec::<W, TRACK, PRECISE>(true);
-            self.clock_edge::<W, TRACK>();
+            self.clock_edge::<W, true>();
         }
     }
 
     /// Recomputes every lane's remaining violation room from the cap.
-    fn refresh_room(&mut self) {
+    pub(crate) fn refresh_room(&mut self) {
         for l in 0..self.lanes {
             self.room[l] = self.violation_cap.saturating_sub(self.violations[l].len());
         }
@@ -622,7 +703,7 @@ impl BatchedSim {
     /// The settled-state violation scan: recomputes each downgrade gate's
     /// accept/reject per lane from settled operands, then runs the output
     /// release checks, without re-executing the tape.
-    fn record_settled_violations(&mut self) {
+    pub(crate) fn record_settled_violations(&mut self) {
         if self.mode() == TrackMode::Off {
             return;
         }
@@ -727,8 +808,10 @@ impl BatchedSim {
             violations_truncated,
             room,
             cycle,
+            profile,
             ..
         } = self;
+        profile.begin_pass();
         let tape = &program.tape;
         let n = tape.ops.len();
         let col_dst = &tape.dst[..n];
@@ -744,6 +827,7 @@ impl BatchedSim {
         let tag8 = |v: u64| Label::from(SecurityTag::from_bits(v as u8));
         for &(op, start, end) in &program.runs {
             let (s, e) = (start as usize, end as usize);
+            let run_started = profile.begin_run();
             // `copy_labels`/`join_labels`: the unary and binary label
             // rules — copy `a`'s level chunks, or join `a`'s and `b`'s
             // lanewise (byte max on confidentiality, byte min on
@@ -1212,6 +1296,7 @@ impl BatchedSim {
                     }
                 }
             }
+            profile.end_run(op, e - s, run_started);
         }
 
         if record && TRACK {

@@ -40,6 +40,7 @@ use std::sync::Arc;
 use hdl::{mask, Netlist, NodeId, Value};
 use ifc_lattice::{Label, SecurityTag};
 
+use crate::backend::{self, RunEngine};
 use crate::opt::{self, OptConfig, OptStats};
 use crate::program::{push_violation, CompiledCheck, Op, Program};
 use crate::simulator::{AllowedLabel, DEFAULT_VIOLATION_CAP};
@@ -108,7 +109,42 @@ pub struct CompiledSim {
     cycle: u64,
     violations: Vec<RuntimeViolation>,
     violation_cap: usize,
+    /// Remaining violation room, re-derived by the shared run loop (see
+    /// [`backend::RunEngine`]) before each recording propagation.
+    room: usize,
     violations_truncated: bool,
+}
+
+/// [`RunEngine`] adapter binding the shared settled-state run loop to a
+/// `CompiledSim` monomorphised over one tracking mode.
+struct CompiledEngine<'a, const TRACK: bool, const PRECISE: bool>(&'a mut CompiledSim);
+
+impl<const TRACK: bool, const PRECISE: bool> RunEngine for CompiledEngine<'_, TRACK, PRECISE> {
+    fn is_clean(&self) -> bool {
+        self.0.clean
+    }
+
+    fn set_dirty(&mut self) {
+        self.0.clean = false;
+    }
+
+    fn refresh_room(&mut self) {
+        self.0.room = self.0.violation_room();
+    }
+
+    fn settled_scan(&mut self) {
+        self.0.record_settled_violations();
+    }
+
+    fn exec_record(&mut self) {
+        let mut room = self.0.room;
+        self.0.exec::<TRACK, PRECISE>(true, &mut room);
+        self.0.room = room;
+    }
+
+    fn edge(&mut self) {
+        self.0.clock_edge::<TRACK>();
+    }
 }
 
 impl CompiledSim {
@@ -152,6 +188,7 @@ impl CompiledSim {
             cycle: 0,
             violations: Vec::new(),
             violation_cap: DEFAULT_VIOLATION_CAP,
+            room: 0,
             violations_truncated: false,
             program,
         }
@@ -200,6 +237,21 @@ impl CompiledSim {
     #[must_use]
     pub fn tape_len(&self) -> usize {
         self.program.tape.len()
+    }
+
+    /// Human-readable listing of the (possibly optimized) instruction
+    /// tape; round-trips exactly through [`crate::disasm::parse`].
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        crate::disasm::render(&self.program.tape)
+    }
+
+    /// FNV-1a hash over every tape column; matches
+    /// [`crate::disasm::ParsedTape::fingerprint`] for an exact round
+    /// trip.
+    #[must_use]
+    pub fn tape_fingerprint(&self) -> u64 {
+        crate::disasm::fingerprint(&self.program.tape)
     }
 
     /// Statistics of the optimizer passes that ran at construction
@@ -332,22 +384,19 @@ impl CompiledSim {
     /// any violations), updates registers and memories, then increments
     /// the cycle counter.
     pub fn tick(&mut self) {
-        if self.clean {
-            // `eval` already settled every slot for these exact inputs;
-            // a recording propagation would recompute identical values
-            // and labels. Only the violation scan — the downgrade gates
-            // and the output release checks — still has to run, so the
-            // tape itself is skipped. This is the common shape under a
-            // transaction driver, which reads the output handshake
-            // (forcing an eval) in the same cycle it then clocks.
-            self.record_settled_violations();
-        } else {
-            self.propagate(true);
-        }
-        self.clean = false;
+        // The settled fast path (see `backend::tick_engine`): after an
+        // `eval`, a recording propagation would recompute identical
+        // values and labels, so only the violation scan — the downgrade
+        // gates and the output release checks — re-runs. This is the
+        // common shape under a transaction driver, which reads the
+        // output handshake (forcing an eval) in the same cycle it then
+        // clocks.
         match self.mode() {
-            TrackMode::Off => self.clock_edge::<false>(),
-            _ => self.clock_edge::<true>(),
+            TrackMode::Off => backend::tick_engine(&mut CompiledEngine::<false, false>(self)),
+            TrackMode::Conservative => {
+                backend::tick_engine(&mut CompiledEngine::<true, false>(self));
+            }
+            TrackMode::Precise => backend::tick_engine(&mut CompiledEngine::<true, true>(self)),
         }
     }
 
@@ -356,33 +405,15 @@ impl CompiledSim {
     /// Semantically `n` repeated [`tick`](Self::tick)s, but the loop is
     /// monomorphised once per tracking mode, the settled-state check is
     /// hoisted (only the first iteration can be settled), and the
-    /// violation cap is re-derived once per run instead of per tick.
+    /// violation cap is re-derived once per run instead of per tick
+    /// (the shared `backend::run_engine` loop).
     pub fn run(&mut self, n: u64) {
         match self.mode() {
-            TrackMode::Off => self.run_inner::<false, false>(n),
-            TrackMode::Conservative => self.run_inner::<true, false>(n),
-            TrackMode::Precise => self.run_inner::<true, true>(n),
-        }
-    }
-
-    fn run_inner<const TRACK: bool, const PRECISE: bool>(&mut self, n: u64) {
-        if n == 0 {
-            return;
-        }
-        // First cycle: honour a settled eval exactly like `tick`.
-        if self.clean {
-            self.record_settled_violations();
-        } else {
-            let mut room = self.violation_room();
-            self.exec::<TRACK, PRECISE>(true, &mut room);
-        }
-        self.clean = false;
-        self.clock_edge::<TRACK>();
-        // Steady state: never settled, cap re-derived once.
-        let mut room = self.violation_room();
-        for _ in 1..n {
-            self.exec::<TRACK, PRECISE>(true, &mut room);
-            self.clock_edge::<TRACK>();
+            TrackMode::Off => backend::run_engine(&mut CompiledEngine::<false, false>(self), n),
+            TrackMode::Conservative => {
+                backend::run_engine(&mut CompiledEngine::<true, false>(self), n);
+            }
+            TrackMode::Precise => backend::run_engine(&mut CompiledEngine::<true, true>(self), n),
         }
     }
 

@@ -41,22 +41,31 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the native-codegen backend's loader module
+// needs a scoped `allow` for its dlopen boundary; everything else in the
+// crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod backend;
 mod batched;
 mod compiled;
+pub mod disasm;
+mod native;
 pub mod opt;
+mod profile;
 mod program;
 mod simulator;
 pub mod vcd;
 mod violation;
 
-pub use backend::SimBackend;
+pub use backend::{LaneBackend, SimBackend};
 pub use batched::{BatchedSim, SUPPORTED_LANES};
 pub use compiled::CompiledSim;
-pub use opt::{OptConfig, OptStats, PassStats};
+pub use native::{cache_stats, NativeCacheStats, NativeError, NativeSim};
+pub use opt::{OptConfig, OptStats, PassStats, DEFAULT_SCHEDULE_WINDOW};
+#[cfg(feature = "profile")]
+pub use profile::{OpProfile, ProfileReport};
 pub use simulator::{Simulator, TrackMode};
 pub use vcd::VcdRecorder;
 pub use violation::RuntimeViolation;

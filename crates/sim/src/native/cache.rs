@@ -1,0 +1,213 @@
+//! Netlist-keyed compile cache for generated tape executors.
+//!
+//! The cache key is an FNV-1a hash of the *generated source* folded with
+//! the `rustc` version line. Because the source embeds the tape (wire
+//! slots, masks, shift splits), the tracking mode, the lane width, and the
+//! ABI revision, the key transitively covers hash(netlist ⊕ optimizer
+//! config ⊕ `TrackMode`) — two designs, configs, or modes that lower to
+//! the same source may safely share one executor, and any semantic change
+//! whatsoever produces a new key.
+//!
+//! Three layers, cheapest first:
+//!
+//! 1. an in-process registry of loaded `fn` pointers (`memory_hits`);
+//! 2. an on-disk store of compiled dylibs under
+//!    `target/native-cache/<key>/` shared by every test binary, bench, and
+//!    fleet process on the host (`disk_hits`);
+//! 3. a `rustc` invocation into a temp directory atomically renamed into
+//!    place (`compiles`) — concurrent builders race benignly: the loser's
+//!    rename fails against the winner's finished directory and is
+//!    discarded.
+//!
+//! The [`cache_stats`](crate::native::cache_stats) counters expose the
+//! layer totals so tests can assert that a warm second launch skips
+//! `rustc` entirely.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use super::loader::{self, EvalFn};
+use super::NativeError;
+
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMORY_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime totals of how executor lookups were satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeCacheStats {
+    /// Lookups that invoked `rustc`.
+    pub compiles: u64,
+    /// Lookups satisfied by a previously compiled dylib on disk.
+    pub disk_hits: u64,
+    /// Lookups satisfied by an executor already loaded in this process.
+    pub memory_hits: u64,
+}
+
+/// Snapshot of the compile-cache counters for this process.
+#[must_use]
+pub fn cache_stats() -> NativeCacheStats {
+    NativeCacheStats {
+        compiles: COMPILES.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        memory_hits: MEMORY_HITS.load(Ordering::Relaxed),
+    }
+}
+
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn rustc_bin() -> String {
+    std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_owned())
+}
+
+/// The `rustc -V` line, probed once per process.
+fn rustc_version() -> Result<&'static str, NativeError> {
+    static VERSION: OnceLock<Result<String, String>> = OnceLock::new();
+    let v = VERSION.get_or_init(|| {
+        Command::new(rustc_bin())
+            .arg("-V")
+            .output()
+            .map_err(|e| format!("failed to run `{} -V`: {e}", rustc_bin()))
+            .and_then(|out| {
+                if out.status.success() {
+                    Ok(String::from_utf8_lossy(&out.stdout).trim().to_owned())
+                } else {
+                    Err(format!("`{} -V` exited with {}", rustc_bin(), out.status))
+                }
+            })
+    });
+    match v {
+        Ok(s) => Ok(s.as_str()),
+        Err(e) => Err(NativeError::RustcUnavailable(e.clone())),
+    }
+}
+
+/// Cache root: `NATIVE_SIM_CACHE_DIR` if set, else `native-cache/` under
+/// the cargo target directory (falling back to the workspace-relative
+/// `target/` this crate was built from, then the system temp dir).
+fn cache_root() -> PathBuf {
+    if let Ok(dir) = std::env::var("NATIVE_SIM_CACHE_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("native-cache");
+    }
+    match option_env!("CARGO_MANIFEST_DIR") {
+        Some(manifest) => PathBuf::from(manifest)
+            .join("../../target")
+            .join("native-cache"),
+        None => std::env::temp_dir().join("nsim-native-cache"),
+    }
+}
+
+/// Returns the executor for `source`, compiling and/or loading it if this
+/// process has not seen the key yet.
+pub(crate) fn get_or_compile(source: &str) -> Result<EvalFn, NativeError> {
+    let version = rustc_version()?;
+    let key = fnv1a(FNV_OFFSET, source.as_bytes()) ^ fnv1a(FNV_OFFSET, version.as_bytes());
+
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, EvalFn>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    // Hold the lock across compilation: concurrent in-process requests for
+    // the same key then compile once, and distinct keys are rare enough
+    // (one per netlist/mode/width) that serialising them is fine.
+    let mut map = registry.lock().expect("native executor registry poisoned");
+    if let Some(&f) = map.get(&key) {
+        MEMORY_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(f);
+    }
+
+    let root = cache_root();
+    let dir = root.join(format!("{key:016x}"));
+    let lib = dir.join("libnsim.so");
+    if lib.exists() {
+        DISK_HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        compile_into(&root, &dir, source, version)?;
+        COMPILES.fetch_add(1, Ordering::Relaxed);
+    }
+    let f = loader::load_eval(&lib).map_err(NativeError::LoadFailed)?;
+    map.insert(key, f);
+    Ok(f)
+}
+
+/// Compiles `source` into `dir` (atomically, via a temp sibling renamed
+/// into place). On return `dir/libnsim.so` exists — built by us or by a
+/// concurrent winner.
+fn compile_into(
+    root: &std::path::Path,
+    dir: &std::path::Path,
+    source: &str,
+    version: &str,
+) -> Result<(), NativeError> {
+    let tmp = root.join(format!(
+        ".tmp-{}-{}",
+        dir.file_name().and_then(|n| n.to_str()).unwrap_or("key"),
+        std::process::id()
+    ));
+    fs::create_dir_all(&tmp).map_err(NativeError::Io)?;
+    let result = (|| {
+        let src_path = tmp.join("nsim.rs");
+        fs::write(&src_path, source).map_err(NativeError::Io)?;
+        fs::write(tmp.join("rustc-version"), version).map_err(NativeError::Io)?;
+        let out = Command::new(rustc_bin())
+            .args([
+                "--edition",
+                "2021",
+                "--crate-type",
+                "cdylib",
+                "--crate-name",
+                "nsim",
+                "-C",
+                "opt-level=3",
+                "-C",
+                "debuginfo=0",
+                "-C",
+                "codegen-units=16",
+                "-C",
+                "target-cpu=native",
+                "-o",
+            ])
+            .arg(tmp.join("libnsim.so"))
+            .arg(&src_path)
+            .output()
+            .map_err(|e| NativeError::RustcUnavailable(format!("failed to spawn rustc: {e}")))?;
+        if !out.status.success() {
+            return Err(NativeError::CompileFailed(format!(
+                "rustc exited with {} building generated executor (source kept at {}):\n{}",
+                out.status,
+                src_path.display(),
+                String::from_utf8_lossy(&out.stderr)
+            )));
+        }
+        match fs::rename(&tmp, dir) {
+            Ok(()) => Ok(()),
+            // Lost a cross-process race: the winner's directory is
+            // complete (renames are atomic), use it.
+            Err(_) if dir.join("libnsim.so").exists() => Ok(()),
+            Err(e) => Err(NativeError::Io(e)),
+        }
+    })();
+    if result.is_err() || tmp.exists() {
+        // Best-effort cleanup; on CompileFailed keep the source for
+        // debugging but still try to clear a stale rename leftover when
+        // the final dir materialised.
+        if !matches!(result, Err(NativeError::CompileFailed(_))) {
+            let _ = fs::remove_dir_all(&tmp);
+        }
+    }
+    result
+}

@@ -1,0 +1,818 @@
+//! Lowering the optimized SoA tape to specialized Rust source.
+//!
+//! [`generate`] turns one `(Program, lane width)` pair into a standalone
+//! `cdylib` crate: a single `nsim_eval` entry point executing the whole
+//! tape as straight-line code. Everything the batched interpreter resolves
+//! at runtime is resolved here at *generation* time and baked into the
+//! source as constants:
+//!
+//! * wire slots — every operand index is a literal (`st.xor(1234, ..)`),
+//!   so the optimizer sees exact aliasing and forwards stores to loads;
+//! * result masks and the high-half skip (`hi64(out_mask) == 0` folds the
+//!   high-half loop away entirely);
+//! * `Slice`/`Cat` shift case splits, memory depths and power-of-two
+//!   address masks;
+//! * the tracking mode — label-plane updates are compiled in for the
+//!   conservative and precise rules via the source-level `T`/`P` consts,
+//!   and eliminated entirely with tracking off;
+//! * downgrade targets and output-check release labels, including inlined
+//!   evaluation of dependent [`LabelExpr`]s.
+//!
+//! The emitted program is *call-threaded*: a fixed prelude defines one
+//! `#[inline(always)]` method per opcode on a state struct `S`, and the
+//! tape body is one method call per instruction with every operand a
+//! literal. After inlining, LLVM sees exactly the fully unrolled
+//! straight-line code, but the Rust frontend only has to typecheck one
+//! short call expression per instruction — this keeps `rustc` wall-time
+//! roughly linear in tape length instead of blowing up on megabytes of
+//! expanded loops. Lane loops inside the prelude are `for l in 0..W`, so
+//! method bodies are lane-width independent and vectorize at a known trip
+//! count.
+//!
+//! The generated code is safe Rust except for the thin `extern "C"`
+//! boundary that reinterprets the [`Ctx`](super::loader::NativeCtx) raw
+//! pointers as fixed-size arrays; all tape execution below that boundary
+//! is bounds-checked array indexing with constant indices the compiler
+//! folds away.
+//!
+//! Violations cannot be recorded as `RuntimeViolation`s from inside the
+//! dylib (it knows nothing of the host's types), so the generated code
+//! appends fixed-size *events* (3 × `u64`: site/lane word, label word,
+//! cycle) to a host-provided buffer in exactly the order the batched
+//! interpreter would record them — instruction-major then lane-minor for
+//! downgrades, followed by the output checks. The host decodes the buffer
+//! back into per-lane [`RuntimeViolation`](crate::RuntimeViolation)
+//! streams through the same capped push helper the interpreter uses.
+
+use std::fmt::Write as _;
+
+use hdl::LabelExpr;
+use ifc_lattice::Label;
+
+use crate::program::{Op, Program};
+use crate::simulator::AllowedLabel;
+use crate::TrackMode;
+
+/// Host/dylib contract revision, baked into the generated source (and
+/// therefore into the cache key) so a layout change can never pair a stale
+/// cached dylib with a newer host.
+pub(crate) const ABI_VERSION: u32 = 1;
+
+/// Instructions per generated function: keeps each function's LLVM IR
+/// small enough to optimize quickly while still amortising call overhead
+/// over hundreds of instructions.
+const SEG_INSTRS: usize = 192;
+
+/// Event kind tag for a rejected downgrade (word 0, bits 63..56).
+pub(crate) const EV_DOWNGRADE: u64 = 0;
+/// Event kind tag for an output-port leak (word 0, bits 63..56).
+pub(crate) const EV_LEAK: u64 = 1;
+
+fn lo64(v: hdl::Value) -> u64 {
+    v as u64
+}
+
+fn hi64(v: hdl::Value) -> u64 {
+    (v >> 64) as u64
+}
+
+/// The fixed opcode-helper prelude: every tape instruction becomes one
+/// call into these `#[inline(always)]` methods, with operand slots, masks,
+/// and shift amounts passed as literals that constant-fold after inlining.
+/// Semantics are transcribed arm-for-arm from `BatchedSim::exec`.
+const PRELUDE: &str = r"
+struct S<'a> {
+    vlo: &'a mut V,
+    vhi: &'a mut V,
+    lc: &'a mut L,
+    li: &'a mut L,
+    ev: &'a mut Ev,
+    rec: bool,
+}
+
+impl S<'_> {
+    /// Unary label rule: destination inherits `a`'s levels.
+    #[inline(always)]
+    fn cl(&mut self, d: usize, a: usize) {
+        if T {
+            for l in 0..W {
+                self.lc[d + l] = self.lc[a + l];
+                self.li[d + l] = self.li[a + l];
+            }
+        }
+    }
+    /// Binary label rule: join — byte `max` on confidentiality, byte `min`
+    /// on integrity, two loops like the batched interpreter so each
+    /// vectorizes independently.
+    #[inline(always)]
+    fn jl(&mut self, d: usize, a: usize, b: usize) {
+        if T {
+            for l in 0..W {
+                self.lc[d + l] = self.lc[a + l].max(self.lc[b + l]);
+            }
+            for l in 0..W {
+                self.li[d + l] = self.li[a + l].min(self.li[b + l]);
+            }
+        }
+    }
+    #[inline(always)]
+    fn not(&mut self, d: usize, a: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = (!self.vlo[a + l]) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = (!self.vhi[a + l]) & mh;
+            }
+        }
+        self.cl(d, a);
+    }
+    #[inline(always)]
+    fn ror(&mut self, d: usize, a: usize) {
+        for l in 0..W {
+            self.vlo[d + l] = u64::from((self.vlo[a + l] | self.vhi[a + l]) != 0);
+        }
+        self.cl(d, a);
+    }
+    #[inline(always)]
+    fn rand(&mut self, d: usize, a: usize, fl: u64, fh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = u64::from(self.vlo[a + l] == fl && self.vhi[a + l] == fh);
+        }
+        self.cl(d, a);
+    }
+    #[inline(always)]
+    fn rxor(&mut self, d: usize, a: usize) {
+        for l in 0..W {
+            self.vlo[d + l] =
+                u64::from((self.vlo[a + l].count_ones() + self.vhi[a + l].count_ones()) % 2 == 1);
+        }
+        self.cl(d, a);
+    }
+    #[inline(always)]
+    fn and(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = (self.vlo[a + l] & self.vlo[b + l]) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = (self.vhi[a + l] & self.vhi[b + l]) & mh;
+            }
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn or(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = (self.vlo[a + l] | self.vlo[b + l]) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = (self.vhi[a + l] | self.vhi[b + l]) & mh;
+            }
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn xor(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = (self.vlo[a + l] ^ self.vlo[b + l]) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = (self.vhi[a + l] ^ self.vhi[b + l]) & mh;
+            }
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn add(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            let (lo, c) = self.vlo[a + l].overflowing_add(self.vlo[b + l]);
+            self.vlo[d + l] = lo & ml;
+            self.vhi[d + l] =
+                self.vhi[a + l].wrapping_add(self.vhi[b + l]).wrapping_add(u64::from(c)) & mh;
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn sub(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            let (lo, c) = self.vlo[a + l].overflowing_sub(self.vlo[b + l]);
+            self.vlo[d + l] = lo & ml;
+            self.vhi[d + l] =
+                self.vhi[a + l].wrapping_sub(self.vhi[b + l]).wrapping_sub(u64::from(c)) & mh;
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn eq(&mut self, d: usize, a: usize, b: usize) {
+        for l in 0..W {
+            self.vlo[d + l] = u64::from(
+                self.vlo[a + l] == self.vlo[b + l] && self.vhi[a + l] == self.vhi[b + l],
+            );
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn ne(&mut self, d: usize, a: usize, b: usize) {
+        for l in 0..W {
+            self.vlo[d + l] = u64::from(
+                self.vlo[a + l] != self.vlo[b + l] || self.vhi[a + l] != self.vhi[b + l],
+            );
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn lt(&mut self, d: usize, a: usize, b: usize) {
+        for l in 0..W {
+            self.vlo[d + l] = u64::from(
+                self.vhi[a + l] < self.vhi[b + l]
+                    || (self.vhi[a + l] == self.vhi[b + l] && self.vlo[a + l] < self.vlo[b + l]),
+            );
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn ge(&mut self, d: usize, a: usize, b: usize) {
+        for l in 0..W {
+            self.vlo[d + l] = u64::from(
+                self.vhi[a + l] > self.vhi[b + l]
+                    || (self.vhi[a + l] == self.vhi[b + l] && self.vlo[a + l] >= self.vlo[b + l]),
+            );
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn tags(&mut self, a: usize, b: usize, l: usize) -> (u8, u8, u8, u8) {
+        let ta = self.vlo[a + l] as u8;
+        let tb = self.vlo[b + l] as u8;
+        ((ta >> 4) & 0xf, ta & 0xf, (tb >> 4) & 0xf, tb & 0xf)
+    }
+    #[inline(always)]
+    fn tle(&mut self, d: usize, a: usize, b: usize, ml: u64) {
+        for l in 0..W {
+            let (ca, ia, cb, ib) = self.tags(a, b, l);
+            self.vlo[d + l] = u64::from(ca <= cb && ia >= ib) & ml;
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn tjo(&mut self, d: usize, a: usize, b: usize, ml: u64) {
+        for l in 0..W {
+            let (ca, ia, cb, ib) = self.tags(a, b, l);
+            self.vlo[d + l] = u64::from((ca.max(cb) << 4) | ia.min(ib)) & ml;
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn tme(&mut self, d: usize, a: usize, b: usize, ml: u64) {
+        for l in 0..W {
+            let (ca, ia, cb, ib) = self.tags(a, b, l);
+            self.vlo[d + l] = u64::from((ca.min(cb) << 4) | ia.max(ib)) & ml;
+        }
+        self.jl(d, a, b);
+    }
+    #[inline(always)]
+    fn mux(&mut self, d: usize, a: usize, b: usize, c: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = (if self.vlo[a + l] & 1 == 1 {
+                self.vlo[b + l]
+            } else {
+                self.vlo[c + l]
+            }) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = (if self.vlo[a + l] & 1 == 1 {
+                    self.vhi[b + l]
+                } else {
+                    self.vhi[c + l]
+                }) & mh;
+            }
+        }
+        if T {
+            if P {
+                // Precise rule: only the *selected* arm's label joins with
+                // the selector's.
+                for l in 0..W {
+                    let (cs, is) = if self.vlo[a + l] & 1 == 1 {
+                        (self.lc[b + l], self.li[b + l])
+                    } else {
+                        (self.lc[c + l], self.li[c + l])
+                    };
+                    self.lc[d + l] = self.lc[a + l].max(cs);
+                    self.li[d + l] = self.li[a + l].min(is);
+                }
+            } else {
+                for l in 0..W {
+                    self.lc[d + l] = self.lc[a + l].max(self.lc[b + l].max(self.lc[c + l]));
+                    self.li[d + l] = self.li[a + l].min(self.li[b + l].min(self.li[c + l]));
+                }
+            }
+        }
+    }
+    /// Slice with shift 0: a masked copy.
+    #[inline(always)]
+    fn sl0(&mut self, d: usize, a: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = self.vlo[a + l] & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = self.vhi[a + l] & mh;
+            }
+        }
+        self.cl(d, a);
+    }
+    /// Slice with shift in 1..64.
+    #[inline(always)]
+    fn sll(&mut self, d: usize, a: usize, sh: u32, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = ((self.vlo[a + l] >> sh) | (self.vhi[a + l] << (64 - sh))) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = (self.vhi[a + l] >> sh) & mh;
+            }
+        }
+        self.cl(d, a);
+    }
+    /// Slice with shift >= 64 (`sh` is already reduced by 64).
+    #[inline(always)]
+    fn slh(&mut self, d: usize, a: usize, sh: u32, ml: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = (self.vhi[a + l] >> sh) & ml;
+        }
+        self.cl(d, a);
+    }
+    /// Cat with shift 0.
+    #[inline(always)]
+    fn ct0(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = (self.vlo[a + l] | self.vlo[b + l]) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = (self.vhi[a + l] | self.vhi[b + l]) & mh;
+            }
+        }
+        self.jl(d, a, b);
+    }
+    /// Cat with shift in 1..64.
+    #[inline(always)]
+    fn ctl(&mut self, d: usize, a: usize, b: usize, sh: u32, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = ((self.vlo[a + l] << sh) | self.vlo[b + l]) & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = ((self.vhi[a + l] << sh)
+                    | (self.vlo[a + l] >> (64 - sh))
+                    | self.vhi[b + l])
+                    & mh;
+            }
+        }
+        self.jl(d, a, b);
+    }
+    /// Cat with shift >= 64 (`sh` is already reduced by 64).
+    #[inline(always)]
+    fn cth(&mut self, d: usize, a: usize, b: usize, sh: u32, ml: u64, mh: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = self.vlo[b + l] & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = ((self.vlo[a + l] << sh) | self.vhi[b + l]) & mh;
+            }
+        }
+        self.jl(d, a, b);
+    }
+    /// Memory read; `amask == usize::MAX` selects the modulo wrap for
+    /// non-power-of-two depths, any other value is the address mask.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn memr<const N: usize>(
+        &mut self,
+        mlo: &[u64; N],
+        mhi: &[u64; N],
+        mc: &[u8; N],
+        mi: &[u8; N],
+        d: usize,
+        a: usize,
+        ml: u64,
+        mh: u64,
+        amask: usize,
+        depth: usize,
+    ) {
+        for l in 0..W {
+            let addr = if amask != usize::MAX {
+                (self.vlo[a + l] as usize) & amask
+            } else {
+                (self.vlo[a + l] as usize) % depth
+            };
+            self.vlo[d + l] = mlo[addr * W + l] & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                let addr = if amask != usize::MAX {
+                    (self.vlo[a + l] as usize) & amask
+                } else {
+                    (self.vlo[a + l] as usize) % depth
+                };
+                self.vhi[d + l] = mhi[addr * W + l] & mh;
+            }
+        }
+        if T {
+            for l in 0..W {
+                let addr = if amask != usize::MAX {
+                    (self.vlo[a + l] as usize) & amask
+                } else {
+                    (self.vlo[a + l] as usize) % depth
+                };
+                self.lc[d + l] = mc[addr * W + l].max(self.lc[a + l]);
+                self.li[d + l] = mi[addr * W + l].min(self.li[a + l]);
+            }
+        }
+    }
+    /// Declassify: nonmalleable gate `C(from) <= max(C(to), I(p))` and
+    /// `I(from) >= I(to)`; a rejected downgrade keeps the source label and
+    /// records an event.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn dg(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64, tc: u8, ti: u8, w0: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = self.vlo[a + l] & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = self.vhi[a + l] & mh;
+            }
+        }
+        if T {
+            for l in 0..W {
+                let fc = self.lc[a + l];
+                let fi = self.li[a + l];
+                let pb = self.vlo[b + l] as u8;
+                if fc <= tc.max(pb & 0xf) && fi >= ti {
+                    self.lc[d + l] = tc;
+                    self.li[d + l] = ti;
+                } else {
+                    if self.rec {
+                        self.ev.push(
+                            w0 | l as u64,
+                            u64::from(fc) | (u64::from(fi) << 8) | (u64::from(pb) << 16),
+                        );
+                    }
+                    self.lc[d + l] = fc;
+                    self.li[d + l] = fi;
+                }
+            }
+        }
+    }
+    /// Endorse: nonmalleable gate `I(from) >= min(I(to), C(p))` and
+    /// `C(from) <= C(to)`.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn en(&mut self, d: usize, a: usize, b: usize, ml: u64, mh: u64, tc: u8, ti: u8, w0: u64) {
+        for l in 0..W {
+            self.vlo[d + l] = self.vlo[a + l] & ml;
+        }
+        if mh != 0 {
+            for l in 0..W {
+                self.vhi[d + l] = self.vhi[a + l] & mh;
+            }
+        }
+        if T {
+            for l in 0..W {
+                let fc = self.lc[a + l];
+                let fi = self.li[a + l];
+                let pb = self.vlo[b + l] as u8;
+                if fi >= ti.min((pb >> 4) & 0xf) && fc <= tc {
+                    self.lc[d + l] = tc;
+                    self.li[d + l] = ti;
+                } else {
+                    if self.rec {
+                        self.ev.push(
+                            w0 | l as u64,
+                            u64::from(fc) | (u64::from(fi) << 8) | (u64::from(pb) << 16),
+                        );
+                    }
+                    self.lc[d + l] = fc;
+                    self.li[d + l] = fi;
+                }
+            }
+        }
+    }
+    /// Output check against a constant release label.
+    #[inline(always)]
+    fn chk(&mut self, so: usize, ac: u8, ai: u8, w0: u64) {
+        for l in 0..W {
+            let dc = self.lc[so + l];
+            let di = self.li[so + l];
+            if !(dc <= ac && di >= ai) {
+                self.ev.push(
+                    w0 | l as u64,
+                    u64::from(dc)
+                        | (u64::from(di) << 8)
+                        | (u64::from(ac) << 16)
+                        | (u64::from(ai) << 24),
+                );
+            }
+        }
+    }
+}
+";
+
+/// Generates the complete source of the specialized executor crate for
+/// one compiled program at one lane width.
+pub(crate) fn generate(program: &Program, lanes: usize) -> String {
+    let track = program.mode != TrackMode::Off;
+    let precise = program.mode == TrackMode::Precise;
+    let w = lanes;
+    let tape = &program.tape;
+    let n = tape.len();
+    let mems = program.mem_init.len();
+
+    let mut s = String::with_capacity(256 * 1024);
+    let _ = writeln!(
+        s,
+        "//! Generated by sim::native::codegen — one specialized tape executor.\n\
+         //! abi {abi}, mode {mode:?}, lanes {w}, instrs {n}, tape fingerprint {fp:016x}\n\
+         #![allow(unused_variables, unused_mut, unused_parens, dead_code)]\n",
+        abi = ABI_VERSION,
+        mode = program.mode,
+        fp = crate::disasm::fingerprint(tape),
+    );
+    let _ = writeln!(s, "const W: usize = {w};");
+    let _ = writeln!(s, "const NV: usize = {};", program.num_slots * w);
+    let _ = writeln!(s, "const T: bool = {track};");
+    let _ = writeln!(s, "const P: bool = {precise};");
+    s.push_str(
+        "\n#[repr(C)]\npub struct Ctx {\n    values_lo: *mut u64,\n    values_hi: *mut u64,\n    \
+         lab_conf: *mut u8,\n    lab_integ: *mut u8,\n    mem_lo: *const *const u64,\n    \
+         mem_hi: *const *const u64,\n    mem_conf: *const *const u8,\n    \
+         mem_integ: *const *const u8,\n    events: *mut u64,\n    event_cap: u64,\n    \
+         event_len: u64,\n    cycle: u64,\n}\n\n\
+         struct Ev {\n    buf: *mut u64,\n    cap: usize,\n    len: usize,\n    cycle: u64,\n}\n\n\
+         impl Ev {\n    #[inline(always)]\n    fn push(&mut self, w0: u64, w1: u64) {\n        \
+         if self.len < self.cap {\n            unsafe {\n                \
+         let p = self.buf.add(self.len * 3);\n                p.write(w0);\n                \
+         p.add(1).write(w1);\n                p.add(2).write(self.cycle);\n            }\n            \
+         self.len += 1;\n        }\n    }\n}\n\n\
+         type V = [u64; NV];\ntype L = [u8; NV];\n",
+    );
+    for m in 0..mems {
+        let cells = program.mem_init[m].len() * w;
+        let _ = writeln!(
+            s,
+            "type M{m}V = [u64; {cells}];\ntype M{m}L = [u8; {cells}];"
+        );
+    }
+    if mems == 0 {
+        s.push_str("struct Mems;\n");
+    } else {
+        s.push_str("struct Mems<'a> {\n");
+        for m in 0..mems {
+            let _ = writeln!(
+                s,
+                "    m{m}lo: &'a M{m}V,\n    m{m}hi: &'a M{m}V,\n    m{m}c: &'a M{m}L,\n    \
+                 m{m}i: &'a M{m}L,"
+            );
+        }
+        s.push_str("}\n");
+    }
+    s.push_str(PRELUDE);
+
+    // Tape body, chunked into segment functions.
+    let seg_count = n.div_ceil(SEG_INSTRS).max(1);
+    for seg in 0..seg_count {
+        let start = seg * SEG_INSTRS;
+        let end = (start + SEG_INSTRS).min(n);
+        let _ = writeln!(
+            s,
+            "\n#[inline(never)]\nfn seg_{seg}(st: &mut S, mems: &Mems) {{"
+        );
+        for i in start..end {
+            emit_instr(&mut s, program, i, w);
+        }
+        s.push_str("}\n");
+    }
+
+    if track && !program.output_checks.is_empty() {
+        s.push_str("\n#[inline(never)]\nfn checks(st: &mut S) {\n");
+        for (k, check) in program.output_checks.iter().enumerate() {
+            let so = check.slot as usize * w;
+            let w0 = (EV_LEAK << 56) | ((k as u64) << 16);
+            match &check.allowed {
+                AllowedLabel::Const(lbl) => {
+                    let _ = writeln!(
+                        s,
+                        "    st.chk({so}, {}, {}, {w0:#x});",
+                        lbl.conf.raw(),
+                        lbl.integ.raw()
+                    );
+                }
+                AllowedLabel::Dynamic(expr) => {
+                    let allowed = expr_code(expr, program, w);
+                    let _ = writeln!(
+                        s,
+                        "    for l in 0..W {{\n        let dc = st.lc[{so} + l];\n        \
+                         let di = st.li[{so} + l];\n        let (ac, ai) = {allowed};\n        \
+                         if !(dc <= ac && di >= ai) {{\n            \
+                         st.ev.push({w0:#x}u64 | l as u64, u64::from(dc) | (u64::from(di) << 8) | \
+                         (u64::from(ac) << 16) | (u64::from(ai) << 24));\n        }}\n    }}"
+                    );
+                }
+            }
+        }
+        s.push_str("}\n");
+    }
+
+    // Entry point: reinterpret the raw context as fixed-size arrays (the
+    // only unsafe code outside Ev::push) and run every segment.
+    s.push_str(
+        "\n/// # Safety\n/// `ctx` and every pointer it carries must be valid for the sizes\n\
+         /// this executor was generated for; the host wrapper guarantees this.\n\
+         #[no_mangle]\npub unsafe extern \"C\" fn nsim_eval(ctx: *mut Ctx, record: u32) {\n    \
+         let ctx = &mut *ctx;\n    let vlo = &mut *ctx.values_lo.cast::<V>();\n    \
+         let vhi = &mut *ctx.values_hi.cast::<V>();\n    \
+         let lc = &mut *ctx.lab_conf.cast::<L>();\n    \
+         let li = &mut *ctx.lab_integ.cast::<L>();\n",
+    );
+    if mems == 0 {
+        s.push_str("    let mems = Mems;\n");
+    } else {
+        s.push_str("    let mems = Mems {\n");
+        for m in 0..mems {
+            let _ = writeln!(
+                s,
+                "        m{m}lo: &*(*ctx.mem_lo.add({m})).cast::<M{m}V>(),\n        \
+                 m{m}hi: &*(*ctx.mem_hi.add({m})).cast::<M{m}V>(),\n        \
+                 m{m}c: &*(*ctx.mem_conf.add({m})).cast::<M{m}L>(),\n        \
+                 m{m}i: &*(*ctx.mem_integ.add({m})).cast::<M{m}L>(),"
+            );
+        }
+        s.push_str("    };\n");
+    }
+    s.push_str(
+        "    let mut ev = Ev { buf: ctx.events, cap: ctx.event_cap as usize, \
+         len: ctx.event_len as usize, cycle: ctx.cycle };\n    \
+         let mut st = S { vlo, vhi, lc, li, ev: &mut ev, rec: record != 0 };\n",
+    );
+    for seg in 0..seg_count {
+        let _ = writeln!(s, "    seg_{seg}(&mut st, &mems);");
+    }
+    if track && !program.output_checks.is_empty() {
+        s.push_str("    if st.rec {\n        checks(&mut st);\n    }\n");
+    }
+    s.push_str("    ctx.event_len = ev.len as u64;\n}\n");
+    s
+}
+
+/// Emits one instruction as a single prelude-method call with every
+/// operand slot, mask, and shift constant-folded.
+fn emit_instr(s: &mut String, program: &Program, i: usize, w: usize) {
+    let tape = &program.tape;
+    let op = tape.ops[i];
+    let a = tape.a[i] as usize * w;
+    let d = tape.dst[i] as usize * w;
+    let m = tape.out_mask[i];
+    let (ml, mh) = (lo64(m), hi64(m));
+    let line = match op {
+        Op::Not => format!("st.not({d}, {a}, {ml:#x}, {mh:#x});"),
+        Op::ReduceOr => format!("st.ror({d}, {a});"),
+        Op::ReduceAnd => {
+            let (fl, fh) = (lo64(tape.aux[i]), hi64(tape.aux[i]));
+            format!("st.rand({d}, {a}, {fl:#x}, {fh:#x});")
+        }
+        Op::ReduceXor => format!("st.rxor({d}, {a});"),
+        Op::And | Op::Or | Op::Xor => {
+            let b = tape.b[i] as usize * w;
+            let name = match op {
+                Op::And => "and",
+                Op::Or => "or",
+                _ => "xor",
+            };
+            format!("st.{name}({d}, {a}, {b}, {ml:#x}, {mh:#x});")
+        }
+        Op::Add | Op::Sub => {
+            let b = tape.b[i] as usize * w;
+            let name = if op == Op::Add { "add" } else { "sub" };
+            format!("st.{name}({d}, {a}, {b}, {ml:#x}, {mh:#x});")
+        }
+        Op::Eq | Op::Ne | Op::Lt | Op::Ge => {
+            let b = tape.b[i] as usize * w;
+            let name = match op {
+                Op::Eq => "eq",
+                Op::Ne => "ne",
+                Op::Lt => "lt",
+                _ => "ge",
+            };
+            format!("st.{name}({d}, {a}, {b});")
+        }
+        Op::TagLeq | Op::TagJoin | Op::TagMeet => {
+            let b = tape.b[i] as usize * w;
+            let name = match op {
+                Op::TagLeq => "tle",
+                Op::TagJoin => "tjo",
+                _ => "tme",
+            };
+            format!("st.{name}({d}, {a}, {b}, {ml:#x});")
+        }
+        Op::Mux => {
+            let b = tape.b[i] as usize * w;
+            let c = tape.c[i] as usize * w;
+            format!("st.mux({d}, {a}, {b}, {c}, {ml:#x}, {mh:#x});")
+        }
+        Op::Slice => {
+            let sh = tape.b[i];
+            if sh == 0 {
+                format!("st.sl0({d}, {a}, {ml:#x}, {mh:#x});")
+            } else if sh < 64 {
+                format!("st.sll({d}, {a}, {sh}, {ml:#x}, {mh:#x});")
+            } else {
+                format!("st.slh({d}, {a}, {}, {ml:#x});", sh - 64)
+            }
+        }
+        Op::Cat => {
+            let b = tape.b[i] as usize * w;
+            let sh = tape.c[i];
+            if sh == 0 {
+                format!("st.ct0({d}, {a}, {b}, {ml:#x}, {mh:#x});")
+            } else if sh < 64 {
+                format!("st.ctl({d}, {a}, {b}, {sh}, {ml:#x}, {mh:#x});")
+            } else {
+                format!("st.cth({d}, {a}, {b}, {}, {ml:#x}, {mh:#x});", sh - 64)
+            }
+        }
+        Op::MemRead => {
+            let mem = tape.b[i] as usize;
+            let depth = program.mem_init[mem].len();
+            let amask = match program.mem_addr_mask[mem] {
+                Some(amask) => format!("{amask:#x}"),
+                None => "usize::MAX".to_owned(),
+            };
+            format!(
+                "st.memr(mems.m{mem}lo, mems.m{mem}hi, mems.m{mem}c, mems.m{mem}i, \
+                 {d}, {a}, {ml:#x}, {mh:#x}, {amask}, {depth});"
+            )
+        }
+        Op::Declassify | Op::Endorse => {
+            let b = tape.b[i] as usize * w;
+            let to = Label::from(ifc_lattice::SecurityTag::from_bits(tape.aux[i] as u8));
+            let (tc, ti) = (to.conf.raw(), to.integ.raw());
+            let w0 = (EV_DOWNGRADE << 56) | ((i as u64) << 16);
+            let name = if op == Op::Declassify { "dg" } else { "en" };
+            format!("st.{name}({d}, {a}, {b}, {ml:#x}, {mh:#x}, {tc}, {ti}, {w0:#x});")
+        }
+    };
+    let _ = writeln!(s, "    {line}");
+}
+
+/// Emits a per-lane expression of type `(u8, u8)` — the (confidentiality,
+/// integrity) levels a dependent label denotes — mirroring
+/// [`LabelExpr::eval`] with all table entries and fallbacks precomputed.
+/// Reads go through the executor state struct (`st.vlo`).
+fn expr_code(expr: &LabelExpr, program: &Program, w: usize) -> String {
+    match expr {
+        LabelExpr::Const(l) => format!("({}u8, {}u8)", l.conf.raw(), l.integ.raw()),
+        LabelExpr::Table { sel, entries } => {
+            let so = program.slot_of[sel.index()] as usize * w;
+            // Out-of-table selectors denote the join of every declared
+            // entry (seeded public/trusted), like `LabelExpr::eval`.
+            let fallback = entries
+                .iter()
+                .copied()
+                .fold(Label::PUBLIC_TRUSTED, Label::join);
+            let mut arms = String::new();
+            for (k, e) in entries.iter().enumerate() {
+                let _ = write!(
+                    arms,
+                    "{k}usize => ({}u8, {}u8), ",
+                    e.conf.raw(),
+                    e.integ.raw()
+                );
+            }
+            format!(
+                "match st.vlo[{so} + l] as usize {{ {arms}_ => ({}u8, {}u8) }}",
+                fallback.conf.raw(),
+                fallback.integ.raw()
+            )
+        }
+        LabelExpr::FromTag(sig) => {
+            let so = program.slot_of[sig.index()] as usize * w;
+            format!("{{ let t = st.vlo[{so} + l] as u8; ((t >> 4) & 0xf, t & 0xf) }}")
+        }
+        LabelExpr::Join(x, y) => format!(
+            "{{ let (c0, i0) = {}; let (c1, i1) = {}; (c0.max(c1), i0.min(i1)) }}",
+            expr_code(x, program, w),
+            expr_code(y, program, w)
+        ),
+        LabelExpr::Meet(x, y) => format!(
+            "{{ let (c0, i0) = {}; let (c1, i1) = {}; (c0.min(c1), i0.max(i1)) }}",
+            expr_code(x, program, w),
+            expr_code(y, program, w)
+        ),
+    }
+}

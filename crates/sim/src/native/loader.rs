@@ -1,0 +1,97 @@
+//! `dlopen`-based loading of compiled tape executors.
+//!
+//! The generated `cdylib` exports a single `nsim_eval` symbol; this module
+//! resolves it through the platform loader (declared directly — the crate
+//! carries no FFI dependency) and hands back a typed function pointer.
+//! Handles are intentionally leaked: an executor stays mapped for the
+//! process lifetime so the in-process registry can share one `fn` pointer
+//! across every simulator instance keyed to the same source.
+#![allow(unsafe_code)]
+
+use std::ffi::{c_char, c_int, c_void, CStr, CString};
+use std::path::Path;
+
+/// The execution context handed across the C ABI to `nsim_eval`.
+///
+/// Field order and types must match the `Ctx` struct the code generator
+/// emits (the generator bakes [`ABI_VERSION`](super::codegen::ABI_VERSION)
+/// into the source, and the source hash keys the cache, so a mismatched
+/// pairing cannot be loaded).
+#[repr(C)]
+pub(crate) struct NativeCtx {
+    /// Low value halves, slot-major lane-striped (`num_slots * W`).
+    pub values_lo: *mut u64,
+    /// High value halves, parallel to `values_lo`.
+    pub values_hi: *mut u64,
+    /// Raw confidentiality levels, parallel to `values_lo`.
+    pub lab_conf: *mut u8,
+    /// Raw integrity levels, parallel to `values_lo`.
+    pub lab_integ: *mut u8,
+    /// Per-memory base pointers (low halves), indexed by memory id.
+    pub mem_lo: *const *const u64,
+    /// Per-memory base pointers (high halves).
+    pub mem_hi: *const *const u64,
+    /// Per-memory confidentiality plane base pointers.
+    pub mem_conf: *const *const u8,
+    /// Per-memory integrity plane base pointers.
+    pub mem_integ: *const *const u8,
+    /// Violation event buffer (3 `u64` words per event).
+    pub events: *mut u64,
+    /// Event capacity (in events, not words).
+    pub event_cap: u64,
+    /// Events recorded so far (in/out).
+    pub event_len: u64,
+    /// Current cycle, stamped into recorded events.
+    pub cycle: u64,
+}
+
+/// Signature of the generated entry point.
+pub(crate) type EvalFn = unsafe extern "C" fn(*mut NativeCtx, u32);
+
+extern "C" {
+    fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn dlerror() -> *mut c_char;
+}
+
+const RTLD_NOW: c_int = 0x2;
+
+fn last_dl_error() -> String {
+    // SAFETY: dlerror returns either null or a NUL-terminated string
+    // owned by the loader; we copy it out immediately.
+    unsafe {
+        let msg = dlerror();
+        if msg.is_null() {
+            "unknown dlopen error".to_owned()
+        } else {
+            CStr::from_ptr(msg).to_string_lossy().into_owned()
+        }
+    }
+}
+
+/// Maps a compiled executor and resolves its `nsim_eval` entry point. The
+/// library stays mapped forever (see module docs).
+pub(crate) fn load_eval(path: &Path) -> Result<EvalFn, String> {
+    let cpath = CString::new(path.to_string_lossy().as_bytes())
+        .map_err(|_| format!("cache path contains NUL: {}", path.display()))?;
+    // SAFETY: cpath and the symbol name are valid NUL-terminated strings;
+    // the handle is never closed, so the returned pointer stays valid for
+    // the process lifetime. The transmute matches the exported signature
+    // by construction of the generated source.
+    unsafe {
+        dlerror();
+        let handle = dlopen(cpath.as_ptr(), RTLD_NOW);
+        if handle.is_null() {
+            return Err(format!("dlopen({}): {}", path.display(), last_dl_error()));
+        }
+        let sym = dlsym(handle, c"nsim_eval".as_ptr());
+        if sym.is_null() {
+            return Err(format!(
+                "dlsym(nsim_eval) in {}: {}",
+                path.display(),
+                last_dl_error()
+            ));
+        }
+        Ok(std::mem::transmute::<*mut c_void, EvalFn>(sym))
+    }
+}

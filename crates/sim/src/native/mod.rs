@@ -1,0 +1,755 @@
+//! Native-codegen simulation backend: the tape compiled to machine code.
+//!
+//! [`NativeSim`] is the fourth [`SimBackend`]: instead of interpreting the
+//! optimized SoA tape, it lowers the tape to straight-line Rust source
+//! specialized for one `(netlist, optimizer config, tracking mode, lane
+//! width)` combination ([`codegen`]), compiles it once with `rustc` into a
+//! `cdylib` behind a netlist-keyed on-disk cache ([`cache`]), and executes
+//! it through a single `extern "C"` entry point ([`loader`]).
+//!
+//! The wrapper reuses [`BatchedSim`]'s entire state layout — the generated
+//! code runs over the same slot-major lane-striped arrays — so every host
+//! concern (input driving, peeks, register/write-port clock edges, the
+//! settled-state fast path, violation streams) is shared with the batched
+//! interpreter verbatim; only the combinational propagation is swapped
+//! out. Semantics are bit-for-bit identical per lane to the
+//! [`Simulator`](crate::Simulator) oracle, which the native differential
+//! suite asserts for values, labels, and violation streams at every
+//! supported lane width and tracking mode.
+
+mod cache;
+mod codegen;
+mod loader;
+
+use std::fmt;
+
+use hdl::{Netlist, NodeId, Value};
+use ifc_lattice::{Label, SecurityTag};
+
+pub use cache::{cache_stats, NativeCacheStats};
+
+use crate::backend::{self, RunEngine};
+use crate::batched::label_of;
+use crate::program::push_violation;
+use crate::violation::RuntimeViolation;
+use crate::{BatchedSim, LaneBackend, OptConfig, OptStats, SimBackend, TrackMode};
+
+use loader::{EvalFn, NativeCtx};
+
+/// Why a native executor could not be produced.
+#[derive(Debug)]
+pub enum NativeError {
+    /// `rustc` could not be found or probed on this host.
+    RustcUnavailable(String),
+    /// `rustc` rejected the generated source (a codegen bug; the source is
+    /// kept in the cache temp directory for inspection).
+    CompileFailed(String),
+    /// The compiled dylib could not be mapped or its entry point resolved.
+    LoadFailed(String),
+    /// Filesystem trouble under the cache directory.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for NativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NativeError::RustcUnavailable(e) => write!(f, "rustc unavailable: {e}"),
+            NativeError::CompileFailed(e) => write!(f, "generated executor failed to compile: {e}"),
+            NativeError::LoadFailed(e) => write!(f, "compiled executor failed to load: {e}"),
+            NativeError::Io(e) => write!(f, "native cache I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NativeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NativeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Native-codegen simulation backend: W independent sessions advanced in
+/// lock-step by specialized machine code. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct NativeSim {
+    /// Shared state layout and host-side machinery (clock edge, peeks,
+    /// violation streams). The generated code mutates these arrays
+    /// directly; the wrapper must never call `inner`'s own propagation
+    /// (`inner.eval`/`inner.tick`/`inner.run`) on dirty state, or the
+    /// interpreter would run instead of the executor.
+    inner: BatchedSim,
+    eval_fn: EvalFn,
+    /// Violation event buffer shared with the executor; sized for the
+    /// worst case of one event per downgrade/check site per lane, so no
+    /// event is ever dropped before host-side cap handling.
+    events: Vec<u64>,
+    event_cap: usize,
+    // Per-call pointer tables for the memory planes, kept allocated so
+    // the tick loop stays allocation-free. Refilled before every call —
+    // the addresses are only meaningful during the call they were
+    // collected for.
+    mem_lo_ptrs: Vec<*const u64>,
+    mem_hi_ptrs: Vec<*const u64>,
+    mem_conf_ptrs: Vec<*const u8>,
+    mem_integ_ptrs: Vec<*const u8>,
+}
+
+// SAFETY: the raw pointers are transient scratch, refreshed from `inner`'s
+// (owned, Send) allocations before every executor call and dereferenced
+// only inside that call while `&mut self` is held; they carry no shared
+// state across threads.
+#[allow(unsafe_code)]
+unsafe impl Send for NativeSim {}
+// SAFETY: as above — `&NativeSim` exposes no operation that dereferences
+// the scratch pointers.
+#[allow(unsafe_code)]
+unsafe impl Sync for NativeSim {}
+
+/// [`RunEngine`] adapter: the shared settled-state run loop with the
+/// generated executor as the propagation step and the batched host code as
+/// the clock edge and settled violation scan.
+struct NativeEngine<'a>(&'a mut NativeSim);
+
+impl RunEngine for NativeEngine<'_> {
+    fn is_clean(&self) -> bool {
+        self.0.inner.clean
+    }
+
+    fn set_dirty(&mut self) {
+        self.0.inner.clean = false;
+    }
+
+    fn refresh_room(&mut self) {
+        self.0.inner.refresh_room();
+    }
+
+    fn settled_scan(&mut self) {
+        self.0.inner.record_settled_violations();
+    }
+
+    fn exec_record(&mut self) {
+        self.0.native_exec(true);
+    }
+
+    fn edge(&mut self) {
+        self.0.inner.clock_edge_dispatch();
+    }
+}
+
+impl NativeSim {
+    /// Compiles a netlist to a native executor for `lanes` sessions with
+    /// default conservative tracking and every optimizer pass enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor cannot be built (see [`NativeSim::try_new`]).
+    #[must_use]
+    pub fn new(net: Netlist, lanes: usize) -> NativeSim {
+        NativeSim::with_tracking(net, TrackMode::default(), lanes)
+    }
+
+    /// Compiles a netlist for the given tracking mode with every optimizer
+    /// pass enabled — unlike the interpreting backends the native backend
+    /// defaults to the optimized tape, since that is the tape it
+    /// specializes code for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor cannot be built.
+    #[must_use]
+    pub fn with_tracking(net: Netlist, mode: TrackMode, lanes: usize) -> NativeSim {
+        NativeSim::with_tracking_opt(net, mode, lanes, &OptConfig::all())
+    }
+
+    /// Compiles a netlist with an explicit optimizer configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor cannot be built or `lanes` is unsupported.
+    #[must_use]
+    pub fn with_tracking_opt(
+        net: Netlist,
+        mode: TrackMode,
+        lanes: usize,
+        config: &OptConfig,
+    ) -> NativeSim {
+        match NativeSim::try_with_tracking_opt(net, mode, lanes, config) {
+            Ok(sim) => sim,
+            Err(e) => panic!("failed to build native executor: {e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`NativeSim::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NativeError`] when `rustc` is unavailable, the generated
+    /// source fails to compile, or the compiled dylib cannot be loaded.
+    pub fn try_new(net: Netlist, lanes: usize) -> Result<NativeSim, NativeError> {
+        NativeSim::try_with_tracking_opt(net, TrackMode::default(), lanes, &OptConfig::all())
+    }
+
+    /// Fallible counterpart of [`NativeSim::with_tracking_opt`].
+    ///
+    /// # Errors
+    ///
+    /// As [`NativeSim::try_new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not one of [`crate::SUPPORTED_LANES`].
+    pub fn try_with_tracking_opt(
+        net: Netlist,
+        mode: TrackMode,
+        lanes: usize,
+        config: &OptConfig,
+    ) -> Result<NativeSim, NativeError> {
+        NativeSim::from_batched(BatchedSim::with_tracking_opt(net, mode, lanes, config))
+    }
+
+    /// Wraps freshly initialised batched state with a (cached) executor
+    /// compiled for its program and lane width.
+    fn from_batched(inner: BatchedSim) -> Result<NativeSim, NativeError> {
+        let source = codegen::generate(&inner.program, inner.lanes);
+        let eval_fn = cache::get_or_compile(&source)?;
+        let event_cap =
+            (inner.program.downgrades.len() + inner.program.output_checks.len()) * inner.lanes;
+        let mems = inner.mem_lo.len();
+        Ok(NativeSim {
+            events: vec![0; event_cap * 3],
+            event_cap,
+            mem_lo_ptrs: Vec::with_capacity(mems),
+            mem_hi_ptrs: Vec::with_capacity(mems),
+            mem_conf_ptrs: Vec::with_capacity(mems),
+            mem_integ_ptrs: Vec::with_capacity(mems),
+            eval_fn,
+            inner,
+        })
+    }
+
+    /// A fresh batch over the same compiled program with a (possibly
+    /// different) lane width; the executor for the new width is pulled
+    /// from the cache or compiled on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor for the new width cannot be built or
+    /// `lanes` is unsupported.
+    #[must_use]
+    pub fn with_lanes(&self, lanes: usize) -> NativeSim {
+        match NativeSim::from_batched(self.inner.with_lanes(lanes)) {
+            Ok(sim) => sim,
+            Err(e) => panic!("failed to build native executor: {e}"),
+        }
+    }
+
+    /// One recording or non-recording pass of the generated executor over
+    /// the current state, with recorded events decoded back into per-lane
+    /// violation streams.
+    #[allow(unsafe_code)]
+    fn native_exec(&mut self, record: bool) {
+        self.mem_lo_ptrs.clear();
+        self.mem_lo_ptrs
+            .extend(self.inner.mem_lo.iter().map(|v| v.as_ptr()));
+        self.mem_hi_ptrs.clear();
+        self.mem_hi_ptrs
+            .extend(self.inner.mem_hi.iter().map(|v| v.as_ptr()));
+        self.mem_conf_ptrs.clear();
+        self.mem_conf_ptrs
+            .extend(self.inner.mem_lab_conf.iter().map(|v| v.as_ptr()));
+        self.mem_integ_ptrs.clear();
+        self.mem_integ_ptrs
+            .extend(self.inner.mem_lab_integ.iter().map(|v| v.as_ptr()));
+        let mut ctx = NativeCtx {
+            values_lo: self.inner.values_lo.as_mut_ptr(),
+            values_hi: self.inner.values_hi.as_mut_ptr(),
+            lab_conf: self.inner.lab_conf.as_mut_ptr(),
+            lab_integ: self.inner.lab_integ.as_mut_ptr(),
+            mem_lo: self.mem_lo_ptrs.as_ptr(),
+            mem_hi: self.mem_hi_ptrs.as_ptr(),
+            mem_conf: self.mem_conf_ptrs.as_ptr(),
+            mem_integ: self.mem_integ_ptrs.as_ptr(),
+            events: self.events.as_mut_ptr(),
+            event_cap: self.event_cap as u64,
+            event_len: 0,
+            cycle: self.inner.cycle,
+        };
+        // SAFETY: every pointer covers the allocation sizes the executor
+        // was generated for — the wrapper was constructed from the same
+        // program and lane width the source was generated from, and the
+        // cache key (a hash of that source) guarantees the loaded entry
+        // point matches. The event buffer holds the worst case of one
+        // event per site per lane.
+        unsafe { (self.eval_fn)(&mut ctx, u32::from(record)) };
+        let count = ctx.event_len as usize;
+        if record && count > 0 {
+            self.decode_events(count);
+        }
+    }
+
+    /// Replays the executor's event buffer into per-lane violation
+    /// streams, in recording order, through the same capped push helper
+    /// the interpreters use.
+    fn decode_events(&mut self, count: usize) {
+        let NativeSim { inner, events, .. } = self;
+        for k in 0..count {
+            let (w0, w1, cycle) = (events[3 * k], events[3 * k + 1], events[3 * k + 2]);
+            let lane = (w0 & 0xffff) as usize;
+            let site = ((w0 >> 16) & 0xffff_ffff) as usize;
+            let violation = if (w0 >> 56) == codegen::EV_DOWNGRADE {
+                let tape = &inner.program.tape;
+                RuntimeViolation::DowngradeRejected {
+                    cycle,
+                    node: NodeId::from_raw(tape.c[site]),
+                    from: label_of((w1 & 0xff) as u8, ((w1 >> 8) & 0xff) as u8),
+                    to: Label::from(SecurityTag::from_bits(tape.aux[site] as u8)),
+                    principal: Label::from(SecurityTag::from_bits(((w1 >> 16) & 0xff) as u8)),
+                }
+            } else {
+                RuntimeViolation::OutputLeak {
+                    cycle,
+                    port: inner.program.output_checks[site].port.clone(),
+                    label: label_of((w1 & 0xff) as u8, ((w1 >> 8) & 0xff) as u8),
+                    allowed: label_of(((w1 >> 16) & 0xff) as u8, ((w1 >> 24) & 0xff) as u8),
+                }
+            };
+            push_violation(
+                &mut inner.violations[lane],
+                &mut inner.room[lane],
+                &mut inner.violations_truncated[lane],
+                violation,
+            );
+        }
+    }
+
+    /// The wrapped netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        self.inner.netlist()
+    }
+
+    /// The tracking mode this backend was compiled for.
+    #[must_use]
+    pub fn mode(&self) -> TrackMode {
+        self.inner.mode()
+    }
+
+    /// Number of lanes (independent sessions) in this batch.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.inner.lanes()
+    }
+
+    /// The shared cycle count (all lanes are always on the same cycle).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.inner.cycle()
+    }
+
+    /// Number of instructions on the compiled tape (diagnostic).
+    #[must_use]
+    pub fn tape_len(&self) -> usize {
+        self.inner.tape_len()
+    }
+
+    /// Human-readable listing of the tape this executor was generated
+    /// from; round-trips exactly through [`crate::disasm::parse`].
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        self.inner.disassemble()
+    }
+
+    /// FNV-1a fingerprint of the tape this executor was generated from.
+    #[must_use]
+    pub fn tape_fingerprint(&self) -> u64 {
+        self.inner.tape_fingerprint()
+    }
+
+    /// Statistics of the optimizer passes that ran at construction.
+    #[must_use]
+    pub fn opt_stats(&self) -> &OptStats {
+        self.inner.opt_stats()
+    }
+
+    /// One lane's recorded violation stream.
+    #[must_use]
+    pub fn violations(&self, lane: usize) -> &[RuntimeViolation] {
+        self.inner.violations(lane)
+    }
+
+    /// Whether one lane's stream was truncated at the cap.
+    #[must_use]
+    pub fn violations_truncated(&self, lane: usize) -> bool {
+        self.inner.violations_truncated(lane)
+    }
+
+    /// Bounds every lane's recorded violation stream.
+    pub fn set_violation_cap(&mut self, cap: usize) {
+        self.inner.set_violation_cap(cap);
+    }
+
+    /// Drives one lane's input port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no input port has that name, or `lane` is out of range.
+    pub fn set(&mut self, lane: usize, name: &str, value: Value) {
+        self.inner.set(lane, name, value);
+    }
+
+    /// Drives one lane's input by node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is pinned by the optimizer config, or `lane`
+    /// is out of range.
+    pub fn set_node(&mut self, lane: usize, id: NodeId, value: Value) {
+        self.inner.set_node(lane, id, value);
+    }
+
+    /// Sets one lane's runtime label on an input (no-op with tracking
+    /// off, matching the other backends).
+    pub fn set_label(&mut self, lane: usize, name: &str, label: Label) {
+        self.inner.set_label(lane, name, label);
+    }
+
+    /// Sets one lane's runtime label on an input by node id.
+    pub fn set_node_label(&mut self, lane: usize, id: NodeId, label: Label) {
+        self.inner.set_node_label(lane, id, label);
+    }
+
+    /// Reads one lane's settled value by port or node name.
+    pub fn peek(&mut self, lane: usize, name: &str) -> Value {
+        self.eval();
+        self.inner.peek(lane, name)
+    }
+
+    /// Reads one lane's settled runtime label by name.
+    pub fn peek_label(&mut self, lane: usize, name: &str) -> Label {
+        self.eval();
+        self.inner.peek_label(lane, name)
+    }
+
+    /// Reads one lane's settled value by node id.
+    pub fn peek_node(&mut self, lane: usize, id: NodeId) -> Value {
+        self.eval();
+        self.inner.peek_node(lane, id)
+    }
+
+    /// Reads one lane's settled runtime label by node id.
+    pub fn peek_node_label(&mut self, lane: usize, id: NodeId) -> Label {
+        self.eval();
+        self.inner.peek_node_label(lane, id)
+    }
+
+    /// Finds a memory's index by its declared name.
+    #[must_use]
+    pub fn mem_index(&self, name: &str) -> Option<usize> {
+        self.inner.mem_index(name)
+    }
+
+    /// Reads one lane's memory cell directly.
+    #[must_use]
+    pub fn mem_cell(&self, lane: usize, mem: usize, addr: usize) -> Value {
+        self.inner.mem_cell(lane, mem, addr)
+    }
+
+    /// Reads one lane's memory cell label directly.
+    #[must_use]
+    pub fn mem_cell_label(&self, lane: usize, mem: usize, addr: usize) -> Label {
+        self.inner.mem_cell_label(lane, mem, addr)
+    }
+
+    /// Sets one lane's memory cell label directly (provisioned secrets).
+    pub fn set_mem_cell_label(&mut self, lane: usize, mem: usize, addr: usize, label: Label) {
+        self.inner.set_mem_cell_label(lane, mem, addr, label);
+    }
+
+    /// Joins one lane's settled runtime label of every node into `acc`,
+    /// indexed by [`NodeId::index`].
+    pub fn fold_label_plane(&mut self, lane: usize, acc: &mut [Label]) {
+        self.eval();
+        self.inner.fold_label_plane(lane, acc);
+    }
+
+    /// Joins one lane's memory cell labels into `acc`, summarised per
+    /// array.
+    pub fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]) {
+        self.eval();
+        self.inner.fold_mem_labels(lane, acc);
+    }
+
+    /// Settles combinational logic of every lane for the current inputs.
+    /// Idempotent.
+    pub fn eval(&mut self) {
+        if self.inner.clean {
+            return;
+        }
+        self.native_exec(false);
+        self.inner.clean = true;
+    }
+
+    /// Advances every lane one clock cycle, with the same settled fast
+    /// path as the interpreting backends (the shared `backend::tick_engine`
+    /// loop).
+    pub fn tick(&mut self) {
+        backend::tick_engine(&mut NativeEngine(self));
+    }
+
+    /// Runs `n` clock cycles with the current inputs; the settled check
+    /// runs on the first iteration only and the violation room is
+    /// re-derived once per run.
+    pub fn run(&mut self, n: u64) {
+        backend::run_engine(&mut NativeEngine(self), n);
+    }
+}
+
+impl SimBackend for NativeSim {
+    /// Lane 0 of a single-lane native batch; every optimizer pass is
+    /// enabled (the native backend specializes code for the optimized
+    /// tape).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the executor cannot be built — use
+    /// [`NativeSim::try_new`] where `rustc` may be absent.
+    fn from_netlist(net: Netlist, mode: TrackMode) -> NativeSim {
+        NativeSim::with_tracking(net, mode, 1)
+    }
+
+    fn netlist(&self) -> &Netlist {
+        NativeSim::netlist(self)
+    }
+
+    fn mode(&self) -> TrackMode {
+        NativeSim::mode(self)
+    }
+
+    fn set(&mut self, name: &str, value: Value) {
+        NativeSim::set(self, 0, name, value);
+    }
+
+    fn set_label(&mut self, name: &str, label: Label) {
+        NativeSim::set_label(self, 0, name, label);
+    }
+
+    fn peek(&mut self, name: &str) -> Value {
+        NativeSim::peek(self, 0, name)
+    }
+
+    fn peek_label(&mut self, name: &str) -> Label {
+        NativeSim::peek_label(self, 0, name)
+    }
+
+    fn eval(&mut self) {
+        NativeSim::eval(self);
+    }
+
+    fn tick(&mut self) {
+        NativeSim::tick(self);
+    }
+
+    fn run(&mut self, n: u64) {
+        NativeSim::run(self, n);
+    }
+
+    fn cycle(&self) -> u64 {
+        NativeSim::cycle(self)
+    }
+
+    fn violations(&self) -> &[RuntimeViolation] {
+        NativeSim::violations(self, 0)
+    }
+
+    fn violations_truncated(&self) -> bool {
+        NativeSim::violations_truncated(self, 0)
+    }
+
+    fn set_violation_cap(&mut self, cap: usize) {
+        NativeSim::set_violation_cap(self, cap);
+    }
+
+    fn mem_index(&self, name: &str) -> Option<usize> {
+        NativeSim::mem_index(self, name)
+    }
+
+    fn mem_cell(&self, mem: usize, addr: usize) -> Value {
+        NativeSim::mem_cell(self, 0, mem, addr)
+    }
+
+    fn mem_cell_label(&self, mem: usize, addr: usize) -> Label {
+        NativeSim::mem_cell_label(self, 0, mem, addr)
+    }
+
+    fn set_mem_cell_label(&mut self, mem: usize, addr: usize, label: Label) {
+        NativeSim::set_mem_cell_label(self, 0, mem, addr, label);
+    }
+
+    fn peek_node_label(&mut self, id: NodeId) -> Label {
+        NativeSim::peek_node_label(self, 0, id)
+    }
+}
+
+impl LaneBackend for NativeSim {
+    fn with_tracking_opt(net: Netlist, mode: TrackMode, lanes: usize, opt: &OptConfig) -> Self {
+        NativeSim::with_tracking_opt(net, mode, lanes, opt)
+    }
+
+    fn with_lanes(&self, lanes: usize) -> Self {
+        NativeSim::with_lanes(self, lanes)
+    }
+
+    fn lanes(&self) -> usize {
+        NativeSim::lanes(self)
+    }
+
+    fn netlist(&self) -> &Netlist {
+        NativeSim::netlist(self)
+    }
+
+    fn mode(&self) -> TrackMode {
+        NativeSim::mode(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        NativeSim::cycle(self)
+    }
+
+    fn set(&mut self, lane: usize, name: &str, value: Value) {
+        NativeSim::set(self, lane, name, value);
+    }
+
+    fn set_label(&mut self, lane: usize, name: &str, label: Label) {
+        NativeSim::set_label(self, lane, name, label);
+    }
+
+    fn set_node(&mut self, lane: usize, id: NodeId, value: Value) {
+        NativeSim::set_node(self, lane, id, value);
+    }
+
+    fn set_node_label(&mut self, lane: usize, id: NodeId, label: Label) {
+        NativeSim::set_node_label(self, lane, id, label);
+    }
+
+    fn peek(&mut self, lane: usize, name: &str) -> Value {
+        NativeSim::peek(self, lane, name)
+    }
+
+    fn peek_label(&mut self, lane: usize, name: &str) -> Label {
+        NativeSim::peek_label(self, lane, name)
+    }
+
+    fn peek_node(&mut self, lane: usize, id: NodeId) -> Value {
+        NativeSim::peek_node(self, lane, id)
+    }
+
+    fn peek_node_label(&mut self, lane: usize, id: NodeId) -> Label {
+        NativeSim::peek_node_label(self, lane, id)
+    }
+
+    fn eval(&mut self) {
+        NativeSim::eval(self);
+    }
+
+    fn tick(&mut self) {
+        NativeSim::tick(self);
+    }
+
+    fn run(&mut self, n: u64) {
+        NativeSim::run(self, n);
+    }
+
+    fn violations(&self, lane: usize) -> &[RuntimeViolation] {
+        NativeSim::violations(self, lane)
+    }
+
+    fn violations_truncated(&self, lane: usize) -> bool {
+        NativeSim::violations_truncated(self, lane)
+    }
+
+    fn set_violation_cap(&mut self, cap: usize) {
+        NativeSim::set_violation_cap(self, cap);
+    }
+
+    fn mem_index(&self, name: &str) -> Option<usize> {
+        NativeSim::mem_index(self, name)
+    }
+
+    fn mem_cell(&self, lane: usize, mem: usize, addr: usize) -> Value {
+        NativeSim::mem_cell(self, lane, mem, addr)
+    }
+
+    fn mem_cell_label(&self, lane: usize, mem: usize, addr: usize) -> Label {
+        NativeSim::mem_cell_label(self, lane, mem, addr)
+    }
+
+    fn set_mem_cell_label(&mut self, lane: usize, mem: usize, addr: usize, label: Label) {
+        NativeSim::set_mem_cell_label(self, lane, mem, addr, label);
+    }
+
+    fn fold_label_plane(&mut self, lane: usize, acc: &mut [Label]) {
+        NativeSim::fold_label_plane(self, lane, acc);
+    }
+
+    fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]) {
+        NativeSim::fold_mem_labels(self, lane, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdl::ModuleBuilder;
+
+    /// Smoke test: an enabled counter with a downgrade gate and a labeled
+    /// output runs identically on the native executor and the
+    /// interpreter, including the recorded violation stream.
+    #[test]
+    fn smoke_counter_matches_interpreter() {
+        let build = || {
+            let mut m = ModuleBuilder::new("counter");
+            let en = m.input("en", 1);
+            let count = m.reg("count", 8, 0);
+            let one = m.lit(1, 8);
+            let next = m.add(count, one);
+            m.when(en, |m| m.connect(count, next));
+            let p = m.tag_lit(Label::PUBLIC_UNTRUSTED);
+            let dec = m.declassify(count, Label::PUBLIC_UNTRUSTED, p);
+            m.output("count", count);
+            m.output_labeled("dec", dec, Label::PUBLIC_UNTRUSTED);
+            m.finish().lower().expect("lower")
+        };
+        for mode in [TrackMode::Off, TrackMode::Conservative, TrackMode::Precise] {
+            let mut native = NativeSim::with_tracking(build(), mode, 1);
+            let mut interp = crate::Simulator::with_tracking(build(), mode);
+            for step in 0..20u64 {
+                let en = u128::from(step % 3 != 0);
+                let label = if step % 2 == 0 {
+                    Label::SECRET_TRUSTED
+                } else {
+                    Label::PUBLIC_TRUSTED
+                };
+                NativeSim::set(&mut native, 0, "en", en);
+                NativeSim::set_label(&mut native, 0, "en", label);
+                interp.set("en", en);
+                interp.set_label("en", label);
+                assert_eq!(
+                    NativeSim::peek(&mut native, 0, "count"),
+                    interp.peek("count"),
+                    "value diverged at step {step} in {mode:?}"
+                );
+                assert_eq!(
+                    NativeSim::peek_label(&mut native, 0, "count"),
+                    interp.peek_label("count"),
+                    "label diverged at step {step} in {mode:?}"
+                );
+                NativeSim::tick(&mut native);
+                interp.tick();
+            }
+            assert_eq!(native.cycle(), interp.cycle());
+            assert_eq!(NativeSim::violations(&native, 0), interp.violations());
+        }
+    }
+}

@@ -49,6 +49,10 @@ use hdl::{mask, Value};
 
 use crate::program::Program;
 
+/// Default instruction window of the run-scheduling pass (see
+/// [`OptConfig::schedule_window`]).
+pub const DEFAULT_SCHEDULE_WINDOW: usize = 96;
+
 /// Which optimizer passes run, and any inputs pinned to constants.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OptConfig {
@@ -60,6 +64,12 @@ pub struct OptConfig {
     pub dce: bool,
     /// Same-op run scheduling (dependency-preserving tape reorder).
     pub schedule: bool,
+    /// Instruction window for the scheduling pass; `None` uses
+    /// [`DEFAULT_SCHEDULE_WINDOW`]. The cycle profiler's
+    /// `ProfileReport::suggest_window` (built with the `profile`
+    /// feature) derives a value for this from measured run
+    /// fragmentation.
+    pub schedule_window: Option<usize>,
     /// Inputs tied to fixed values by configuration (name, value). A
     /// pinned input's slot becomes a constant seed for folding; driving
     /// it afterwards panics.
@@ -81,6 +91,7 @@ impl OptConfig {
             cse: true,
             dce: true,
             schedule: true,
+            schedule_window: None,
             pin_inputs: Vec::new(),
         }
     }
@@ -163,7 +174,10 @@ pub(crate) fn optimize(program: &mut Program, config: &OptConfig) {
     }
     if config.schedule {
         let before = program.tape.len();
-        schedule::run(program);
+        schedule::run(
+            program,
+            config.schedule_window.unwrap_or(DEFAULT_SCHEDULE_WINDOW),
+        );
         record("schedule", before, program.tape.len());
     }
 

@@ -18,9 +18,14 @@
 //! migrates instructions arbitrarily far from their producers, which
 //! wrecks the cache locality of the lane-batched executor's operand
 //! accesses — measured, it is a net loss at 4+ lanes. Windowed
-//! scheduling keeps every instruction within [`WINDOW`] positions of its
-//! original neighbourhood, trading some run-length for intact
-//! producer→consumer reuse distance.
+//! scheduling keeps every instruction within the configured window
+//! ([`OptConfig::schedule_window`](crate::OptConfig::schedule_window),
+//! defaulting to
+//! [`DEFAULT_SCHEDULE_WINDOW`](crate::opt::DEFAULT_SCHEDULE_WINDOW)) of
+//! its original neighbourhood, trading some run-length for intact
+//! producer→consumer reuse distance. The `profile`-feature cycle
+//! profiler measures the resulting run fragmentation and suggests a
+//! window adjustment when dispatch overhead dominates.
 //!
 //! ## Soundness
 //!
@@ -44,13 +49,12 @@ use crate::program::{Program, Tape};
 /// Upper bound on `Op as usize` (fieldless enum), for bucket arrays.
 const OP_BUCKETS: usize = 32;
 
-/// Instructions per scheduling window. Large enough that same-op runs
+/// Reorders `program.tape` in place (see the [module docs](self)).
+/// `window` is the reordering block size: large enough that same-op runs
 /// amortise the dispatch branch, small enough that reordering cannot
 /// move a consumer far from its producer's cache lines.
-const WINDOW: usize = 96;
-
-/// Reorders `program.tape` in place (see the [module docs](self)).
-pub(crate) fn run(program: &mut Program) {
+pub(crate) fn run(program: &mut Program, window: usize) {
+    let window = window.max(1);
     let tape = &program.tape;
     let n = tape.len();
     if n < 2 {
@@ -67,7 +71,7 @@ pub(crate) fn run(program: &mut Program) {
     let mut order: Vec<u32> = Vec::with_capacity(n);
     let mut ws = 0usize;
     while ws < n {
-        let we = (ws + WINDOW).min(n);
+        let we = (ws + window).min(n);
         schedule_window(program, &producer, ws, we, &mut order);
         ws = we;
     }

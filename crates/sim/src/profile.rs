@@ -1,0 +1,200 @@
+//! Per-opcode, per-run cycle profiler for the lane-batched executor.
+//!
+//! Built only with the `profile` cargo feature; without it
+//! [`ProfileData`] is a zero-sized type whose hooks compile to nothing,
+//! so the hot loop carries no cost in normal builds.
+//!
+//! The batched executor dispatches once per *run* of equal opcodes (see
+//! `Program::runs`), which is exactly the granularity the profiler
+//! samples: each run contributes one timed interval to its opcode's
+//! bucket, together with the number of instructions it covered. The
+//! resulting [`ProfileReport`] answers two questions the optimizer
+//! cares about:
+//!
+//! * where executor time actually goes, per opcode (`rows`), and
+//! * whether the run-scheduling pass is leaving dispatch overhead on
+//!   the table ([`ProfileReport::suggest_window`]): short average runs
+//!   mean the scheduling window was too small to cluster same-op
+//!   instructions, and the suggestion — pluggable back in via
+//!   [`OptConfig::schedule_window`](crate::OptConfig::schedule_window) —
+//!   scales the window up proportionally.
+
+#[cfg(feature = "profile")]
+pub use imp::{OpProfile, ProfileReport};
+
+pub(crate) use imp::ProfileData;
+
+#[cfg(feature = "profile")]
+mod imp {
+    use std::time::Instant;
+
+    use crate::opt::DEFAULT_SCHEDULE_WINDOW;
+    use crate::program::Op;
+
+    /// Bucket count for `Op as usize` indexing (fieldless enum; matches
+    /// the scheduler's bucket array bound).
+    const OP_BUCKETS: usize = 32;
+
+    /// Average same-op run length the scheduler aims for: long enough to
+    /// amortise the per-run dispatch branch, short enough to be reachable
+    /// within a locality-preserving window.
+    const TARGET_RUN_LEN: u64 = 8;
+
+    /// Upper bound on suggested windows: past this the scheduler's
+    /// reordering stretches producer→consumer distances beyond what the
+    /// lane-batched executor's operand locality tolerates.
+    const MAX_SCHEDULE_WINDOW: usize = 512;
+
+    /// Accumulated executor timing, one bucket per opcode.
+    #[derive(Debug, Clone, Default)]
+    pub(crate) struct ProfileData {
+        runs: [u64; OP_BUCKETS],
+        instrs: [u64; OP_BUCKETS],
+        nanos: [u64; OP_BUCKETS],
+        passes: u64,
+    }
+
+    impl ProfileData {
+        /// Counts one full tape pass (one `exec` invocation).
+        #[inline]
+        pub(crate) fn begin_pass(&mut self) {
+            self.passes += 1;
+        }
+
+        /// Starts timing one same-opcode run.
+        #[inline]
+        pub(crate) fn begin_run(&self) -> Instant {
+            Instant::now()
+        }
+
+        /// Credits one finished run to its opcode's bucket.
+        #[inline]
+        pub(crate) fn end_run(&mut self, op: Op, instrs: usize, started: Instant) {
+            let b = op as usize;
+            self.runs[b] += 1;
+            self.instrs[b] += instrs as u64;
+            self.nanos[b] += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        }
+
+        /// Snapshot of the buckets as a user-facing report.
+        pub(crate) fn report(&self) -> ProfileReport {
+            let rows = Op::ALL
+                .iter()
+                .filter(|&&op| self.runs[op as usize] > 0)
+                .map(|&op| OpProfile {
+                    op: format!("{op:?}"),
+                    runs: self.runs[op as usize],
+                    instrs: self.instrs[op as usize],
+                    nanos: self.nanos[op as usize],
+                })
+                .collect();
+            ProfileReport {
+                rows,
+                passes: self.passes,
+            }
+        }
+
+        /// Clears every bucket.
+        pub(crate) fn reset(&mut self) {
+            *self = ProfileData::default();
+        }
+    }
+
+    /// One opcode's aggregated share of executor work.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct OpProfile {
+        /// Opcode name (the tape `Op` variant's debug name, matching the
+        /// disassembler's mnemonic case-insensitively).
+        pub op: String,
+        /// Same-opcode runs dispatched.
+        pub runs: u64,
+        /// Instructions executed across those runs.
+        pub instrs: u64,
+        /// Wall-clock nanoseconds spent inside those runs.
+        pub nanos: u64,
+    }
+
+    /// Aggregated executor profile since construction (or the last
+    /// [`BatchedSim::profile_reset`](crate::BatchedSim::profile_reset)).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ProfileReport {
+        /// Per-opcode totals, tape order not preserved; opcodes that never
+        /// ran are omitted.
+        pub rows: Vec<OpProfile>,
+        /// Full tape passes executed (one per recording or settling
+        /// propagation).
+        pub passes: u64,
+    }
+
+    impl ProfileReport {
+        /// Total wall-clock nanoseconds across every opcode bucket.
+        #[must_use]
+        pub fn total_nanos(&self) -> u64 {
+            self.rows.iter().map(|r| r.nanos).sum()
+        }
+
+        /// Total instructions executed.
+        #[must_use]
+        pub fn total_instrs(&self) -> u64 {
+            self.rows.iter().map(|r| r.instrs).sum()
+        }
+
+        /// Total same-opcode runs dispatched.
+        #[must_use]
+        pub fn total_runs(&self) -> u64 {
+            self.rows.iter().map(|r| r.runs).sum()
+        }
+
+        /// A scheduling-window suggestion derived from the measured run
+        /// fragmentation, for
+        /// [`OptConfig::schedule_window`](crate::OptConfig::schedule_window).
+        ///
+        /// If the average run already meets the dispatch-amortisation
+        /// target the default window is confirmed; otherwise the window
+        /// grows in proportion to the shortfall (bounded, since very wide
+        /// windows trade away the operand locality that makes the batched
+        /// executor fast in the first place).
+        #[must_use]
+        pub fn suggest_window(&self) -> usize {
+            let runs = self.total_runs();
+            if runs == 0 {
+                return DEFAULT_SCHEDULE_WINDOW;
+            }
+            let avg = (self.total_instrs() / runs).max(1);
+            if avg >= TARGET_RUN_LEN {
+                return DEFAULT_SCHEDULE_WINDOW;
+            }
+            let scale = TARGET_RUN_LEN.div_ceil(avg) as usize;
+            (DEFAULT_SCHEDULE_WINDOW * scale).min(MAX_SCHEDULE_WINDOW)
+        }
+    }
+}
+
+#[cfg(not(feature = "profile"))]
+mod imp {
+    use crate::program::Op;
+
+    /// Zero-sized stand-in compiled without the `profile` feature; every
+    /// hook is an empty `#[inline(always)]` no-op. (Braced rather than a
+    /// unit struct so the executor's `default()` call and `let`-bound
+    /// run token lint cleanly in both configurations.)
+    #[derive(Debug, Clone, Copy, Default)]
+    pub(crate) struct ProfileData {}
+
+    /// Zero-sized stand-in for the run-start timestamp.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) struct RunToken {}
+
+    impl ProfileData {
+        #[inline(always)]
+        pub(crate) fn begin_pass(&mut self) {}
+
+        #[inline(always)]
+        pub(crate) fn begin_run(&self) -> RunToken {
+            RunToken {}
+        }
+
+        #[inline(always)]
+        pub(crate) fn end_run(&mut self, _op: Op, _instrs: usize, _started: RunToken) {}
+    }
+}

@@ -78,6 +78,33 @@ pub(crate) enum Op {
 }
 
 impl Op {
+    /// Every opcode, in declaration order (for profiler bucket naming).
+    #[cfg(feature = "profile")]
+    pub(crate) const ALL: [Op; 22] = [
+        Op::Not,
+        Op::ReduceOr,
+        Op::ReduceAnd,
+        Op::ReduceXor,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Add,
+        Op::Sub,
+        Op::Eq,
+        Op::Ne,
+        Op::Lt,
+        Op::Ge,
+        Op::TagLeq,
+        Op::TagJoin,
+        Op::TagMeet,
+        Op::Mux,
+        Op::Slice,
+        Op::Cat,
+        Op::MemRead,
+        Op::Declassify,
+        Op::Endorse,
+    ];
+
     /// Whether the `b` column holds a value slot (as opposed to a shift
     /// amount or a memory index).
     pub(crate) fn b_is_slot(self) -> bool {

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use hdl::{mask, BinOp, LabelExpr, Netlist, Node, NodeId, UnOp, Value};
 use ifc_lattice::{Label, SecurityTag};
 
+use crate::backend::{self, RunEngine};
 use crate::violation::RuntimeViolation;
 
 /// Default bound on the recorded violation stream (see
@@ -90,6 +91,37 @@ pub struct Simulator {
     output_checks: Vec<OutputCheck>,
     violation_cap: usize,
     violations_truncated: bool,
+}
+
+/// [`RunEngine`] adapter for the interpreter. The interpreter has no
+/// settled fast path — a recording propagation over the node graph *is*
+/// its violation scan — so `is_clean` always reports dirty and the shared
+/// loop degenerates to propagate-then-edge each cycle. The per-push cap
+/// check makes `refresh_room` a no-op.
+struct InterpEngine<'a>(&'a mut Simulator);
+
+impl RunEngine for InterpEngine<'_> {
+    fn is_clean(&self) -> bool {
+        false
+    }
+
+    fn set_dirty(&mut self) {
+        self.0.clean = false;
+    }
+
+    fn refresh_room(&mut self) {}
+
+    fn settled_scan(&mut self) {
+        unreachable!("the interpreter has no settled fast path");
+    }
+
+    fn exec_record(&mut self) {
+        self.0.propagate(true);
+    }
+
+    fn edge(&mut self) {
+        self.0.clock_edge();
+    }
 }
 
 impl Simulator {
@@ -312,9 +344,17 @@ impl Simulator {
     /// any violations), updates registers and memories, then increments
     /// the cycle counter.
     pub fn tick(&mut self) {
-        self.propagate(true);
-        self.clean = false;
+        backend::tick_engine(&mut InterpEngine(self));
+    }
 
+    /// Runs `n` clock cycles with the current inputs.
+    pub fn run(&mut self, n: u64) {
+        backend::run_engine(&mut InterpEngine(self), n);
+    }
+
+    /// The clock edge: registers, then memory write ports in statement
+    /// order, then the cycle counter.
+    fn clock_edge(&mut self) {
         // Clock edge: registers.
         for idx in 0..self.net.nodes.len() {
             if let Some(next) = self.net.reg_next[idx] {
@@ -340,13 +380,6 @@ impl Simulator {
             }
         }
         self.cycle += 1;
-    }
-
-    /// Runs `n` clock cycles with the current inputs.
-    pub fn run(&mut self, n: u64) {
-        for _ in 0..n {
-            self.tick();
-        }
     }
 
     /// One combinational settle pass over the topological order.

@@ -1,0 +1,81 @@
+//! Warm-cache behaviour of the native executor compile cache.
+//!
+//! Lives in its own integration-test binary: the cache counters are
+//! process-wide, so this is the only test in the process and the deltas
+//! it asserts cannot be perturbed by concurrent compilations from
+//! unrelated tests.
+
+use hdl::ModuleBuilder;
+use sim::{cache_stats, NativeSim, TrackMode};
+
+fn build_netlist() -> hdl::Netlist {
+    let mut m = ModuleBuilder::new("warm_cache_probe");
+    let a = m.input("a", 8);
+    let b = m.input("b", 8);
+    let r = m.reg("acc", 8, 0);
+    let sum = m.add(a, b);
+    let next = m.xor(r, sum);
+    m.connect(r, next);
+    m.output("acc", r);
+    m.finish().lower().expect("lowers")
+}
+
+/// A second construction of the same (netlist, mode, lanes) executor must
+/// be served from the in-process registry: no new `rustc` invocation, no
+/// new disk probe. The very first construction may compile or hit the
+/// shared on-disk cache (depending on what earlier runs left behind) —
+/// either way it must account for exactly one non-memory lookup.
+#[test]
+fn second_build_skips_rustc() {
+    let before = cache_stats();
+    let mut first = NativeSim::with_tracking(build_netlist(), TrackMode::Conservative, 2);
+    let after_first = cache_stats();
+    assert_eq!(
+        (after_first.compiles - before.compiles) + (after_first.disk_hits - before.disk_hits),
+        1,
+        "cold lookup must be satisfied by exactly one compile or one disk hit"
+    );
+    assert_eq!(after_first.memory_hits, before.memory_hits);
+
+    let mut second = NativeSim::with_tracking(build_netlist(), TrackMode::Conservative, 2);
+    let after_second = cache_stats();
+    assert_eq!(
+        after_second.compiles, after_first.compiles,
+        "warm lookup must not invoke rustc"
+    );
+    assert_eq!(
+        after_second.disk_hits, after_first.disk_hits,
+        "warm lookup must not re-probe the disk cache"
+    );
+    assert_eq!(
+        after_second.memory_hits,
+        after_first.memory_hits + 1,
+        "warm lookup must be served from the in-process registry"
+    );
+
+    // The shared executor is genuinely usable by both instances.
+    for sim in [&mut first, &mut second] {
+        for lane in 0..2 {
+            sim.set(lane, "a", 3 + lane as u128);
+            sim.set(lane, "b", 5);
+        }
+        sim.run(4);
+    }
+    assert_eq!(first.peek(0, "acc"), second.peek(0, "acc"));
+
+    // A different lane width is a different specialization: the registry
+    // must miss (the source differs), while repeat lookups for the new
+    // width hit memory again.
+    let _third = first.with_lanes(4);
+    let after_third = cache_stats();
+    assert_eq!(after_third.memory_hits, after_second.memory_hits);
+    assert_eq!(
+        (after_third.compiles - after_second.compiles)
+            + (after_third.disk_hits - after_second.disk_hits),
+        1
+    );
+    let _fourth = first.with_lanes(4);
+    let after_fourth = cache_stats();
+    assert_eq!(after_fourth.memory_hits, after_third.memory_hits + 1);
+    assert_eq!(after_fourth.compiles, after_third.compiles);
+}

@@ -86,10 +86,8 @@ fn pinned_input_folds_like_a_literal() {
 
     let config = OptConfig {
         fold: true,
-        cse: false,
-        dce: false,
-        schedule: false,
         pin_inputs: vec![("cfg".into(), 0x3c)],
+        ..OptConfig::none()
     };
     let plain = CompiledSim::with_tracking(net.clone(), TrackMode::Conservative);
     let mut opt = CompiledSim::with_tracking_opt(net.clone(), TrackMode::Conservative, &config);
@@ -118,10 +116,8 @@ fn driving_a_pinned_input_panics() {
     let net = m.finish().lower().expect("lowers");
     let config = OptConfig {
         fold: true,
-        cse: false,
-        dce: false,
-        schedule: false,
         pin_inputs: vec![("cfg".into(), 7)],
+        ..OptConfig::none()
     };
     let mut sim = CompiledSim::with_tracking_opt(net, TrackMode::Conservative, &config);
     sim.set("cfg", 1);

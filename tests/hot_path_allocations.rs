@@ -10,10 +10,12 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use secure_aes_ifc::accel::protected;
 use secure_aes_ifc::sim::{
-    BatchedSim, CompiledSim, SimBackend, Simulator, TrackMode, SUPPORTED_LANES,
+    BatchedSim, CompiledSim, LaneBackend, NativeSim, OptConfig, SimBackend, Simulator, TrackMode,
+    SUPPORTED_LANES,
 };
 
 struct CountingAlloc;
@@ -38,6 +40,15 @@ unsafe impl GlobalAlloc for CountingAlloc {
 
 #[global_allocator]
 static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// The allocation counter is process-global, so concurrently running
+/// tests would bleed their setup allocations into each other's measured
+/// windows; every test serializes on this lock.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Runs the steady-state loop and returns allocations observed inside
 /// the measured window.
@@ -65,8 +76,10 @@ fn measure<B: SimBackend>(sim: &mut B) -> usize {
     after - before
 }
 
-/// The same steady-state loop on a batched backend, driving every lane.
-fn measure_batched(sim: &mut BatchedSim) -> usize {
+/// The same steady-state loop on a lane-parallel backend, driving every
+/// lane — shared between the batched interpreter and the native-codegen
+/// executor.
+fn measure_lanes<S: LaneBackend>(sim: &mut S) -> usize {
     let lanes = sim.lanes();
     for i in 0..16u64 {
         for lane in 0..lanes {
@@ -105,6 +118,7 @@ fn measure_batched(sim: &mut BatchedSim) -> usize {
 
 #[test]
 fn tick_and_eval_do_not_allocate() {
+    let _guard = serial();
     let net = protected().lower().expect("accelerator lowers");
     for mode in [TrackMode::Off, TrackMode::Conservative, TrackMode::Precise] {
         let mut compiled = CompiledSim::with_tracking(net.clone(), mode);
@@ -125,6 +139,7 @@ fn tick_and_eval_do_not_allocate() {
 
 #[test]
 fn batched_tick_and_eval_do_not_allocate() {
+    let _guard = serial();
     // Every supported lane width, conservative tracking (the fleet
     // benchmark configuration) plus tracking off as the floor; the
     // batched prototype shares one compiled program across widths.
@@ -134,10 +149,34 @@ fn batched_tick_and_eval_do_not_allocate() {
         for lanes in SUPPORTED_LANES {
             let mut batched = prototype.with_lanes(lanes);
             assert_eq!(
-                measure_batched(&mut batched),
+                measure_lanes(&mut batched),
                 0,
                 "BatchedSim allocated in the hot path ({mode:?}, {lanes} lanes)"
             );
         }
     }
+}
+
+#[test]
+fn native_tick_and_eval_do_not_allocate() {
+    let _guard = serial();
+    // The generated executor's pass re-primes its raw memory-plane
+    // pointer tables (`clear` + `extend` into preallocated capacity) and
+    // records events into a fixed buffer, so its steady-state loop must
+    // be as allocation-free as the interpreter it replaces. One
+    // configuration keeps this to a single `rustc` invocation on a cold
+    // compile cache; the fleet configuration (conservative tracking,
+    // every optimizer pass) shares its cache key with the benchmarks.
+    let net = protected().lower().expect("accelerator lowers");
+    let mut native = <NativeSim as LaneBackend>::with_tracking_opt(
+        net,
+        TrackMode::Conservative,
+        1,
+        &OptConfig::all(),
+    );
+    assert_eq!(
+        measure_lanes(&mut native),
+        0,
+        "NativeSim allocated in the hot path"
+    );
 }
