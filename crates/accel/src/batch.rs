@@ -50,6 +50,44 @@ struct Ports {
     out_ready: NodeId,
 }
 
+/// One lane's port activity for one [`BatchedDriver::step`] cycle.
+///
+/// The whole-batch helpers ([`BatchedDriver::alloc_cell`],
+/// [`BatchedDriver::write_key_cell`], [`BatchedDriver::try_submit_each`])
+/// drive every lane through the same protocol phase; `LaneAction` lets
+/// each lane be in a *different* phase on the same cycle, which is what
+/// live lane refill in the accelerator farm needs.
+#[derive(Debug, Clone)]
+pub enum LaneAction {
+    /// Hold this lane's inputs cleared for the cycle.
+    Idle,
+    /// Allocate scratchpad `cell` to `owner` via the arbiter port
+    /// (retags and wipes the cell).
+    Alloc {
+        /// Scratchpad cell index.
+        cell: usize,
+        /// New owner; becomes the cell's tag.
+        owner: Label,
+    },
+    /// Write one 64-bit scratchpad cell as `writer`.
+    WriteKey {
+        /// Scratchpad cell index.
+        cell: usize,
+        /// Data word.
+        data: u64,
+        /// Writer principal carried on the key-write port.
+        writer: Label,
+    },
+    /// Offer a request to the input handshake; the cycle's acceptance is
+    /// reported through [`BatchedDriver::step`]'s `accepted` slot.
+    Submit {
+        /// The request to offer.
+        req: Request,
+        /// Decrypt instead of encrypt.
+        decrypt: bool,
+    },
+}
+
 /// Drives W accelerator sessions at the transaction level over one
 /// lane-batched simulator (any [`LaneBackend`] — the interpreting
 /// [`BatchedSim`] by default, or the native-codegen
@@ -320,6 +358,83 @@ impl<S: LaneBackend> BatchedDriver<S> {
         // Let every lane's decrypt-key preparation unit finish expanding
         // RK10 before the key is used.
         self.idle(14);
+    }
+
+    /// Advances one cycle with an independent port action per lane — the
+    /// farm's lane engine uses this to interleave phases across lanes
+    /// (one lane allocating its key cells while its neighbours keep
+    /// submitting blocks), which the whole-batch helpers above cannot
+    /// express.
+    ///
+    /// Acceptance is reported per lane in `accepted`: `true` only for a
+    /// [`LaneAction::Submit`] the input handshake took this cycle.
+    /// Alloc/write actions always land (the arbiter's *security*
+    /// decision shows up in the tag planes, not a handshake); policy
+    /// checks such as the master-slot supervisor rule are the caller's
+    /// admission layer, exactly as with
+    /// [`alloc_cell`](Self::alloc_cell)/[`write_key_cell`](Self::write_key_cell).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` or `accepted` does not hold one entry per
+    /// lane.
+    pub fn step(&mut self, actions: &[LaneAction], accepted: &mut [bool]) {
+        assert_eq!(actions.len(), self.lanes(), "one action per lane");
+        assert_eq!(accepted.len(), self.lanes(), "one flag per lane");
+        self.clear_cycle_inputs();
+        let p = self.ports;
+        for (lane, action) in actions.iter().enumerate() {
+            match action {
+                LaneAction::Idle => {}
+                LaneAction::Alloc { cell, owner } => {
+                    self.sim.set_node(lane, p.alloc_we, 1);
+                    self.sim.set_node(lane, p.alloc_cell, *cell as u128);
+                    self.sim.set_node(
+                        lane,
+                        p.alloc_tag,
+                        u128::from(SecurityTag::from(*owner).bits()),
+                    );
+                }
+                LaneAction::WriteKey { cell, data, writer } => {
+                    self.sim.set_node(lane, p.key_we, 1);
+                    self.sim.set_node(lane, p.key_cell, *cell as u128);
+                    self.sim.set_node(lane, p.key_data, u128::from(*data));
+                    self.sim.set_node_label(lane, p.key_data, *writer);
+                    self.sim.set_node(
+                        lane,
+                        p.key_wr_tag,
+                        u128::from(SecurityTag::from(*writer).bits()),
+                    );
+                }
+                LaneAction::Submit { req, decrypt } => {
+                    self.sim.set_node(lane, p.in_valid, 1);
+                    self.sim.set_node(lane, p.in_decrypt, u128::from(*decrypt));
+                    self.sim
+                        .set_node(lane, p.in_block, block_to_u128(req.block));
+                    self.sim.set_node_label(lane, p.in_block, req.user);
+                    self.sim.set_node(
+                        lane,
+                        p.in_tag,
+                        u128::from(SecurityTag::from(req.user).bits()),
+                    );
+                    self.sim.set_node(lane, p.in_key_slot, req.key_slot as u128);
+                }
+            }
+        }
+        for (lane, action) in actions.iter().enumerate() {
+            accepted[lane] = false;
+            let LaneAction::Submit { req, .. } = action else {
+                continue;
+            };
+            if self.sim.peek_node(lane, self.ports.in_ready) == 1 {
+                self.pending[lane].push_back(Pending {
+                    submitted: self.sim.cycle(),
+                    user: req.user,
+                });
+                accepted[lane] = true;
+            }
+        }
+        self.finish_cycle();
     }
 
     /// Tries to submit one request per lane this cycle (`None` lanes

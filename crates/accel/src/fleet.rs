@@ -31,6 +31,11 @@ use crate::build::{protected, Protection};
 use crate::driver::{AccelDriver, Request};
 use crate::params::user_label;
 
+/// Stream index reserved for deriving a session's key from its seed
+/// (ASCII `"KEYS"`; request blocks use their small submission indices,
+/// which never collide with it).
+pub const KEY_DERIVE_INDEX: u64 = 0x4b45_5953;
+
 /// Workload configuration for one fleet run.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
@@ -126,15 +131,22 @@ impl FleetStats {
     }
 }
 
-/// Deterministic per-session key/plaintext derivation (SplitMix64).
-fn mix(mut x: u64) -> u64 {
+/// Deterministic per-session key/plaintext derivation (SplitMix64) —
+/// shared by the fleet harness and the farm's churn workloads so the
+/// same seed always produces the same traffic.
+#[must_use]
+pub fn mix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     x ^ (x >> 31)
 }
 
-pub(crate) fn block_from(seed: u64, i: u64) -> [u8; 16] {
+/// The `i`-th deterministic 16-byte block of a seeded stream ([`mix`]
+/// applied to the seed and index). Session keys use index
+/// [`KEY_DERIVE_INDEX`]; request blocks use their submission index.
+#[must_use]
+pub fn block_from(seed: u64, i: u64) -> [u8; 16] {
     let hi = mix(seed ^ (2 * i));
     let lo = mix(seed ^ (2 * i + 1));
     let mut b = [0u8; 16];
@@ -152,7 +164,7 @@ pub fn run_session<B: SimBackend>(
     user: Label,
     seed: u64,
 ) -> SessionStats {
-    let key = block_from(seed, 0x4b45_5953);
+    let key = block_from(seed, KEY_DERIVE_INDEX);
     driver.load_key(0, key, user);
     for i in 0..blocks {
         driver.submit(&Request {
@@ -251,7 +263,10 @@ pub fn run_lane_sessions<S: LaneBackend>(
     let lanes = driver.lanes();
     assert_eq!(users.len(), lanes, "one user per lane");
     assert_eq!(seeds.len(), lanes, "one seed per lane");
-    let keys: Vec<[u8; 16]> = seeds.iter().map(|&s| block_from(s, 0x4b45_5953)).collect();
+    let keys: Vec<[u8; 16]> = seeds
+        .iter()
+        .map(|&s| block_from(s, KEY_DERIVE_INDEX))
+        .collect();
     driver.load_keys(0, &keys, users);
 
     let mut next = vec![0usize; lanes];
@@ -322,14 +337,16 @@ pub fn run_fleet_batched_opt(net: &Netlist, config: FleetConfig, opt: &OptConfig
 }
 
 /// Runs the lane-batched fleet on the native-codegen backend
-/// ([`NativeSim`]) with every optimizer pass enabled — the tape the
-/// executor specializes code for. The first launch on a given
-/// (netlist, mode, width) set pays one `rustc` invocation per distinct
-/// lane width; later launches hit the on-disk compile cache
-/// (see [`sim::cache_stats`]).
+/// ([`NativeSim`]) with the tuned optimizer configuration
+/// ([`sim::tuned_opt_config`]) — every pass enabled, and with the
+/// `profile` feature the scheduling window is sized from the cycle
+/// profiler's measured run fragmentation instead of the static default.
+/// The first launch on a given (netlist, mode, width) set pays one
+/// `rustc` invocation per distinct lane width; later launches hit the
+/// on-disk compile cache (see [`sim::cache_stats`]).
 #[must_use]
 pub fn run_fleet_native(net: &Netlist, config: FleetConfig) -> FleetStats {
-    run_fleet_native_opt(net, config, &OptConfig::all())
+    run_fleet_native_opt(net, config, &sim::tuned_opt_config(net, config.mode))
 }
 
 /// [`run_fleet_native`] with an explicit optimizer configuration.
@@ -338,31 +355,58 @@ pub fn run_fleet_native_opt(net: &Netlist, config: FleetConfig, opt: &OptConfig)
     run_fleet_lanes_opt::<NativeSim>(net, config, opt)
 }
 
+/// Greedy partition of `sessions` into `(first session, width)` lane
+/// batches with the width clamped for worker coverage.
+///
+/// Plain widest-fit packs 8 sessions into one 8-wide batch, which on a
+/// 2-core host leaves the second worker idle *and* runs the measurably
+/// slower W=8 batch shape (BENCH_sim.json recorded 3009 blocks/s at W=8
+/// against 4085 at W=4 before this clamp). Capping the width at
+/// `ceil(sessions / workers)` — rounded up to a supported width, and
+/// never below the backend's own efficiency floor `min_width`
+/// ([`LaneBackend::min_efficient_width`]) — splits the same sessions
+/// into enough batches to keep every worker busy: 8 sessions on 2 cores
+/// become two concurrent 4-wide batches.
+#[must_use]
+pub fn plan_batches(sessions: usize, workers: usize, min_width: usize) -> Vec<(usize, usize)> {
+    let target = sessions.div_ceil(workers.max(1)).max(min_width);
+    let cap = SUPPORTED_LANES
+        .iter()
+        .copied()
+        .find(|&w| w >= target)
+        .unwrap_or(SUPPORTED_LANES[SUPPORTED_LANES.len() - 1]);
+    let mut batches = Vec::new();
+    let mut i = 0;
+    while i < sessions {
+        let width = SUPPORTED_LANES
+            .iter()
+            .rev()
+            .copied()
+            .find(|&w| w <= (sessions - i).min(cap))
+            .expect("width 1 always fits");
+        batches.push((i, width));
+        i += width;
+    }
+    batches
+}
+
 /// The generic lane-batched fleet engine behind
 /// [`run_fleet_batched_opt`] and [`run_fleet_native_opt`]: sessions are
-/// greedily grouped into the widest supported lane batches, one
-/// prototype backend compiles the shared tape once, and a bounded worker
-/// pool claims batches and re-stripes the prototype to each batch's
-/// width.
+/// greedily grouped into lane batches sized for the worker pool (see
+/// [`plan_batches`]), one prototype backend compiles the shared tape
+/// once, and the bounded pool claims batches and re-stripes the
+/// prototype to each batch's width.
 #[must_use]
 pub fn run_fleet_lanes_opt<S: LaneBackend + Send + Sync>(
     net: &Netlist,
     config: FleetConfig,
     opt: &OptConfig,
 ) -> FleetStats {
-    // Greedy partition into the widest supported batches.
-    let mut batches: Vec<(usize, usize)> = Vec::new(); // (first session, width)
-    let mut i = 0;
-    while i < config.sessions {
-        let width = SUPPORTED_LANES
-            .iter()
-            .rev()
-            .copied()
-            .find(|&w| w <= config.sessions - i)
-            .expect("width 1 always fits");
-        batches.push((i, width));
-        i += width;
-    }
+    let batches = plan_batches(
+        config.sessions,
+        worker_count(config.sessions),
+        S::min_efficient_width(),
+    );
 
     // Compile once; every batch re-stripes the same program.
     let prototype = S::with_tracking_opt(net.clone(), config.mode, 1, opt);
@@ -444,6 +488,29 @@ mod tests {
         let b = run_fleet::<CompiledSim>(Protection::Full, config);
         assert_eq!(a.sessions, b.sessions);
         assert!(a.all_verified());
+    }
+
+    #[test]
+    fn plan_batches_clamps_width_to_worker_coverage() {
+        // The W=8 cliff: 8 sessions on 2 workers must split into two
+        // 4-wide batches, not one 8-wide batch that idles a core.
+        assert_eq!(plan_batches(8, 2, 1), vec![(0, 4), (4, 4)]);
+        // 4 sessions on 2 workers: two 2-wide batches keep both busy.
+        assert_eq!(plan_batches(4, 2, 1), vec![(0, 2), (2, 2)]);
+        // A single worker gets plain widest-fit.
+        assert_eq!(plan_batches(8, 1, 1), vec![(0, 8)]);
+        // Leftovers still narrow down to fit.
+        assert_eq!(plan_batches(5, 2, 1), vec![(0, 4), (4, 1)]);
+        // The backend's efficiency floor wins over worker coverage: the
+        // native executor would rather idle a core than run 2-wide.
+        assert_eq!(plan_batches(4, 2, 4), vec![(0, 4)]);
+        assert_eq!(plan_batches(8, 2, 4), vec![(0, 4), (4, 4)]);
+        // Targets past the widest supported width saturate at 16.
+        assert_eq!(plan_batches(64, 2, 1).len(), 4);
+        // Fewer sessions than the floor: a batch never exceeds the
+        // remaining sessions.
+        assert_eq!(plan_batches(1, 2, 4), vec![(0, 1)]);
+        assert_eq!(plan_batches(0, 2, 1), vec![]);
     }
 
     #[test]

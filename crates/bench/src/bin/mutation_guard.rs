@@ -21,7 +21,9 @@
 //! the native run pays one `rustc` invocation per (mutant, lane width)
 //! that reaches stage 3 — expect it to take much longer than the default
 //! on a cold cache. Use it to certify that the kill matrix holds on the
-//! codegen backend, not as the CI default.
+//! codegen backend, not as the CI default. On hosts without a usable
+//! `rustc` the flag degrades gracefully: a warning on stderr and the
+//! batched interpreter, rather than a hard failure.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -47,6 +49,14 @@ fn main() -> ExitCode {
         } else {
             path = arg;
         }
+    }
+    if backend == FleetBackend::Native && !sim::native_toolchain_available() {
+        eprintln!(
+            "mutation_guard: warning: --backend native requested but no rustc toolchain is \
+             available to the native-codegen executor; falling back to the batched interpreter \
+             (the kill matrix is backend-independent, only the execution engine differs)"
+        );
+        backend = FleetBackend::Batched;
     }
     let base = protected();
     let cfg = CampaignConfig {

@@ -65,6 +65,10 @@ fn time_median(mut f: impl FnMut()) -> Duration {
     )
 }
 
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+}
+
 fn mode_name(mode: TrackMode) -> &'static str {
     match mode {
         TrackMode::Off => "off",
@@ -151,6 +155,23 @@ fn main() {
     // in the sweep's tracking mode.
     let compiled_single_bps = sweep_rows[0].2;
 
+    // --- per-engine width sweep ----------------------------------------
+    // Steady-state blocks/s of ONE lane-batched engine per width, and of
+    // one engine per core concurrently — the farm's `WidthTuner` seeds.
+    // Unlike the fleet rows above, these exclude worker-pool
+    // partitioning: the original "W=8 cliff" in the sessions sweep was a
+    // scheduling artifact (one 8-wide batch pinned to a single worker
+    // while the other core idled), not an engine-level regression.
+    let engine_mode = TrackMode::Precise;
+    let engine_blocks = 256usize;
+    let mut engine_rows = Vec::new();
+    for width in sim::SUPPORTED_LANES {
+        let one = bench::probe::engine_rate(&net, engine_mode, width, 1, engine_blocks, 3);
+        let per_core =
+            bench::probe::engine_rate(&net, engine_mode, width, host_cpus(), engine_blocks, 3);
+        engine_rows.push((width, one, per_core));
+    }
+
     // --- native-codegen backend -----------------------------------------
     // Single-session per tracking mode through the same driver pipeline,
     // then the fleet at the sweep's session counts. Timing medians only
@@ -190,7 +211,7 @@ fn main() {
             || "unavailable".to_string(),
             |o| String::from_utf8_lossy(&o.stdout).trim().to_string(),
         );
-    let host_cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let host_cpus = host_cpus();
 
     // --- report ---------------------------------------------------------
     println!("Simulation backends — protected pipeline, {BLOCKS} blocks/run, median of {REPS}\n");
@@ -253,6 +274,14 @@ fn main() {
             &rows
         )
     );
+    println!("Per-engine width sweep — precise tracking, steady-state (blocks/s)\n");
+    let rows: Vec<Vec<String>> = engine_rows
+        .iter()
+        .map(|(w, one, per_core)| {
+            vec![w.to_string(), format!("{one:.0}"), format!("{per_core:.0}")]
+        })
+        .collect();
+    println!("{}", render(&["width", "1 engine", "1 engine/core"], &rows));
     println!("Native codegen — {rustc_version}, {host_cpus} cpus\n");
     let rows: Vec<Vec<String>> = native_single
         .iter()
@@ -351,6 +380,24 @@ fn main() {
             batched_bps,
             batched_bps / compiled_bps,
             if i + 1 < sweep_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    // Schema note: `engine_width` reports steady-state per-engine rates
+    // (key-load and drain overheads amortised over long streams), the
+    // farm `WidthTuner`'s seed table. `per_core_blocks_per_sec` is the
+    // aggregate of one engine per host core running concurrently — the
+    // contended figure a farm worker actually sees.
+    json.push_str("  \"engine_width\": {\n");
+    json.push_str(&format!(
+        "    \"tracking\": \"{}\",\n    \"blocks_per_lane\": {engine_blocks},\n    \"engines_per_core\": 1,\n",
+        mode_name(engine_mode)
+    ));
+    json.push_str("    \"rows\": [\n");
+    for (i, (width, one, per_core)) in engine_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"width\": {width}, \"one_engine_blocks_per_sec\": {one:.0}, \"per_core_blocks_per_sec\": {per_core:.0}}}{}\n",
+            if i + 1 < engine_rows.len() { "," } else { "" },
         ));
     }
     json.push_str("    ]\n  },\n");

@@ -1,0 +1,42 @@
+//! Per-width sustained-throughput probe for lane-batched engines.
+//!
+//! Measures steady-state blocks/s of a fully occupied `BatchedDriver`
+//! at every supported lane width, for one engine and for one engine per
+//! core in parallel (median of several reps — containerised hosts are
+//! noisy). These are the rows that seed the farm's `WidthTuner` and the
+//! `engine_width` table of `BENCH_sim.json` — re-run this (or the full
+//! `sim_backends` report) after changing the batched interpreter or the
+//! scheduler to keep the checked-in seeds honest.
+//!
+//! Usage: `cargo run --release -p bench --bin width_probe [blocks_per_lane]`
+
+use std::thread;
+
+use accel::protected;
+use bench::probe::engine_rate;
+use sim::{TrackMode, SUPPORTED_LANES};
+
+const DEFAULT_BLOCKS: usize = 256;
+const REPS: usize = 3;
+
+fn main() {
+    let blocks = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(DEFAULT_BLOCKS);
+    let cores = thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let net = protected().lower().expect("protected lowers");
+    println!(
+        "width probe: {blocks} blocks/lane, Precise tracking, OptConfig::all(), \
+         {cores} cores, median of {REPS}"
+    );
+    println!(
+        "{:>5} {:>18} {:>24}",
+        "width", "1 engine (blk/s)", "per-core engines (blk/s)"
+    );
+    for w in SUPPORTED_LANES {
+        let one = engine_rate(&net, TrackMode::Precise, w, 1, blocks, REPS);
+        let many = engine_rate(&net, TrackMode::Precise, w, cores, blocks, REPS);
+        println!("{w:>5} {one:>18.0} {many:>24.0}");
+    }
+}

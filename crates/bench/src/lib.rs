@@ -18,4 +18,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod probe;
 pub mod table;

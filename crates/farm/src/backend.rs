@@ -1,0 +1,151 @@
+//! Runtime selection between the interpreting and native lane engines.
+//!
+//! [`LaneBackend`] is not object-safe (constructors return `Self`), so
+//! the farm cannot hold a `Box<dyn LaneBackend>`; [`AnyLane`] is the
+//! closed enum over the two lane-parallel engines instead. Workers pick
+//! the variant per batch: native codegen where it wins (W ≥ 4, toolchain
+//! present), the interpreter everywhere else. Both variants run the same
+//! compiled tape, so [`sim::LaneSnapshot`]s move freely between them
+//! during re-packing — a session can be checkpointed out of an
+//! interpreted batch and resumed inside a native one.
+
+use hdl::{Netlist, NodeId, Value};
+use ifc_lattice::Label;
+use sim::{
+    BatchedSim, LaneBackend, LaneSnapshot, NativeSim, OptConfig, RuntimeViolation, TrackMode,
+};
+
+/// Either lane-parallel engine behind one [`LaneBackend`] face.
+#[derive(Debug)]
+pub enum AnyLane {
+    /// The interpreting batched simulator.
+    Batched(BatchedSim),
+    /// The native-codegen executor.
+    Native(NativeSim),
+}
+
+macro_rules! delegate {
+    ($self:ident, $sim:ident => $body:expr) => {
+        match $self {
+            AnyLane::Batched($sim) => $body,
+            AnyLane::Native($sim) => $body,
+        }
+    };
+}
+
+impl LaneBackend for AnyLane {
+    fn with_tracking_opt(net: Netlist, mode: TrackMode, lanes: usize, opt: &OptConfig) -> AnyLane {
+        AnyLane::Batched(BatchedSim::with_tracking_opt(net, mode, lanes, opt))
+    }
+
+    fn with_lanes(&self, lanes: usize) -> AnyLane {
+        match self {
+            AnyLane::Batched(sim) => AnyLane::Batched(sim.with_lanes(lanes)),
+            AnyLane::Native(sim) => AnyLane::Native(sim.with_lanes(lanes)),
+        }
+    }
+
+    fn lanes(&self) -> usize {
+        delegate!(self, sim => sim.lanes())
+    }
+
+    fn netlist(&self) -> &Netlist {
+        delegate!(self, sim => sim.netlist())
+    }
+
+    fn mode(&self) -> TrackMode {
+        delegate!(self, sim => sim.mode())
+    }
+
+    fn cycle(&self) -> u64 {
+        delegate!(self, sim => sim.cycle())
+    }
+
+    fn set(&mut self, lane: usize, name: &str, value: Value) {
+        delegate!(self, sim => sim.set(lane, name, value));
+    }
+
+    fn set_label(&mut self, lane: usize, name: &str, label: Label) {
+        delegate!(self, sim => sim.set_label(lane, name, label));
+    }
+
+    fn set_node(&mut self, lane: usize, id: NodeId, value: Value) {
+        delegate!(self, sim => sim.set_node(lane, id, value));
+    }
+
+    fn set_node_label(&mut self, lane: usize, id: NodeId, label: Label) {
+        delegate!(self, sim => sim.set_node_label(lane, id, label));
+    }
+
+    fn peek(&mut self, lane: usize, name: &str) -> Value {
+        delegate!(self, sim => sim.peek(lane, name))
+    }
+
+    fn peek_label(&mut self, lane: usize, name: &str) -> Label {
+        delegate!(self, sim => sim.peek_label(lane, name))
+    }
+
+    fn peek_node(&mut self, lane: usize, id: NodeId) -> Value {
+        delegate!(self, sim => sim.peek_node(lane, id))
+    }
+
+    fn peek_node_label(&mut self, lane: usize, id: NodeId) -> Label {
+        delegate!(self, sim => sim.peek_node_label(lane, id))
+    }
+
+    fn eval(&mut self) {
+        delegate!(self, sim => sim.eval());
+    }
+
+    fn tick(&mut self) {
+        delegate!(self, sim => sim.tick());
+    }
+
+    fn run(&mut self, n: u64) {
+        delegate!(self, sim => sim.run(n));
+    }
+
+    fn violations(&self, lane: usize) -> &[RuntimeViolation] {
+        delegate!(self, sim => sim.violations(lane))
+    }
+
+    fn violations_truncated(&self, lane: usize) -> bool {
+        delegate!(self, sim => sim.violations_truncated(lane))
+    }
+
+    fn set_violation_cap(&mut self, cap: usize) {
+        delegate!(self, sim => sim.set_violation_cap(cap));
+    }
+
+    fn mem_index(&self, name: &str) -> Option<usize> {
+        delegate!(self, sim => sim.mem_index(name))
+    }
+
+    fn mem_cell(&self, lane: usize, mem: usize, addr: usize) -> Value {
+        delegate!(self, sim => sim.mem_cell(lane, mem, addr))
+    }
+
+    fn mem_cell_label(&self, lane: usize, mem: usize, addr: usize) -> Label {
+        delegate!(self, sim => sim.mem_cell_label(lane, mem, addr))
+    }
+
+    fn set_mem_cell_label(&mut self, lane: usize, mem: usize, addr: usize, label: Label) {
+        delegate!(self, sim => sim.set_mem_cell_label(lane, mem, addr, label));
+    }
+
+    fn fold_label_plane(&mut self, lane: usize, acc: &mut [Label]) {
+        delegate!(self, sim => sim.fold_label_plane(lane, acc));
+    }
+
+    fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]) {
+        delegate!(self, sim => sim.fold_mem_labels(lane, acc));
+    }
+
+    fn lane_snapshot(&mut self, lane: usize) -> LaneSnapshot {
+        delegate!(self, sim => sim.lane_snapshot(lane))
+    }
+
+    fn restore_lane(&mut self, lane: usize, snap: &LaneSnapshot) {
+        delegate!(self, sim => sim.restore_lane(lane, snap));
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-data metrics snapshots and their JSON rendering.
+//!
+//! Hand-rolled JSON like the rest of the repo (the build environment is
+//! offline; no serde). The shape is consumed by the `farm_guard`
+//! benchmark gate and uploaded as a CI artifact.
+
+/// One tenant's counters at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// Registered display name.
+    pub name: String,
+    /// Jobs admitted into the queues.
+    pub submitted: u64,
+    /// Jobs refused by the admission policy.
+    pub admission_rejected: u64,
+    /// Jobs refused by queue backpressure.
+    pub queue_rejected: u64,
+    /// Jobs fully completed.
+    pub completed: u64,
+    /// Blocks completed.
+    pub blocks: u64,
+    /// Blocks verified against the software oracle.
+    pub verified: u64,
+    /// Runtime violations recorded on this tenant's lanes.
+    pub violations: u64,
+    /// Blocks the hardware's release check refused.
+    pub hw_rejections: u64,
+    /// Completed blocks per wall-clock second since the farm started.
+    pub blocks_per_sec: f64,
+}
+
+/// A point-in-time snapshot of the whole service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmMetrics {
+    /// Wall-clock seconds since the farm started.
+    pub elapsed_secs: f64,
+    /// Blocks completed across all tenants.
+    pub blocks_total: u64,
+    /// Aggregate completed blocks per second.
+    pub blocks_per_sec: f64,
+    /// Admitted jobs not yet claimed by a worker.
+    pub queue_depth: usize,
+    /// Jobs admitted but not yet completed.
+    pub active_jobs: usize,
+    /// Cycles a lane offered a block the input handshake refused.
+    pub stall_cycles: u64,
+    /// Lane-cycles spent with a job resident.
+    pub busy_lane_cycles: u64,
+    /// Lane-cycles spent empty.
+    pub idle_lane_cycles: u64,
+    /// `stall_cycles / busy_lane_cycles`.
+    pub stall_rate: f64,
+    /// Engine rebuilds at a new width (dynamic re-packing events).
+    pub repacks: u64,
+    /// Jobs popped from another worker's queue shard.
+    pub steals: u64,
+    /// Scheduling quanta executed per lane width — the lane-occupancy
+    /// histogram, `(width, quanta)` per supported width.
+    pub width_quanta: Vec<(usize, u64)>,
+    /// The width tuner's effective blocks/s estimate per supported
+    /// width at snapshot time (seeds refined by this run's online
+    /// measurements) — what re-packing decisions were based on.
+    pub width_estimates: Vec<(usize, f64)>,
+    /// Per-tenant counters, in registration order.
+    pub tenants: Vec<TenantMetrics>,
+}
+
+/// Minimal JSON string escaping (tenant names are the only free text).
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl FarmMetrics {
+    /// Renders the snapshot as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let widths: Vec<String> = self
+            .width_quanta
+            .iter()
+            .map(|(w, q)| format!("{{\"width\": {w}, \"quanta\": {q}}}"))
+            .collect();
+        let estimates: Vec<String> = self
+            .width_estimates
+            .iter()
+            .map(|(w, e)| format!("{{\"width\": {w}, \"blocks_per_sec_estimate\": {e:.1}}}"))
+            .collect();
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"name\": \"{}\", \"submitted\": {}, \"admission_rejected\": {}, \
+                     \"queue_rejected\": {}, \"completed\": {}, \"blocks\": {}, \
+                     \"verified\": {}, \"violations\": {}, \"hw_rejections\": {}, \
+                     \"blocks_per_sec\": {:.1}}}",
+                    escape(&t.name),
+                    t.submitted,
+                    t.admission_rejected,
+                    t.queue_rejected,
+                    t.completed,
+                    t.blocks,
+                    t.verified,
+                    t.violations,
+                    t.hw_rejections,
+                    t.blocks_per_sec,
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"elapsed_secs\": {:.3},\n  \"blocks_total\": {},\n  \
+             \"blocks_per_sec\": {:.1},\n  \"queue_depth\": {},\n  \"active_jobs\": {},\n  \
+             \"stall_cycles\": {},\n  \"busy_lane_cycles\": {},\n  \"idle_lane_cycles\": {},\n  \
+             \"stall_rate\": {:.4},\n  \"repacks\": {},\n  \"steals\": {},\n  \
+             \"width_quanta\": [{}],\n  \"width_estimates\": [{}],\n  \"tenants\": [{}]\n}}",
+            self.elapsed_secs,
+            self.blocks_total,
+            self.blocks_per_sec,
+            self.queue_depth,
+            self.active_jobs,
+            self.stall_cycles,
+            self.busy_lane_cycles,
+            self.idle_lane_cycles,
+            self.stall_rate,
+            self.repacks,
+            self.steals,
+            widths.join(", "),
+            estimates.join(", "),
+            tenants.join(", "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let m = FarmMetrics {
+            elapsed_secs: 1.5,
+            blocks_total: 10,
+            blocks_per_sec: 6.7,
+            queue_depth: 0,
+            active_jobs: 0,
+            stall_cycles: 1,
+            busy_lane_cycles: 100,
+            idle_lane_cycles: 3,
+            stall_rate: 0.01,
+            repacks: 2,
+            steals: 1,
+            width_quanta: vec![(1, 0), (4, 5)],
+            width_estimates: vec![(1, 15000.0), (4, 25000.5)],
+            tenants: vec![TenantMetrics {
+                name: "a\"b".into(),
+                submitted: 1,
+                admission_rejected: 0,
+                queue_rejected: 0,
+                completed: 1,
+                blocks: 10,
+                verified: 10,
+                violations: 0,
+                hw_rejections: 0,
+                blocks_per_sec: 6.7,
+            }],
+        };
+        let json = m.to_json();
+        assert!(json.contains("\"blocks_total\": 10"));
+        assert!(json.contains("\\\"b\""), "quote in name is escaped");
+        assert!(json.contains("{\"width\": 4, \"quanta\": 5}"));
+        assert!(json.contains("{\"width\": 4, \"blocks_per_sec_estimate\": 25000.5}"));
+    }
+}

@@ -11,6 +11,7 @@
 use hdl::{Netlist, NodeId, Value};
 use ifc_lattice::Label;
 
+use crate::batched::LaneSnapshot;
 use crate::violation::RuntimeViolation;
 use crate::{BatchedSim, CompiledSim, OptConfig, Simulator, TrackMode};
 
@@ -350,6 +351,19 @@ pub trait LaneBackend {
     where
         Self: Sized;
 
+    /// The narrowest lane width at which this backend's per-batch
+    /// overhead amortizes: schedulers splitting work across cores should
+    /// not shrink batches below it. The interpreter degrades gracefully
+    /// all the way down (`1`); the native executor's per-pass setup and
+    /// i-fetch cost only pay off at W ≥ 4 (see BENCH_sim.json's
+    /// `native.rows`).
+    fn min_efficient_width() -> usize
+    where
+        Self: Sized,
+    {
+        1
+    }
+
     /// The number of independent sessions executing in lock-step.
     fn lanes(&self) -> usize;
 
@@ -423,6 +437,14 @@ pub trait LaneBackend {
     /// Joins one lane's memory cell labels into `acc`, summarised per
     /// array.
     fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]);
+
+    /// Checkpoints one lane's complete architectural state (see
+    /// [`BatchedSim::lane_snapshot`]).
+    fn lane_snapshot(&mut self, lane: usize) -> LaneSnapshot;
+
+    /// Restores a checkpointed lane into this batch (see
+    /// [`BatchedSim::restore_lane`]).
+    fn restore_lane(&mut self, lane: usize, snap: &LaneSnapshot);
 }
 
 impl LaneBackend for BatchedSim {
@@ -528,5 +550,13 @@ impl LaneBackend for BatchedSim {
 
     fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]) {
         BatchedSim::fold_mem_labels(self, lane, acc);
+    }
+
+    fn lane_snapshot(&mut self, lane: usize) -> LaneSnapshot {
+        BatchedSim::lane_snapshot(self, lane)
+    }
+
+    fn restore_lane(&mut self, lane: usize, snap: &LaneSnapshot) {
+        BatchedSim::restore_lane(self, lane, snap);
     }
 }

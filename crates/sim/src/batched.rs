@@ -131,6 +131,62 @@ pub struct BatchedSim {
     pub(crate) profile: crate::profile::ProfileData,
 }
 
+/// One lane's complete architectural state, checkpointed by
+/// [`BatchedSim::lane_snapshot`] and resumable into any lane of any batch
+/// compiled from the same tape via [`BatchedSim::restore_lane`] — the
+/// mechanism the accelerator farm uses to re-pack live sessions across
+/// batch widths without replaying their history.
+///
+/// De-striped (single-lane contiguous) copies of the slot value/label
+/// planes and every memory's cell planes, plus the lane's recorded
+/// violation stream. Register state needs no special handling: registers
+/// live in ordinary value slots, and the clock-edge scratch is dead
+/// between cycles.
+#[derive(Debug, Clone)]
+pub struct LaneSnapshot {
+    tape_fingerprint: u64,
+    mode: TrackMode,
+    cycle: u64,
+    values_lo: Vec<u64>,
+    values_hi: Vec<u64>,
+    lab_conf: Vec<u8>,
+    lab_integ: Vec<u8>,
+    mem_lo: Vec<Vec<u64>>,
+    mem_hi: Vec<Vec<u64>>,
+    mem_lab_conf: Vec<Vec<u8>>,
+    mem_lab_integ: Vec<Vec<u8>>,
+    violations: Vec<RuntimeViolation>,
+    violations_truncated: bool,
+}
+
+impl LaneSnapshot {
+    /// Fingerprint of the tape the source batch executed
+    /// ([`BatchedSim::tape_fingerprint`]); restore targets must match.
+    #[must_use]
+    pub fn tape_fingerprint(&self) -> u64 {
+        self.tape_fingerprint
+    }
+
+    /// Tracking mode of the source batch.
+    #[must_use]
+    pub fn mode(&self) -> TrackMode {
+        self.mode
+    }
+
+    /// The source batch's shared cycle counter at snapshot time
+    /// (diagnostic; not restored).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The checkpointed lane's violation stream.
+    #[must_use]
+    pub fn violations(&self) -> &[RuntimeViolation] {
+        &self.violations
+    }
+}
+
 /// [`RunEngine`] adapter binding the shared settled-state run loop to a
 /// `BatchedSim` monomorphised over one lane width and tracking mode.
 struct BatchedEngine<'a, const W: usize, const TRACK: bool, const PRECISE: bool>(
@@ -492,6 +548,101 @@ impl BatchedSim {
                 acc[mem] = acc[mem].join(self.mem_cell_label(lane, mem, addr));
             }
         }
+    }
+
+    /// Checkpoints one lane's complete architectural state — value and
+    /// label planes for every slot (registers live in ordinary slots),
+    /// every memory cell, and the lane's violation stream — as a
+    /// [`LaneSnapshot`] that can be restored into any lane of any batch
+    /// compiled from the same tape.
+    ///
+    /// Combinational state is settled first so the snapshot is coherent;
+    /// take it only at a quiescent protocol point (no request the host
+    /// still intends to complete mid-flight matters to the *host*, the
+    /// hardware pipeline itself is captured exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_snapshot(&mut self, lane: usize) -> LaneSnapshot {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.eval();
+        let w = self.lanes;
+        let pick64 = |v: &[u64]| -> Vec<u64> { v.iter().skip(lane).step_by(w).copied().collect() };
+        let pick8 = |v: &[u8]| -> Vec<u8> { v.iter().skip(lane).step_by(w).copied().collect() };
+        LaneSnapshot {
+            tape_fingerprint: self.tape_fingerprint(),
+            mode: self.mode(),
+            cycle: self.cycle,
+            values_lo: pick64(&self.values_lo),
+            values_hi: pick64(&self.values_hi),
+            lab_conf: pick8(&self.lab_conf),
+            lab_integ: pick8(&self.lab_integ),
+            mem_lo: self.mem_lo.iter().map(|c| pick64(c)).collect(),
+            mem_hi: self.mem_hi.iter().map(|c| pick64(c)).collect(),
+            mem_lab_conf: self.mem_lab_conf.iter().map(|c| pick8(c)).collect(),
+            mem_lab_integ: self.mem_lab_integ.iter().map(|c| pick8(c)).collect(),
+            violations: self.violations[lane].clone(),
+            violations_truncated: self.violations_truncated[lane],
+        }
+    }
+
+    /// Restores a [`LaneSnapshot`] into `lane`, overwriting that lane's
+    /// entire state (values, labels, memories, violation stream). The
+    /// target batch may have a different lane width than the source — this
+    /// is how the farm re-packs live sessions across batch shapes — but it
+    /// must execute the identical tape in the identical tracking mode.
+    ///
+    /// The shared cycle counter is *not* restored (it belongs to the
+    /// batch, not the lane); violation cycle stamps in the restored stream
+    /// keep their original batch's clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or the snapshot was taken from a
+    /// different tape or tracking mode.
+    pub fn restore_lane(&mut self, lane: usize, snap: &LaneSnapshot) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        assert_eq!(
+            snap.tape_fingerprint,
+            self.tape_fingerprint(),
+            "snapshot is from a different compiled tape"
+        );
+        assert_eq!(
+            snap.mode,
+            self.mode(),
+            "snapshot is from a different tracking mode"
+        );
+        let w = self.lanes;
+        let put64 = |dst: &mut [u64], src: &[u64]| {
+            for (d, &s) in dst.iter_mut().skip(lane).step_by(w).zip(src) {
+                *d = s;
+            }
+        };
+        let put8 = |dst: &mut [u8], src: &[u8]| {
+            for (d, &s) in dst.iter_mut().skip(lane).step_by(w).zip(src) {
+                *d = s;
+            }
+        };
+        put64(&mut self.values_lo, &snap.values_lo);
+        put64(&mut self.values_hi, &snap.values_hi);
+        put8(&mut self.lab_conf, &snap.lab_conf);
+        put8(&mut self.lab_integ, &snap.lab_integ);
+        for (dst, src) in self.mem_lo.iter_mut().zip(&snap.mem_lo) {
+            put64(dst, src);
+        }
+        for (dst, src) in self.mem_hi.iter_mut().zip(&snap.mem_hi) {
+            put64(dst, src);
+        }
+        for (dst, src) in self.mem_lab_conf.iter_mut().zip(&snap.mem_lab_conf) {
+            put8(dst, src);
+        }
+        for (dst, src) in self.mem_lab_integ.iter_mut().zip(&snap.mem_lab_integ) {
+            put8(dst, src);
+        }
+        self.violations[lane] = snap.violations.clone();
+        self.violations_truncated[lane] = snap.violations_truncated;
+        self.clean = false;
     }
 
     /// Settles combinational logic of every lane for the current inputs.

@@ -60,10 +60,12 @@ pub mod vcd;
 mod violation;
 
 pub use backend::{LaneBackend, SimBackend};
-pub use batched::{BatchedSim, SUPPORTED_LANES};
+pub use batched::{BatchedSim, LaneSnapshot, SUPPORTED_LANES};
 pub use compiled::CompiledSim;
-pub use native::{cache_stats, NativeCacheStats, NativeError, NativeSim};
-pub use opt::{OptConfig, OptStats, PassStats, DEFAULT_SCHEDULE_WINDOW};
+pub use native::{
+    cache_stats, native_toolchain_available, NativeCacheStats, NativeError, NativeSim,
+};
+pub use opt::{tuned as tuned_opt_config, OptConfig, OptStats, PassStats, DEFAULT_SCHEDULE_WINDOW};
 #[cfg(feature = "profile")]
 pub use profile::{OpProfile, ProfileReport};
 pub use simulator::{Simulator, TrackMode};

@@ -48,6 +48,17 @@ pub struct NativeCacheStats {
     pub memory_hits: u64,
 }
 
+/// Whether the host `rustc` the native backend compiles with is usable —
+/// probed once per process (the same probe the compile path uses, so a
+/// `true` here means [`NativeSim`](crate::NativeSim) construction will not
+/// fail for toolchain reasons). Callers that can degrade gracefully (the
+/// mutation campaign, the farm's backend selection) check this instead of
+/// catching a construction panic.
+#[must_use]
+pub fn toolchain_available() -> bool {
+    rustc_version().is_ok()
+}
+
 /// Snapshot of the compile-cache counters for this process.
 #[must_use]
 pub fn cache_stats() -> NativeCacheStats {

@@ -26,7 +26,7 @@ use std::fmt;
 use hdl::{Netlist, NodeId, Value};
 use ifc_lattice::{Label, SecurityTag};
 
-pub use cache::{cache_stats, NativeCacheStats};
+pub use cache::{cache_stats, toolchain_available as native_toolchain_available, NativeCacheStats};
 
 use crate::backend::{self, RunEngine};
 use crate::batched::label_of;
@@ -504,6 +504,30 @@ impl NativeSim {
     pub fn run(&mut self, n: u64) {
         backend::run_engine(&mut NativeEngine(self), n);
     }
+
+    /// Checkpoints one lane's complete architectural state (see
+    /// [`BatchedSim::lane_snapshot`]). The native executor settles the
+    /// state first; snapshots interchange freely with the batched
+    /// interpreter's, since both run the identical tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn lane_snapshot(&mut self, lane: usize) -> crate::LaneSnapshot {
+        self.eval();
+        self.inner.lane_snapshot(lane)
+    }
+
+    /// Restores a checkpointed lane into this batch (see
+    /// [`BatchedSim::restore_lane`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range or the snapshot was taken from a
+    /// different tape or tracking mode.
+    pub fn restore_lane(&mut self, lane: usize, snap: &crate::LaneSnapshot) {
+        self.inner.restore_lane(lane, snap);
+    }
 }
 
 impl SimBackend for NativeSim {
@@ -601,6 +625,14 @@ impl LaneBackend for NativeSim {
         NativeSim::with_lanes(self, lanes)
     }
 
+    /// The generated executor is i-fetch bound, so its fixed per-pass
+    /// cost (pointer-table refill, FFI entry, instruction-cache churn)
+    /// only amortizes across ≥ 4 lanes — the measured crossover in
+    /// BENCH_sim.json's `native.rows`.
+    fn min_efficient_width() -> usize {
+        4
+    }
+
     fn lanes(&self) -> usize {
         NativeSim::lanes(self)
     }
@@ -695,6 +727,14 @@ impl LaneBackend for NativeSim {
 
     fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]) {
         NativeSim::fold_mem_labels(self, lane, acc);
+    }
+
+    fn lane_snapshot(&mut self, lane: usize) -> crate::LaneSnapshot {
+        NativeSim::lane_snapshot(self, lane)
+    }
+
+    fn restore_lane(&mut self, lane: usize, snap: &crate::LaneSnapshot) {
+        NativeSim::restore_lane(self, lane, snap);
     }
 }
 

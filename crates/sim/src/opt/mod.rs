@@ -97,6 +97,40 @@ impl OptConfig {
     }
 }
 
+/// Calibration length for [`tuned`]'s profiling run: enough tape passes
+/// for the average run length to stabilise, short enough that the probe
+/// costs single-digit milliseconds per (netlist, mode) launch.
+#[cfg(feature = "profile")]
+const TUNE_CYCLES: u64 = 128;
+
+/// The optimizer configuration fleet and farm launches use by default:
+/// every pass enabled, with the scheduling window fed back from the cycle
+/// profiler's measured run fragmentation instead of requiring manual
+/// plumbing.
+///
+/// With the `profile` cargo feature, a one-lane probe batch compiled with
+/// [`OptConfig::all`] executes a short calibration run and
+/// `ProfileReport::suggest_window` sizes
+/// [`OptConfig::schedule_window`] from the observed average same-op run
+/// length. Without the feature the probe would measure nothing, so the
+/// result is exactly [`OptConfig::all`] (window `None`, i.e. the default).
+#[must_use]
+pub fn tuned(net: &hdl::Netlist, mode: crate::TrackMode) -> OptConfig {
+    #[cfg_attr(not(feature = "profile"), allow(unused_mut))]
+    let mut config = OptConfig::all();
+    #[cfg(feature = "profile")]
+    {
+        let mut probe = crate::BatchedSim::with_tracking_opt(net.clone(), mode, 1, &config);
+        probe.run(TUNE_CYCLES);
+        config.schedule_window = Some(probe.profile_report().suggest_window());
+    }
+    #[cfg(not(feature = "profile"))]
+    {
+        let _ = (net, mode);
+    }
+    config
+}
+
 /// Before/after instruction counts of one optimizer pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassStats {

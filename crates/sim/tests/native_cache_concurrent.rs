@@ -1,0 +1,98 @@
+//! Concurrent access to the native executor compile cache.
+//!
+//! The farm's workers all warm the same (netlist, mode, width) key when a
+//! fleet launches on the native backend: every constructor racing into
+//! [`sim::NativeSim`] must resolve to **one** `rustc` invocation, with the
+//! losers served from the in-process registry and `cache_stats()` staying
+//! exact under the race.
+//!
+//! Lives in its own integration-test binary: the cache counters are
+//! process-wide, so this must be the only test in the process for the
+//! asserted deltas to be meaningful. The on-disk layer is redirected to a
+//! fresh directory (`NATIVE_SIM_CACHE_DIR`) so the cold path really
+//! compiles instead of hitting dylibs left by earlier runs.
+
+use std::sync::Barrier;
+use std::thread;
+
+use hdl::ModuleBuilder;
+use sim::{cache_stats, native_toolchain_available, NativeSim, TrackMode};
+
+const WORKERS: usize = 8;
+
+fn build_netlist() -> hdl::Netlist {
+    let mut m = ModuleBuilder::new("concurrent_cache_probe");
+    let a = m.input("a", 16);
+    let b = m.input("b", 16);
+    let r = m.reg("acc", 16, 0);
+    let sum = m.add(a, b);
+    let next = m.xor(r, sum);
+    m.connect(r, next);
+    m.output("acc", r);
+    m.finish().lower().expect("lowers")
+}
+
+#[test]
+fn racing_workers_compile_once() {
+    if !native_toolchain_available() {
+        eprintln!("skipping: no usable rustc for the native backend on this host");
+        return;
+    }
+    let scratch = std::env::temp_dir().join(format!("nsim-concurrent-{}", std::process::id()));
+    std::env::set_var("NATIVE_SIM_CACHE_DIR", &scratch);
+
+    let net = build_netlist();
+    let before = cache_stats();
+    let barrier = Barrier::new(WORKERS);
+    let accs: Vec<u128> = thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let net = net.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut sim = NativeSim::with_tracking(net, TrackMode::Conservative, 4);
+                    for lane in 0..4 {
+                        sim.set(lane, "a", 3 + lane as u128);
+                        sim.set(lane, "b", 5);
+                    }
+                    sim.run(4);
+                    sim.peek(0, "acc")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let after = cache_stats();
+
+    assert_eq!(
+        after.compiles - before.compiles,
+        1,
+        "{WORKERS} racing constructions of one key must invoke rustc exactly once"
+    );
+    assert_eq!(
+        after.disk_hits - before.disk_hits,
+        0,
+        "the scratch cache dir started empty; nothing can be a disk hit"
+    );
+    assert_eq!(
+        after.memory_hits - before.memory_hits,
+        (WORKERS - 1) as u64,
+        "every racer after the first must be served from the in-process registry"
+    );
+    assert!(
+        accs.windows(2).all(|w| w[0] == w[1]),
+        "all workers share one executor and must agree on the outputs: {accs:?}"
+    );
+
+    // A straggler joining after the race is a plain warm hit.
+    let _late = NativeSim::with_tracking(build_netlist(), TrackMode::Conservative, 4);
+    let warm = cache_stats();
+    assert_eq!(warm.compiles, after.compiles);
+    assert_eq!(warm.memory_hits, after.memory_hits + 1);
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
