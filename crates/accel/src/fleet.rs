@@ -129,6 +129,35 @@ impl FleetStats {
             .iter()
             .all(|s| s.responses == blocks_per_session && s.verified == s.responses)
     }
+
+    /// Loads the run's aggregates into a [`telemetry::Registry`] under
+    /// `fleet_*` names, so fleet harness results share an exposition
+    /// (JSON / Prometheus text) with the farm's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry mutex is poisoned.
+    pub fn record_into(&self, reg: &telemetry::Registry) {
+        reg.counter("fleet_sessions_total")
+            .add(self.sessions.len() as u64);
+        reg.counter("fleet_responses_total")
+            .add(self.total_responses() as u64);
+        reg.counter("fleet_violations_total")
+            .add(self.total_violations() as u64);
+        reg.counter("fleet_cycles_total").add(self.total_cycles());
+        reg.counter("fleet_rejections_total")
+            .add(self.sessions.iter().map(|s| s.rejections as u64).sum());
+        reg.counter("fleet_verified_total")
+            .add(self.sessions.iter().map(|s| s.verified as u64).sum());
+        let cycles = reg.histogram(
+            "fleet_session_cycles",
+            &[256.0, 1024.0, 4096.0, 16384.0, 65536.0],
+        );
+        for s in &self.sessions {
+            #[allow(clippy::cast_precision_loss)]
+            cycles.observe(s.cycles as f64);
+        }
+    }
 }
 
 /// Deterministic per-session key/plaintext derivation (SplitMix64) —

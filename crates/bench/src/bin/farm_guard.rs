@@ -153,6 +153,7 @@ fn run_farm_once(net: &hdl::Netlist, jobs: &[(usize, JobSpec, Duration)]) -> Far
             use_native: false,
             repack_quantum: 64,
             opt: Some(OptConfig::all()),
+            telemetry: None,
         },
     );
     let tenants: Vec<_> = tenant_loads()

@@ -50,6 +50,7 @@ fn main() -> ExitCode {
             path = arg;
         }
     }
+    let requested = backend;
     if backend == FleetBackend::Native && !sim::native_toolchain_available() {
         eprintln!(
             "mutation_guard: warning: --backend native requested but no rustc toolchain is \
@@ -58,6 +59,14 @@ fn main() -> ExitCode {
         );
         backend = FleetBackend::Batched;
     }
+    // The fallback must be machine-readable too: CI consumers of the
+    // report should never have to scrape stderr to learn which engine
+    // actually ran the stage-3 traffic.
+    let native_fallback = requested != backend;
+    let backend_key = |b: FleetBackend| match b {
+        FleetBackend::Batched => "batched",
+        FleetBackend::Native => "native",
+    };
     let base = protected();
     let cfg = CampaignConfig {
         backend,
@@ -150,7 +159,9 @@ fn main() -> ExitCode {
     }
 
     let json = format!(
-        "{{\n\"campaign\": {},\n\"control\": {},\n\"campaign_seconds\": {campaign_secs:.2},\n\"total_seconds\": {total_secs:.2}\n}}\n",
+        "{{\n\"backend_requested\": \"{}\",\n\"backend_used\": \"{}\",\n\"native_fallback\": {native_fallback},\n\"campaign\": {},\n\"control\": {},\n\"campaign_seconds\": {campaign_secs:.2},\n\"total_seconds\": {total_secs:.2}\n}}\n",
+        backend_key(requested),
+        backend_key(backend),
         report.to_json(),
         control.to_json()
     );

@@ -15,13 +15,16 @@
 //! compiled tape — possibly at a different width, possibly on the other
 //! simulator backend.
 
+use std::sync::{Arc, Mutex};
+
 use accel::batch::{BatchedDriver, LaneAction};
 use accel::driver::{Request, Response};
 use accel::fleet::{block_from, KEY_DERIVE_INDEX};
 use aes_core::Aes;
-use sim::{LaneBackend, LaneSnapshot};
+use sim::{LaneBackend, LaneSnapshot, RuntimeViolation};
+use telemetry::{arg, AuditEvent, AuditKind, AuditSink, FlightRecorder, Tracer};
 
-use crate::tenant::{Job, JobOutcome};
+use crate::tenant::{Job, JobOutcome, TenantEntry};
 
 /// Cycles a freshly written key waits for the decrypt-key preparation
 /// unit to finish expanding RK10 (mirrors
@@ -116,6 +119,34 @@ impl ActiveJob {
     }
 }
 
+/// The telemetry an engine carries when the farm runs with observability
+/// on: the shared tracer/audit handles, this worker's trace thread id,
+/// and (optionally) a tag-plane flight recorder sampling every cycle.
+#[derive(Debug)]
+pub(crate) struct EngineTel {
+    pub(crate) tracer: Tracer,
+    pub(crate) audit: AuditSink,
+    pub(crate) flight: Option<FlightRecorder>,
+    /// Trace thread id (1 + worker index; 0 is the front door).
+    pub(crate) tid: u64,
+    /// The farm's tenant registry, for name attribution on the audit
+    /// path (cold: locked only when a violation or refusal fires).
+    pub(crate) tenants: Arc<Mutex<Vec<Arc<TenantEntry>>>>,
+}
+
+impl EngineTel {
+    /// `(tenant index, tenant name)` for an audit record.
+    fn tenant_attribution(&self, job: &Job) -> (Option<u64>, Option<String>) {
+        let name = self
+            .tenants
+            .lock()
+            .expect("tenant registry poisoned")
+            .get(job.tenant.index())
+            .map(|e| e.spec.name.clone());
+        (Some(job.tenant.index() as u64), name)
+    }
+}
+
 /// One worker's batch: a driver plus per-lane job state and utilisation
 /// counters.
 #[derive(Debug)]
@@ -133,10 +164,19 @@ pub(crate) struct LaneEngine<S: LaneBackend> {
     pub(crate) idle_lane_cycles: u64,
     /// Blocks completed on this engine (tuner measurements).
     pub(crate) blocks_harvested: u64,
+    /// Telemetry hooks; `None` costs one branch per cycle.
+    tel: Option<EngineTel>,
+    /// Per-lane violation-stream watermark: violations below it have
+    /// already been audited (restored streams carry their history).
+    vio_seen: Vec<usize>,
 }
 
 impl<S: LaneBackend> LaneEngine<S> {
     pub(crate) fn new(sim: S) -> LaneEngine<S> {
+        LaneEngine::with_telemetry(sim, None)
+    }
+
+    pub(crate) fn with_telemetry(sim: S, tel: Option<EngineTel>) -> LaneEngine<S> {
         let driver = BatchedDriver::from_batched(sim);
         let lanes = driver.lanes();
         LaneEngine {
@@ -148,6 +188,8 @@ impl<S: LaneBackend> LaneEngine<S> {
             busy_lane_cycles: 0,
             idle_lane_cycles: 0,
             blocks_harvested: 0,
+            tel,
+            vio_seen: vec![0; lanes],
         }
     }
 
@@ -166,6 +208,21 @@ impl<S: LaneBackend> LaneEngine<S> {
     pub(crate) fn start_job(&mut self, lane: usize, job: Job) {
         assert!(self.lanes[lane].is_none(), "lane {lane} already occupied");
         let vio_base = self.driver.violations(lane).len();
+        self.vio_seen[lane] = self.vio_seen[lane].max(vio_base);
+        if let Some(tel) = &self.tel {
+            tel.tracer.async_event(
+                'n',
+                tel.tid,
+                job.id,
+                "job",
+                "farm",
+                vec![
+                    arg("event", "lane_assign"),
+                    arg("lane", lane as u64),
+                    arg("cycle", self.driver.cycle()),
+                ],
+            );
+        }
         self.lanes[lane] = Some(ActiveJob::new(job, vio_base));
     }
 
@@ -245,6 +302,9 @@ impl<S: LaneBackend> LaneEngine<S> {
         }
 
         self.driver.step(&self.actions, &mut self.accepted);
+        if self.tel.is_some() {
+            self.observe();
+        }
 
         for lane in 0..self.lanes.len() {
             let Some(aj) = self.lanes[lane].as_mut() else {
@@ -263,21 +323,124 @@ impl<S: LaneBackend> LaneEngine<S> {
                 self.blocks_harvested += fresh as u64;
                 aj.responses.append(&mut self.driver.responses[lane]);
             }
+            if let (Some(tel), false) = (&self.tel, self.driver.rejections[lane].is_empty()) {
+                let (tenant, tenant_name) = tel.tenant_attribution(&aj.job);
+                for rej in &self.driver.rejections[lane] {
+                    tel.audit.record(AuditEvent {
+                        kind: Some(AuditKind::HwReleaseRefused),
+                        tenant,
+                        tenant_name: tenant_name.clone(),
+                        job: Some(aj.job.id),
+                        lane: Some(lane as u64),
+                        cycle: Some(rej.cycle),
+                        node: None,
+                        source: Some("out_block".to_owned()),
+                        detail: format!(
+                            "release check refused a response for principal {:?}",
+                            rej.user
+                        ),
+                    });
+                }
+            }
             aj.hw_rejections += self.driver.rejections[lane].len();
             self.driver.rejections[lane].clear();
 
             if aj.done_submitting() && self.driver.in_flight(lane) == 0 {
                 let aj = self.lanes[lane].take().expect("checked above");
                 let violations = self.driver.violations(lane).len() - aj.vio_base;
+                let verified = aj.verified_count();
+                if let Some(tel) = &self.tel {
+                    tel.tracer.async_event(
+                        'e',
+                        tel.tid,
+                        aj.job.id,
+                        "job",
+                        "farm",
+                        vec![
+                            arg("responses", aj.responses.len() as u64),
+                            arg("verified", verified as u64),
+                            arg("violations", violations as u64),
+                            arg("cycle", self.driver.cycle()),
+                        ],
+                    );
+                }
                 completed.push(JobOutcome {
                     id: aj.job.id,
                     tenant: aj.job.tenant,
                     responses: aj.responses.len(),
                     rejections: aj.hw_rejections,
-                    verified: aj.verified_count(),
+                    verified,
                     violations,
                 });
             }
+        }
+    }
+
+    /// The telemetry tap, run once per cycle after the driver settles:
+    /// samples the flight recorder and turns any violations fresh since
+    /// the per-lane watermark into attributed audit records (plus a
+    /// flight-dump trigger on the offending lane).
+    fn observe(&mut self) {
+        let Some(tel) = self.tel.as_mut() else { return };
+        if let Some(flight) = tel.flight.as_mut() {
+            flight.sample(self.driver.sim_mut());
+        }
+        for lane in 0..self.lanes.len() {
+            let vios = self.driver.violations(lane);
+            if vios.len() <= self.vio_seen[lane] {
+                continue;
+            }
+            let fresh: Vec<RuntimeViolation> = vios[self.vio_seen[lane]..].to_vec();
+            self.vio_seen[lane] = vios.len();
+            let (tenant, tenant_name, job) = match &self.lanes[lane] {
+                Some(aj) => {
+                    let (t, n) = tel.tenant_attribution(&aj.job);
+                    (t, n, Some(aj.job.id))
+                }
+                None => (None, None, None),
+            };
+            for v in fresh {
+                let detail = v.to_string();
+                let (kind, node, source) = match &v {
+                    RuntimeViolation::DowngradeRejected { node, .. } => (
+                        AuditKind::DowngradeRejected,
+                        Some(node.index() as u64),
+                        Some(ifc_check::runtime_blame(self.driver.sim().netlist(), *node)),
+                    ),
+                    RuntimeViolation::OutputLeak { port, .. } => (
+                        AuditKind::OutputLeak,
+                        self.driver
+                            .sim()
+                            .netlist()
+                            .output(port)
+                            .map(|n| n.index() as u64),
+                        Some(port.clone()),
+                    ),
+                };
+                tel.audit.record(AuditEvent {
+                    kind: Some(kind),
+                    tenant,
+                    tenant_name: tenant_name.clone(),
+                    job,
+                    lane: Some(lane as u64),
+                    cycle: Some(v.cycle()),
+                    node,
+                    source,
+                    detail: detail.clone(),
+                });
+                if let Some(flight) = tel.flight.as_mut() {
+                    flight.trigger(lane, v.cycle(), &detail);
+                }
+            }
+        }
+    }
+
+    /// Dumps any armed flight post-rolls immediately — call before the
+    /// engine is dropped or dismantled, so a violation caught within
+    /// `post_roll` cycles of the end still produces its VCD.
+    pub(crate) fn flush_flight(&mut self) {
+        if let Some(flight) = self.tel.as_mut().and_then(|t| t.flight.as_mut()) {
+            flight.flush();
         }
     }
 
@@ -323,6 +486,19 @@ impl<S: LaneBackend> LaneEngine<S> {
     pub(crate) fn adopt(&mut self, lane: usize, aj: ActiveJob, snap: &LaneSnapshot) {
         assert!(self.lanes[lane].is_none(), "lane {lane} already occupied");
         self.driver.sim_mut().restore_lane(lane, snap);
+        // The restored stream carries the session's violation history —
+        // already audited by the engine it came from.
+        self.vio_seen[lane] = self.driver.violations(lane).len();
+        if let Some(tel) = &self.tel {
+            tel.tracer.async_event(
+                'n',
+                tel.tid,
+                aj.job.id,
+                "job",
+                "farm",
+                vec![arg("event", "adopt"), arg("lane", lane as u64)],
+            );
+        }
         self.lanes[lane] = Some(aj);
     }
 

@@ -4,6 +4,34 @@
 //! offline; no serde). The shape is consumed by the `farm_guard`
 //! benchmark gate and uploaded as a CI artifact.
 
+/// A guarded ratio: `num / den` only when both operands are finite and
+/// the denominator is positive; `0.0` otherwise. Every rate the farm
+/// reports goes through this, so `stall_rate` with zero busy cycles or a
+/// `blocks_per_sec` taken microseconds after start can never surface as
+/// `NaN`/`inf` — which would render as unparseable JSON.
+#[must_use]
+pub fn rate(num: f64, den: f64) -> f64 {
+    if !num.is_finite() || !den.is_finite() || den <= 0.0 {
+        return 0.0;
+    }
+    let r = num / den;
+    if r.is_finite() {
+        r
+    } else {
+        0.0
+    }
+}
+
+/// Last-resort guard applied to every float the JSON rendering formats:
+/// `format!` writes `NaN`/`inf` verbatim, which no JSON parser accepts.
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
 /// One tenant's counters at snapshot time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantMetrics {
@@ -89,7 +117,12 @@ impl FarmMetrics {
         let estimates: Vec<String> = self
             .width_estimates
             .iter()
-            .map(|(w, e)| format!("{{\"width\": {w}, \"blocks_per_sec_estimate\": {e:.1}}}"))
+            .map(|(w, e)| {
+                format!(
+                    "{{\"width\": {w}, \"blocks_per_sec_estimate\": {:.1}}}",
+                    finite(*e)
+                )
+            })
             .collect();
         let tenants: Vec<String> = self
             .tenants
@@ -109,7 +142,7 @@ impl FarmMetrics {
                     t.verified,
                     t.violations,
                     t.hw_rejections,
-                    t.blocks_per_sec,
+                    finite(t.blocks_per_sec),
                 )
             })
             .collect();
@@ -119,15 +152,15 @@ impl FarmMetrics {
              \"stall_cycles\": {},\n  \"busy_lane_cycles\": {},\n  \"idle_lane_cycles\": {},\n  \
              \"stall_rate\": {:.4},\n  \"repacks\": {},\n  \"steals\": {},\n  \
              \"width_quanta\": [{}],\n  \"width_estimates\": [{}],\n  \"tenants\": [{}]\n}}",
-            self.elapsed_secs,
+            finite(self.elapsed_secs),
             self.blocks_total,
-            self.blocks_per_sec,
+            finite(self.blocks_per_sec),
             self.queue_depth,
             self.active_jobs,
             self.stall_cycles,
             self.busy_lane_cycles,
             self.idle_lane_cycles,
-            self.stall_rate,
+            finite(self.stall_rate),
             self.repacks,
             self.steals,
             widths.join(", "),
@@ -175,5 +208,52 @@ mod tests {
         assert!(json.contains("\\\"b\""), "quote in name is escaped");
         assert!(json.contains("{\"width\": 4, \"quanta\": 5}"));
         assert!(json.contains("{\"width\": 4, \"blocks_per_sec_estimate\": 25000.5}"));
+    }
+
+    #[test]
+    fn rate_guards_every_degenerate_denominator() {
+        assert_eq!(rate(10.0, 2.0), 5.0);
+        assert_eq!(rate(10.0, 0.0), 0.0, "zero denominator");
+        assert_eq!(rate(10.0, -1.0), 0.0, "negative denominator");
+        assert_eq!(rate(10.0, f64::NAN), 0.0, "NaN denominator");
+        assert_eq!(rate(f64::NAN, 2.0), 0.0, "NaN numerator");
+        assert_eq!(rate(10.0, f64::INFINITY), 0.0, "inf denominator");
+        assert_eq!(rate(f64::MAX, f64::MIN_POSITIVE), 0.0, "overflowing ratio");
+    }
+
+    #[test]
+    fn json_never_emits_nan_or_inf() {
+        let m = FarmMetrics {
+            elapsed_secs: f64::NAN,
+            blocks_total: 0,
+            blocks_per_sec: f64::INFINITY,
+            queue_depth: 0,
+            active_jobs: 0,
+            stall_cycles: 0,
+            busy_lane_cycles: 0,
+            idle_lane_cycles: 0,
+            stall_rate: f64::NAN,
+            repacks: 0,
+            steals: 0,
+            width_quanta: vec![(1, 0)],
+            width_estimates: vec![(1, f64::NEG_INFINITY)],
+            tenants: vec![TenantMetrics {
+                name: "t".into(),
+                submitted: 0,
+                admission_rejected: 0,
+                queue_rejected: 0,
+                completed: 0,
+                blocks: 0,
+                verified: 0,
+                violations: 0,
+                hw_rejections: 0,
+                blocks_per_sec: f64::NAN,
+            }],
+        };
+        let json = m.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        // The degenerate fields all collapse to plain zeros.
+        assert!(json.contains("\"stall_rate\": 0.0000"), "{json}");
+        assert!(json.contains("\"blocks_per_sec\": 0.0"), "{json}");
     }
 }

@@ -65,8 +65,9 @@ impl WorkQueues {
     }
 
     /// Pops a job for `worker`: own shard back first, then steals the
-    /// front of the other shards.
-    pub(crate) fn pop(&self, worker: usize) -> Option<Job> {
+    /// front of the other shards. The flag reports whether the job was
+    /// stolen from another worker's shard (telemetry attribution).
+    pub(crate) fn pop(&self, worker: usize) -> Option<(Job, bool)> {
         let n = self.shards.len();
         let own = worker % n;
         if let Some(job) = self.shards[own]
@@ -75,7 +76,7 @@ impl WorkQueues {
             .pop_back()
         {
             self.len.fetch_sub(1, Ordering::Relaxed);
-            return Some(job);
+            return Some((job, false));
         }
         for off in 1..n {
             let victim = (own + off) % n;
@@ -86,7 +87,7 @@ impl WorkQueues {
             {
                 self.len.fetch_sub(1, Ordering::Relaxed);
                 self.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(job);
+                return Some((job, true));
             }
         }
         None
@@ -126,6 +127,19 @@ mod tests {
     }
 
     #[test]
+    fn pop_reports_steals() {
+        let q = WorkQueues::new(2, 8);
+        q.try_push(job(0)).unwrap(); // shard 0
+        let (own, stolen) = q.pop(0).unwrap();
+        assert_eq!(own.id, 0);
+        assert!(!stolen, "own-shard pop is not a steal");
+        q.try_push(job(2)).unwrap(); // shard 0 again
+        let (theft, stolen) = q.pop(1).unwrap();
+        assert_eq!(theft.id, 2);
+        assert!(stolen, "cross-shard pop is a steal");
+    }
+
+    #[test]
     fn steal_crosses_shards_and_counts() {
         let q = WorkQueues::new(2, 8);
         // Even ids land on shard 0; worker 1's own shard stays empty.
@@ -133,10 +147,10 @@ mod tests {
             q.try_push(job(id)).unwrap();
         }
         assert_eq!(q.steals(), 0);
-        let stolen = q.pop(1).expect("steals from shard 0");
+        let (stolen, _) = q.pop(1).expect("steals from shard 0");
         assert_eq!(stolen.id, 0, "steal takes the oldest (front)");
         assert_eq!(q.steals(), 1);
-        let own = q.pop(0).expect("own shard pops back");
+        let (own, _) = q.pop(0).expect("own shard pops back");
         assert_eq!(own.id, 4, "own pop takes the freshest (back)");
         assert_eq!(q.steals(), 1, "own pop is not a steal");
     }

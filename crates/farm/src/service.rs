@@ -12,14 +12,27 @@ use sim::{
 };
 
 use crate::backend::AnyLane;
-use crate::engine::LaneEngine;
-use crate::metrics::{FarmMetrics, TenantMetrics};
+use crate::engine::{EngineTel, LaneEngine};
+use crate::metrics::{rate, FarmMetrics, TenantMetrics};
 use crate::queue::WorkQueues;
 use crate::tenant::{AdmissionError, Job, JobOutcome, JobSpec, TenantEntry, TenantId, TenantSpec};
 use crate::tuner::WidthTuner;
 
 use accel::MASTER_KEY_SLOT;
 use ifc_lattice::Label;
+use telemetry::{
+    arg, AuditEvent, AuditKind, FlightRecorder, SignalDef, Telemetry, TelemetryBundle,
+    TelemetryConfig,
+};
+
+/// Trace thread id of the admission front door (workers are `1 + w`).
+const FRONT_DOOR_TID: u64 = 0;
+
+/// Bucket bounds (microseconds) for the scheduling-quantum duration
+/// histogram.
+const QUANTUM_US_BOUNDS: &[f64] = &[
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 100_000.0,
+];
 
 /// How long an idle worker sleeps between queue polls.
 const IDLE_POLL: Duration = Duration::from_micros(200);
@@ -42,6 +55,10 @@ pub struct FarmConfig {
     /// Optimizer configuration for the shared tape; `None` uses
     /// [`sim::tuned_opt_config`] (all passes, profiled schedule window).
     pub opt: Option<OptConfig>,
+    /// Observability: `None` (the default) arms nothing and keeps the
+    /// hot path at a single branch; `Some` arms the configured
+    /// instruments and attaches the bundle to the drain report.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for FarmConfig {
@@ -53,6 +70,7 @@ impl Default for FarmConfig {
             use_native: false,
             repack_quantum: 64,
             opt: None,
+            telemetry: None,
         }
     }
 }
@@ -65,8 +83,12 @@ struct Shared {
     proto_n: Option<NativeSim>,
     queues: WorkQueues,
     tuner: Mutex<WidthTuner>,
-    tenants: Mutex<Vec<Arc<TenantEntry>>>,
+    tenants: Arc<Mutex<Vec<Arc<TenantEntry>>>>,
     outcomes: Mutex<Vec<JobOutcome>>,
+    /// Armed observability instruments; `None` = telemetry off.
+    tel: Option<Telemetry>,
+    /// Flight-recorder signal set, resolved once against the netlist.
+    flight_signals: Vec<SignalDef>,
     /// Jobs admitted but not yet completed (queued or on a lane).
     active_jobs: AtomicUsize,
     /// No new submissions; workers exit once the queues run dry.
@@ -110,6 +132,8 @@ pub struct FarmReport {
     pub metrics: FarmMetrics,
     /// Per-job outcomes, in completion order.
     pub outcomes: Vec<JobOutcome>,
+    /// Everything telemetry observed, when the farm ran with it armed.
+    pub telemetry: Option<TelemetryBundle>,
 }
 
 impl Farm {
@@ -147,12 +171,19 @@ impl Farm {
         } else {
             None
         };
+        let tel = config.telemetry.clone().map(Telemetry::new);
+        let flight_signals = match &config.telemetry {
+            Some(tc) if tc.flight => resolve_flight_signals(net, &tc.flight_signals),
+            _ => Vec::new(),
+        };
         let shared = Arc::new(Shared {
             proto_b,
             proto_n,
             queues: WorkQueues::new(workers, config.queue_capacity),
             tuner: Mutex::new(WidthTuner::new()),
-            tenants: Mutex::new(Vec::new()),
+            tenants: Arc::new(Mutex::new(Vec::new())),
+            tel,
+            flight_signals,
             outcomes: Mutex::new(Vec::new()),
             active_jobs: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
@@ -210,6 +241,7 @@ impl Farm {
                 .counters
                 .admission_rejected
                 .fetch_add(1, Ordering::Relaxed);
+            audit_admission(&self.shared, tenant, &entry.spec.name, &e);
             return Err(e);
         }
         if self.shared.draining.load(Ordering::Acquire) {
@@ -217,6 +249,12 @@ impl Farm {
                 .counters
                 .admission_rejected
                 .fetch_add(1, Ordering::Relaxed);
+            audit_admission(
+                &self.shared,
+                tenant,
+                &entry.spec.name,
+                &AdmissionError::Draining,
+            );
             return Err(AdmissionError::Draining);
         }
         let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
@@ -224,6 +262,20 @@ impl Farm {
         match self.shared.queues.try_push(Job { id, tenant, spec }) {
             Ok(()) => {
                 entry.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(tel) = &self.shared.tel {
+                    tel.tracer.async_event(
+                        'b',
+                        FRONT_DOOR_TID,
+                        id,
+                        "job",
+                        "farm",
+                        vec![
+                            arg("tenant", entry.spec.name.as_str()),
+                            arg("blocks", spec.blocks as u64),
+                            arg("key_slot", spec.key_slot as u64),
+                        ],
+                    );
+                }
                 Ok(id)
             }
             Err(_) => {
@@ -232,6 +284,12 @@ impl Farm {
                     .counters
                     .queue_rejected
                     .fetch_add(1, Ordering::Relaxed);
+                audit_admission(
+                    &self.shared,
+                    tenant,
+                    &entry.spec.name,
+                    &AdmissionError::QueueFull,
+                );
                 Err(AdmissionError::QueueFull)
             }
         }
@@ -282,6 +340,7 @@ impl Farm {
     #[must_use]
     pub fn drain(self) -> FarmReport {
         self.shared.draining.store(true, Ordering::Release);
+        let n_workers = self.workers.len();
         for handle in self.workers {
             handle.join().expect("farm worker panicked");
         }
@@ -294,8 +353,117 @@ impl Farm {
         let metrics = snapshot(&self.shared);
         let outcomes =
             std::mem::take(&mut *self.shared.outcomes.lock().expect("outcomes poisoned"));
-        FarmReport { metrics, outcomes }
+        let telemetry = self.shared.tel.as_ref().map(|tel| {
+            tel.tracer.thread_name(FRONT_DOOR_TID, "front-door");
+            for w in 0..n_workers {
+                tel.tracer
+                    .thread_name(worker_tid(w), &format!("worker-{w}"));
+            }
+            if tel.config.metrics {
+                feed_registry(tel, &metrics);
+            }
+            tel.bundle()
+        });
+        FarmReport {
+            metrics,
+            outcomes,
+            telemetry,
+        }
     }
+}
+
+/// Records one refused submission in the audit trail (and as a trace
+/// instant on the front-door track).
+fn audit_admission(shared: &Shared, tenant: TenantId, name: &str, err: &AdmissionError) {
+    let Some(tel) = &shared.tel else { return };
+    let detail = err.to_string();
+    tel.audit.record(AuditEvent {
+        kind: Some(AuditKind::AdmissionRejected),
+        tenant: Some(tenant.index() as u64),
+        tenant_name: Some(name.to_owned()),
+        job: None,
+        lane: None,
+        cycle: None,
+        node: None,
+        source: None,
+        detail: detail.clone(),
+    });
+    tel.tracer.instant(
+        FRONT_DOOR_TID,
+        "admission_reject",
+        "farm",
+        vec![arg("tenant", name), arg("reason", detail)],
+    );
+}
+
+/// Loads the final counters into the metrics registry at drain time, so
+/// the bundle's registry snapshot mirrors [`FarmMetrics`] under stable
+/// Prometheus-style names. Called once per farm lifetime.
+fn feed_registry(tel: &Telemetry, m: &FarmMetrics) {
+    let reg = &tel.registry;
+    reg.counter("farm_blocks_total").add(m.blocks_total);
+    reg.counter("farm_repacks_total").add(m.repacks);
+    reg.counter("farm_steals_total").add(m.steals);
+    reg.counter("farm_stall_cycles_total").add(m.stall_cycles);
+    reg.counter("farm_busy_lane_cycles_total")
+        .add(m.busy_lane_cycles);
+    reg.counter("farm_idle_lane_cycles_total")
+        .add(m.idle_lane_cycles);
+    reg.gauge("farm_blocks_per_sec").set(m.blocks_per_sec);
+    reg.gauge("farm_stall_rate").set(m.stall_rate);
+    reg.gauge("farm_elapsed_secs").set(m.elapsed_secs);
+    for (w, q) in &m.width_quanta {
+        reg.counter(&format!("farm_width_quanta_w{w}_total"))
+            .add(*q);
+    }
+    for (i, t) in m.tenants.iter().enumerate() {
+        let c = |field: &str| reg.counter(&format!("farm_tenant_{i}_{field}_total"));
+        c("submitted").add(t.submitted);
+        c("admission_rejected").add(t.admission_rejected);
+        c("queue_rejected").add(t.queue_rejected);
+        c("completed").add(t.completed);
+        c("blocks").add(t.blocks);
+        c("verified").add(t.verified);
+        c("violations").add(t.violations);
+        c("hw_rejections").add(t.hw_rejections);
+    }
+}
+
+/// Resolves the flight-recorder signal set against the netlist: the
+/// configured names, or — when none are configured — every input and
+/// output port of the design under test.
+///
+/// # Panics
+///
+/// Panics if a configured name matches no port or named node (same
+/// contract as [`sim::VcdRecorder`]).
+fn resolve_flight_signals(net: &Netlist, names: &[String]) -> Vec<SignalDef> {
+    let mut defs = Vec::new();
+    let mut add = |name: &str, node| {
+        defs.push(SignalDef {
+            name: name.to_owned(),
+            node,
+            width: sim::width_of(net, node),
+        });
+    };
+    if names.is_empty() {
+        for (name, node) in net.input_ports() {
+            add(name, node);
+        }
+        for (name, node) in net.output_ports() {
+            add(name, node);
+        }
+    } else {
+        for name in names {
+            let node = net
+                .output(name)
+                .or_else(|| net.input(name))
+                .or_else(|| net.node_ids().find(|&id| net.name_of(id) == Some(name)))
+                .unwrap_or_else(|| panic!("no flight signal named {name:?}"));
+            add(name, node);
+        }
+    }
+    defs
 }
 
 /// The admission-time IFC policy: the job's claimed principal must be
@@ -330,22 +498,54 @@ fn width_index(width: usize) -> usize {
 
 /// Builds a batch engine at `width`, picking the native executor when
 /// it's enabled, warmed, and the batch is wide enough to amortise it.
-fn make_engine(shared: &Shared, width: usize) -> LaneEngine<AnyLane> {
+fn make_engine(shared: &Shared, width: usize, worker: usize) -> LaneEngine<AnyLane> {
     let sim = match &shared.proto_n {
         Some(proto) if width >= <NativeSim as LaneBackend>::min_efficient_width() => {
             AnyLane::Native(proto.with_lanes(width))
         }
         _ => AnyLane::Batched(shared.proto_b.with_lanes(width)),
     };
-    LaneEngine::new(sim)
+    let tel = shared.tel.as_ref().map(|tel| EngineTel {
+        tracer: tel.tracer.clone(),
+        audit: tel.audit.clone(),
+        flight: tel.flight.enabled().then(|| {
+            FlightRecorder::new(
+                shared.flight_signals.clone(),
+                width,
+                tel.config.flight_depth,
+                tel.config.flight_post_roll,
+                tel.flight.clone(),
+            )
+        }),
+        tid: worker_tid(worker),
+        tenants: Arc::clone(&shared.tenants),
+    });
+    LaneEngine::with_telemetry(sim, tel)
+}
+
+/// Trace thread id for a worker (`0` is the front door).
+fn worker_tid(worker: usize) -> u64 {
+    1 + worker as u64
 }
 
 /// Pulls queued jobs onto every idle lane.
 fn refill(engine: &mut LaneEngine<AnyLane>, shared: &Shared, worker: usize) {
     while let Some(lane) = engine.idle_lane() {
-        let Some(job) = shared.queues.pop(worker) else {
+        let Some((job, stolen)) = shared.queues.pop(worker) else {
             return;
         };
+        if stolen {
+            if let Some(tel) = &shared.tel {
+                tel.tracer.async_event(
+                    'n',
+                    worker_tid(worker),
+                    job.id,
+                    "job",
+                    "farm",
+                    vec![arg("event", "steal")],
+                );
+            }
+        }
         engine.start_job(lane, job);
     }
 }
@@ -380,13 +580,25 @@ fn desired_width(shared: &Shared, active: usize, queued: usize) -> usize {
 
 fn worker_loop(worker: usize, shared: &Shared) {
     loop {
-        let Some(first) = shared.queues.pop(worker) else {
+        let Some((first, stolen)) = shared.queues.pop(worker) else {
             if shared.draining.load(Ordering::Acquire) && shared.queues.len() == 0 {
                 return;
             }
             thread::sleep(IDLE_POLL);
             continue;
         };
+        if stolen {
+            if let Some(tel) = &shared.tel {
+                tel.tracer.async_event(
+                    'n',
+                    worker_tid(worker),
+                    first.id,
+                    "job",
+                    "farm",
+                    vec![arg("event", "steal")],
+                );
+            }
+        }
         run_batch(worker, shared, first);
     }
 }
@@ -395,14 +607,16 @@ fn worker_loop(worker: usize, shared: &Shared) {
 /// re-pack whenever the tuner disagrees with the current width.
 fn run_batch(worker: usize, shared: &Shared, first: Job) {
     let mut width = desired_width(shared, 1, shared.queues.len());
-    let mut engine = make_engine(shared, width);
+    let mut engine = make_engine(shared, width, worker);
     engine.start_job(0, first);
     refill(&mut engine, shared, worker);
     let mut completed: Vec<JobOutcome> = Vec::new();
+    let tid = worker_tid(worker);
 
     loop {
         // One scheduling quantum.
         let quantum_started = Instant::now();
+        let span_started = shared.tel.as_ref().map(|tel| tel.tracer.now_us());
         for _ in 0..shared.quantum {
             let before = completed.len();
             engine.step_cycle(false, &mut completed);
@@ -441,12 +655,31 @@ fn run_batch(worker: usize, shared: &Shared, first: Job) {
                 .expect("tuner poisoned")
                 .record(width, counters.blocks as f64 / elapsed);
         }
+        if let (Some(tel), Some(start)) = (&shared.tel, span_started) {
+            tel.tracer.complete(
+                tid,
+                "quantum",
+                "farm",
+                start,
+                vec![
+                    arg("width", width as u64),
+                    arg("blocks", counters.blocks),
+                    arg("stall_cycles", counters.stall_cycles),
+                ],
+            );
+            if tel.config.metrics {
+                tel.registry
+                    .histogram("farm_quantum_us", QUANTUM_US_BOUNDS)
+                    .observe(elapsed * 1e6);
+            }
+        }
         record_outcomes(shared, &mut completed);
 
         let active = engine.active_count();
         if active == 0 {
             // Engine ran dry mid-quantum and the queues had nothing;
             // drop it and go back to blocking on the queue.
+            engine.flush_flight();
             return;
         }
 
@@ -465,20 +698,37 @@ fn run_batch(worker: usize, shared: &Shared, first: Job) {
             );
         }
         if repack {
+            let repack_started = shared.tel.as_ref().map(|tel| tel.tracer.now_us());
             engine.quiesce(&mut completed);
+            engine.flush_flight();
             let sessions = engine.dismantle();
             // Completions during the quiesce may have freed lanes.
             let desired = desired_width(shared, sessions.len(), shared.queues.len());
-            let mut next = make_engine(shared, desired);
+            let moved = sessions.len() as u64;
+            let mut next = make_engine(shared, desired, worker);
             for (lane, (job, snap)) in sessions.into_iter().enumerate() {
                 next.adopt(lane, job, &snap);
             }
             engine = next;
+            if let (Some(tel), Some(start)) = (&shared.tel, repack_started) {
+                tel.tracer.complete(
+                    tid,
+                    "repack",
+                    "farm",
+                    start,
+                    vec![
+                        arg("from_width", width as u64),
+                        arg("to_width", desired as u64),
+                        arg("sessions", moved),
+                    ],
+                );
+            }
             width = desired;
             shared.repacks.fetch_add(1, Ordering::Relaxed);
             record_outcomes(shared, &mut completed);
             refill(&mut engine, shared, worker);
             if engine.active_count() == 0 {
+                engine.flush_flight();
                 return;
             }
         } else {
@@ -511,24 +761,20 @@ fn snapshot(shared: &Shared) -> FarmMetrics {
                 verified: c.verified.load(Ordering::Relaxed),
                 violations: c.violations.load(Ordering::Relaxed),
                 hw_rejections: c.hw_rejections.load(Ordering::Relaxed),
-                blocks_per_sec: blocks as f64 / elapsed,
+                blocks_per_sec: rate(blocks as f64, elapsed),
             }
         })
         .collect();
     FarmMetrics {
         elapsed_secs: elapsed,
         blocks_total,
-        blocks_per_sec: blocks_total as f64 / elapsed,
+        blocks_per_sec: rate(blocks_total as f64, elapsed),
         queue_depth: shared.queues.len(),
         active_jobs: shared.active_jobs.load(Ordering::Relaxed),
         stall_cycles: stall,
         busy_lane_cycles: busy,
         idle_lane_cycles: shared.idle_lane_cycles.load(Ordering::Relaxed),
-        stall_rate: if busy > 0 {
-            stall as f64 / busy as f64
-        } else {
-            0.0
-        },
+        stall_rate: rate(stall as f64, busy as f64),
         repacks: shared.repacks.load(Ordering::Relaxed),
         steals: shared.queues.steals(),
         width_quanta: SUPPORTED_LANES

@@ -22,6 +22,7 @@ fn test_config() -> FarmConfig {
         use_native: false,
         repack_quantum: 32,
         opt: Some(OptConfig::all()),
+        telemetry: None,
     }
 }
 

@@ -35,6 +35,7 @@ fn repack_preserves_sessions_and_verifies() {
         use_native: false,
         mode: TrackMode::Precise,
         opt: Some(OptConfig::all()),
+        telemetry: None,
     };
     let farm = Farm::start(&accel_net(), config);
     let t = farm.register_tenant(TenantSpec {
@@ -107,6 +108,7 @@ fn width_selection_respects_measured_estimates() {
         use_native: false,
         mode: TrackMode::Precise,
         opt: Some(OptConfig::all()),
+        telemetry: None,
     };
     let farm = Farm::start(&accel_net(), config);
     let t = farm.register_tenant(TenantSpec {
@@ -152,6 +154,7 @@ fn native_backend_serves_and_verifies() {
         use_native: true,
         mode: TrackMode::Precise,
         opt: Some(OptConfig::all()),
+        telemetry: None,
     };
     let farm = Farm::start(&accel_net(), config);
     let t = farm.register_tenant(TenantSpec {

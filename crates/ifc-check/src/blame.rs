@@ -7,9 +7,9 @@
 //! annotated leaf whose label fails the sink, collecting the named
 //! waypoints — the hardware analogue of a type-error provenance trace.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
-use hdl::{Action, Design, Node, NodeId};
+use hdl::{Action, Design, Netlist, Node, NodeId};
 use ifc_lattice::Label;
 
 use crate::ctx::{refine_source, GuardCtx};
@@ -66,6 +66,51 @@ pub(crate) fn render_path(design: &Design, path: &[NodeId]) -> String {
     }
     let names: Vec<&str> = path.iter().filter_map(|&id| design.name_of(id)).collect();
     format!(" [via {}]", names.join(" → "))
+}
+
+/// How many named waypoints [`runtime_blame`] collects before stopping.
+const RUNTIME_BLAME_WAYPOINTS: usize = 3;
+
+/// Names a *lowered* netlist node for a runtime diagnostic — the
+/// counterpart of [`blame_path`] for violations raised by a simulator,
+/// where only the [`Netlist`] (not the source [`Design`]) survives.
+///
+/// A named node is reported by its own name. An anonymous node is
+/// resolved by a breadth-first walk over its combinational dependencies
+/// to the nearest named signals, rendered as `n42 [via a ← b]` — enough
+/// for an audit record to point at real hardware rather than an opaque
+/// id.
+#[must_use]
+pub fn runtime_blame(net: &Netlist, node: NodeId) -> String {
+    if let Some(name) = net.name_of(node) {
+        return name.to_owned();
+    }
+    let mut queue = VecDeque::from([node]);
+    let mut visited: HashSet<NodeId> = HashSet::from([node]);
+    let mut named: Vec<&str> = Vec::new();
+    'bfs: while let Some(id) = queue.pop_front() {
+        for dep in net.comb_dependencies(id) {
+            if !visited.insert(dep) {
+                continue;
+            }
+            if let Some(name) = net.name_of(dep) {
+                // Named nodes are the waypoints; don't walk past them.
+                if !named.contains(&name) {
+                    named.push(name);
+                    if named.len() == RUNTIME_BLAME_WAYPOINTS {
+                        break 'bfs;
+                    }
+                }
+            } else {
+                queue.push_back(dep);
+            }
+        }
+    }
+    if named.is_empty() {
+        format!("n{}", node.index())
+    } else {
+        format!("n{} [via {}]", node.index(), named.join(" ← "))
+    }
 }
 
 fn walk(
@@ -191,6 +236,31 @@ mod tests {
         let path = blame_path(&design, &inference, valid.id(), &offence);
         let names: Vec<&str> = path.iter().filter_map(|&id| design.name_of(id)).collect();
         assert_eq!(names, vec!["key", "valid"]);
+    }
+
+    #[test]
+    fn runtime_blame_names_nodes_and_ancestors() {
+        let mut m = ModuleBuilder::new("t");
+        let a = m.input("a", 8);
+        let b = m.input("b", 8);
+        let sum = m.add(a, b);
+        let out = m.wire("out", 8);
+        m.connect(out, sum);
+        m.output("out", out);
+        let net = m.finish().lower().unwrap();
+
+        // A named node reports its own name.
+        let out_id = net.output("out").unwrap();
+        assert_eq!(runtime_blame(&net, out_id), "out");
+
+        // The anonymous adder resolves to its named operands.
+        let sum_id = net.resolve_driver(out_id);
+        let blame = runtime_blame(&net, sum_id);
+        assert!(
+            blame.starts_with(&format!("n{}", sum_id.index())),
+            "{blame}"
+        );
+        assert!(blame.contains("a") && blame.contains("b"), "{blame}");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod policy;
 mod report;
 
 pub use alabel::AbstractLabel;
+pub use blame::runtime_blame;
 pub use checker::check;
 pub use dataflow::{run_static_passes, LintConfig, LintReport, ObservedPlane, PassId, Severity};
 pub use infer::{infer, Inference};

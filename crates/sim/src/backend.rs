@@ -438,6 +438,28 @@ pub trait LaneBackend {
     /// array.
     fn fold_mem_labels(&mut self, lane: usize, acc: &mut [Label]);
 
+    /// Reads one lane's settled value and packed [`SecurityTag`] bits
+    /// for a set of nodes in one call — the flight-recorder sampling
+    /// hook. `values` and `labels` must each hold one slot per node.
+    /// The default loops the per-node peeks; backends with cheaper bulk
+    /// access may override.
+    ///
+    /// [`SecurityTag`]: ifc_lattice::SecurityTag
+    fn sample_nodes(
+        &mut self,
+        lane: usize,
+        nodes: &[NodeId],
+        values: &mut [Value],
+        labels: &mut [u8],
+    ) {
+        assert_eq!(values.len(), nodes.len(), "one value slot per node");
+        assert_eq!(labels.len(), nodes.len(), "one label slot per node");
+        for (i, &id) in nodes.iter().enumerate() {
+            values[i] = self.peek_node(lane, id);
+            labels[i] = ifc_lattice::SecurityTag::from(self.peek_node_label(lane, id)).bits();
+        }
+    }
+
     /// Checkpoints one lane's complete architectural state (see
     /// [`BatchedSim::lane_snapshot`]).
     fn lane_snapshot(&mut self, lane: usize) -> LaneSnapshot;

@@ -69,5 +69,5 @@ pub use opt::{tuned as tuned_opt_config, OptConfig, OptStats, PassStats, DEFAULT
 #[cfg(feature = "profile")]
 pub use profile::{OpProfile, ProfileReport};
 pub use simulator::{Simulator, TrackMode};
-pub use vcd::VcdRecorder;
+pub use vcd::{parse_vcd, width_of, VcdDoc, VcdRecorder, VcdSignal, VcdTrace};
 pub use violation::RuntimeViolation;
