@@ -68,10 +68,16 @@ fn main() -> ExitCode {
         FleetBackend::Native => "native",
     };
     let base = protected();
+    // One deterministic seed, overridable via CI_SEED and recorded in
+    // the report JSON (the campaign's to_json carries it), so a CI
+    // failure replays locally from the artifact alone.
+    let seed = bench::ci_seed(CampaignConfig::default().seed);
     let cfg = CampaignConfig {
+        seed,
         backend,
         ..CampaignConfig::default()
     };
+    println!("mutation_guard: seed {seed}");
 
     let start = Instant::now();
     let report = run_campaign(&base, &cfg);

@@ -20,3 +20,27 @@
 pub mod experiments;
 pub mod probe;
 pub mod table;
+
+/// The one deterministic seed a guard run derives everything from.
+///
+/// Every guard binary that randomizes anything — the fuzzer's campaign,
+/// the mutation catalogue's enumeration order, the farm guard's churn
+/// schedule — resolves its seed through here and prints it into its
+/// report JSON, so a CI failure is reproducible locally from the
+/// artifact alone: `CI_SEED=<seed from the report> cargo run ...`
+/// replays the exact run. Without `CI_SEED` (or with an unparsable
+/// value) the guard's checked-in default applies.
+#[must_use]
+pub fn ci_seed(default: u64) -> u64 {
+    std::env::var("CI_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse().ok()
+            }
+        })
+        .unwrap_or(default)
+}

@@ -1,0 +1,144 @@
+//! Edge cases of [`WidthTuner`]'s drift-transfer model: the empty
+//! measurement table (seeds only), degenerate seed tables with no
+//! ordering information, a single sampled width as the only drift
+//! evidence, and the dominated W=8 dip staying structurally unselectable
+//! — for both batch packing ([`WidthTuner::choose`]) and drain-tail
+//! cover ([`WidthTuner::cover`]) — until this host measures it.
+
+use farm::WidthTuner;
+use sim::SUPPORTED_LANES;
+
+/// With an empty measurement table the drift ratio is 1.0 everywhere:
+/// every estimate is exactly its seed, and choose/cover act on the
+/// recorded ordering alone.
+#[test]
+fn empty_measurement_table_estimates_are_the_seeds() {
+    let seeds = [1000.0, 2000.0, 4000.0, 3000.0, 8000.0];
+    let t = WidthTuner::with_seeds(seeds);
+    for (i, &w) in SUPPORTED_LANES.iter().enumerate() {
+        assert_eq!(
+            t.estimate(w),
+            seeds[i],
+            "unsampled width {w} must estimate exactly its seed"
+        );
+    }
+    // Ordering straight from the table: W=8 seeded below W=4 is skipped.
+    assert_eq!(t.choose(8), 4);
+    assert_eq!(t.cover(5), 16);
+}
+
+/// A uniform seed table carries no ordering information: nothing is
+/// dominated, choose ties go to the wider batch, and cover is the tight
+/// round-up.
+#[test]
+fn uniform_seed_table_has_no_dominated_width() {
+    let t = WidthTuner::with_seeds([5000.0; SUPPORTED_LANES.len()]);
+    assert_eq!(t.choose(1), 1);
+    assert_eq!(t.choose(8), 8, "ties go wide when nothing is dominated");
+    assert_eq!(t.choose(100), 16);
+    for lanes in 1..=16usize {
+        let c = t.cover(lanes);
+        assert!(c >= lanes, "cover({lanes}) = {c} must cover the lanes");
+        let tight = SUPPORTED_LANES
+            .iter()
+            .copied()
+            .find(|&w| w >= lanes)
+            .unwrap();
+        assert_eq!(c, tight, "uniform seeds must give the tight cover");
+    }
+}
+
+/// A single sampled width is the only drift evidence. Sampled low, its
+/// ratio caps every width seeded at or below it (they cannot outrank
+/// live data on stale seeds) while widths seeded above inherit the same
+/// ratio and keep their recorded lead.
+#[test]
+fn single_sampled_width_transfers_drift_both_ways() {
+    let mut t = WidthTuner::new();
+    // Only W=4 is ever measured, at half its seeded rate.
+    let seeded_w4 = t.estimate(4);
+    for _ in 0..16 {
+        t.record(4, seeded_w4 * 0.5);
+    }
+    let measured_w4 = t.estimate(4);
+    assert!(measured_w4 < seeded_w4);
+    // Downward: W=1, W=2, and the W=8 dip (all seeded below W=4) scale
+    // down in step and stay below the live measurement.
+    for w in [1usize, 2, 8] {
+        assert!(
+            t.estimate(w) < measured_w4,
+            "W={w} ({:.0}) must stay below the sampled W=4 ({measured_w4:.0})",
+            t.estimate(w)
+        );
+    }
+    // Upward: W=16 (seeded above everything sampled) inherits the ratio,
+    // keeping its recorded lead so it still gets explored.
+    assert!(
+        t.estimate(16) > measured_w4,
+        "W=16 ({:.0}) must keep its seed lead over sampled W=4 ({measured_w4:.0})",
+        t.estimate(16)
+    );
+    assert_eq!(t.choose(16), 16);
+    // And the ordering consequences hold: packing still skips the dip.
+    assert_eq!(t.choose(8), 4);
+}
+
+/// A single sample at the *highest-seeded* width scales every unsampled
+/// width by its ratio — there is nothing sampled above them, so they all
+/// take the upward branch — and the recorded ordering survives intact.
+#[test]
+fn single_sample_at_the_widest_width_preserves_the_ordering() {
+    let mut t = WidthTuner::new();
+    for _ in 0..16 {
+        t.record(16, t.estimate(16) * 0.25);
+    }
+    // The recorded ordering is seed-proportional, so W=8 stays dominated
+    // by W=4 and the dip remains skipped.
+    assert!(t.estimate(8) < t.estimate(4));
+    assert_eq!(t.choose(8), 4);
+    assert_eq!(t.cover(5), 16);
+}
+
+/// The W=8 dip is unselectable by `choose` at every load and by `cover`
+/// over every drain-tail size, for any measurement history that never
+/// includes W=8 itself — then becomes selectable the moment this host
+/// measures W=8 genuinely above W=4.
+#[test]
+fn the_dip_is_unselectable_until_measured_for_both_choose_and_cover() {
+    // Histories that sample everything except W=8, contended and not.
+    let histories: [&[(usize, f64)]; 4] = [
+        &[],
+        &[(4, 2_000.0), (4, 2_100.0)],
+        &[(1, 9_000.0), (2, 11_000.0), (4, 16_000.0)],
+        &[(16, 50_000.0), (4, 30_000.0)],
+    ];
+    for history in histories {
+        let mut t = WidthTuner::new();
+        for &(w, rate) in history {
+            t.record(w, rate);
+        }
+        for load in 0..=64usize {
+            assert_ne!(
+                t.choose(load),
+                8,
+                "choose({load}) packed the unmeasured W=8 dip (history {history:?})"
+            );
+            assert_ne!(
+                t.cover(load),
+                8,
+                "cover({load}) landed on the unmeasured W=8 dip (history {history:?})"
+            );
+        }
+    }
+
+    // Measuring W=8 above live W=4 data clears the dip for both.
+    let mut t = WidthTuner::new();
+    for _ in 0..12 {
+        t.record(4, 25_000.0);
+    }
+    for _ in 0..12 {
+        t.record(8, 40_000.0);
+    }
+    assert_eq!(t.choose(8), 8);
+    assert_eq!(t.cover(5), 8);
+}

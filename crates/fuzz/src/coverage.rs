@@ -1,0 +1,280 @@
+//! The coverage map that guides the fuzzer.
+//!
+//! Coverage is a set of discrete *events*, not edge counters: which lint
+//! passes fired at which severity, which static violation kinds landed at
+//! which sites, which runtime violation kinds fired where under which
+//! tracking mode, which region × tag-bits states the observed label
+//! plane reached, which `out_tag` values escaped, and which kill stage
+//! ended the input. An input that contributes any event the map has not
+//! seen is *interesting* and gets mutated and re-queued.
+//!
+//! Events are hashed (FNV-64 over their canonical string) into a
+//! [`BTreeSet<u64>`], so the map's fingerprint — and therefore the whole
+//! campaign — is a deterministic function of the seed.
+
+use std::collections::BTreeSet;
+
+use hdl::Netlist;
+use ifc_check::dataflow::LintReport;
+use ifc_check::{CheckReport, ObservedPlane, ViolationKind};
+use ifc_lattice::SecurityTag;
+use sim::RuntimeViolation;
+
+use crate::exec::SeenViolation;
+use crate::replay::{mode_key, ReplayOutcome};
+
+/// FNV-1a over a canonical event string.
+#[must_use]
+pub fn fnv64(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Which stage of the pipeline killed (or passed) an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KillStage {
+    /// A lint pass reported an error.
+    Lint,
+    /// The static information-flow checker refused the design.
+    Static,
+    /// Runtime tracking raised violations on an otherwise-clean design.
+    Runtime,
+    /// The protected replay could not complete (wedged pipeline or
+    /// abandoned submits) — the attack was blocked rather than detected.
+    ReplayBlocked,
+    /// Every stage passed clean.
+    Clean,
+}
+
+impl KillStage {
+    /// Stable key for reports and coverage.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            KillStage::Lint => "lint",
+            KillStage::Static => "static",
+            KillStage::Runtime => "runtime",
+            KillStage::ReplayBlocked => "replay-blocked",
+            KillStage::Clean => "clean",
+        }
+    }
+}
+
+/// The campaign-wide coverage set.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    events: BTreeSet<u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Number of distinct events seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Order-independent fingerprint of the whole map.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.events.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, e| {
+            acc.rotate_left(5) ^ e.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        })
+    }
+
+    /// Merges an input's events in; returns how many were new.
+    pub fn absorb(&mut self, events: &BTreeSet<u64>) -> usize {
+        let before = self.events.len();
+        self.events.extend(events.iter().copied());
+        self.events.len() - before
+    }
+}
+
+/// One fuzz input's coverage events, accumulated stage by stage.
+#[derive(Debug, Clone, Default)]
+pub struct InputCoverage {
+    /// The hashed events.
+    pub events: BTreeSet<u64>,
+}
+
+fn region_of(net: &Netlist, index: usize) -> &'static str {
+    let name = net
+        .names
+        .get(index)
+        .and_then(Option::as_deref)
+        .unwrap_or("");
+    if name.starts_with("pipe.") {
+        "pipe"
+    } else if name.starts_with("keys.") || name.starts_with("cfg") {
+        "state"
+    } else if name.starts_with("in_") || name.starts_with("key_") || name.starts_with("dbg_") {
+        "input"
+    } else if name.starts_with("out_") {
+        "output"
+    } else {
+        "comb"
+    }
+}
+
+fn violation_kind_key(kind: &ViolationKind) -> String {
+    match kind {
+        ViolationKind::Flow { dst, .. } => format!("flow@{}", dst.index()),
+        ViolationKind::MemWrite { mem, .. } => format!("mem-write@{mem}"),
+        ViolationKind::Output { port, .. } => format!("output@{port}"),
+        ViolationKind::Downgrade { node, .. } => format!("downgrade@{}", node.index()),
+    }
+}
+
+fn runtime_key(v: &RuntimeViolation) -> String {
+    match v {
+        RuntimeViolation::DowngradeRejected { node, .. } => {
+            format!("downgrade-rejected@{}", node.index())
+        }
+        RuntimeViolation::OutputLeak { port, .. } => format!("output-leak@{port}"),
+    }
+}
+
+impl InputCoverage {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> InputCoverage {
+        InputCoverage::default()
+    }
+
+    fn add(&mut self, text: &str) {
+        self.events.insert(fnv64(text));
+    }
+
+    /// Records which lint passes fired, at which severity, where.
+    pub fn lint(&mut self, report: &LintReport) {
+        for f in &report.findings {
+            self.add(&format!(
+                "lint:{}:{}:{}",
+                f.pass,
+                f.severity.key(),
+                f.node.as_deref().unwrap_or("-")
+            ));
+        }
+    }
+
+    /// Records the static checker's violation sites and warning count.
+    pub fn static_check(&mut self, report: &CheckReport) {
+        for v in &report.violations {
+            self.add(&format!("static:{}", violation_kind_key(&v.kind)));
+        }
+        if !report.warnings.is_empty() {
+            self.add("static:warnings");
+        }
+    }
+
+    /// Records runtime violations (kind, site, mode, tenant parity).
+    pub fn runtime(&mut self, seen: &[SeenViolation]) {
+        for s in seen {
+            self.add(&format!(
+                "runtime:{}:{}",
+                mode_key(s.mode),
+                runtime_key(&s.violation)
+            ));
+        }
+    }
+
+    /// Records which region × tag-bits states the observed plane reached.
+    pub fn plane(&mut self, net: &Netlist, observed: &ObservedPlane) {
+        for (index, label) in observed.nodes.iter().enumerate() {
+            self.add(&format!(
+                "plane:{}:{:#04x}",
+                region_of(net, index),
+                SecurityTag::from(*label).bits()
+            ));
+        }
+        for (mem, label) in observed.mems.iter().enumerate() {
+            let name = net.mems.get(mem).map(|m| m.name.as_str()).unwrap_or("-");
+            self.add(&format!(
+                "plane:mem:{name}:{:#04x}",
+                SecurityTag::from(*label).bits()
+            ));
+        }
+    }
+
+    /// Records the escaped `out_tag` values.
+    pub fn out_tags(&mut self, tags: &BTreeSet<u8>) {
+        for t in tags {
+            self.add(&format!("out-tag:{t:#04x}"));
+        }
+    }
+
+    /// Records the protected replay's observable conditions.
+    pub fn replay(&mut self, outcome: &ReplayOutcome) {
+        for m in &outcome.modes {
+            let key = mode_key(m.mode);
+            if m.rejections > 0 {
+                self.add(&format!("replay:{key}:rejected"));
+            }
+            if m.stalled_submits > 0 {
+                self.add(&format!("replay:{key}:stalled"));
+            }
+            if !m.drained {
+                self.add(&format!("replay:{key}:wedged"));
+            }
+            for v in &m.violations {
+                self.add(&format!("replay:{key}:{}", runtime_key(v)));
+            }
+        }
+    }
+
+    /// Records which stage killed the input.
+    pub fn kill(&mut self, stage: KillStage) {
+        self.add(&format!("kill:{}", stage.key()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_order_independent_and_content_sensitive() {
+        let mut a = CoverageMap::new();
+        let mut b = CoverageMap::new();
+        let x: BTreeSet<u64> = [fnv64("one"), fnv64("two")].into_iter().collect();
+        let y: BTreeSet<u64> = [fnv64("two")].into_iter().collect();
+        a.absorb(&x);
+        b.absorb(&y);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = CoverageMap::new();
+        assert_eq!(c.absorb(&x), 2);
+        assert_eq!(c.absorb(&y), 0);
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn kill_stages_hash_distinctly() {
+        let stages = [
+            KillStage::Lint,
+            KillStage::Static,
+            KillStage::Runtime,
+            KillStage::ReplayBlocked,
+            KillStage::Clean,
+        ];
+        let keys: BTreeSet<u64> = stages
+            .iter()
+            .map(|s| fnv64(&format!("kill:{}", s.key())))
+            .collect();
+        assert_eq!(keys.len(), stages.len());
+    }
+}

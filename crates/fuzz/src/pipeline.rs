@@ -1,0 +1,185 @@
+//! One fuzz input through the whole enforcement stack.
+//!
+//! Stage order mirrors the deployment story: netlist lint → static IFC
+//! check → runtime tracking on the generated engine → replay against the
+//! protected accelerator. Every stage *always* runs (a lint kill does
+//! not skip runtime tracking — later-stage coverage on statically-dead
+//! inputs is exactly how the fuzzer learns which faults only dynamic
+//! enforcement catches); the kill stage records the *first* stage that
+//! objected.
+//!
+//! The two fuzz invariants are evaluated here:
+//!
+//! 1. **Bound-plane domination** — the static bound plane of the mutated
+//!    netlist must dominate every runtime label either simulator surface
+//!    observed ([`ifc_check`'s cross-check][crosscheck]).
+//! 2. **No protected leak** — replaying the input's attack programs on
+//!    the real protected accelerator must not deliver master-key
+//!    ciphertext or debug reads to any tenant, under any [`TrackMode`].
+//!
+//! [crosscheck]: ifc_check::dataflow::passes::crosscheck_findings
+//! [`TrackMode`]: sim::TrackMode
+
+use ifc_check::dataflow::{bound_plane, passes::crosscheck_findings};
+use ifc_check::{run_static_passes, LintConfig, Severity};
+
+use crate::coverage::{InputCoverage, KillStage};
+use crate::exec::run_generated;
+use crate::input::FuzzInput;
+use crate::replay::ProtectedReplayer;
+use crate::spec::build_design;
+use crate::surgery::apply_surgery;
+
+/// The result of running one input through the stack.
+#[derive(Debug, Clone)]
+pub struct InputReport {
+    /// First stage that objected.
+    pub kill: KillStage,
+    /// Every coverage event the input produced.
+    pub coverage: InputCoverage,
+    /// Invariant-1 failures (bound-plane cross-check findings). Empty
+    /// means the invariant held.
+    pub invariant1: Vec<String>,
+    /// Invariant-2 failures (protected-replay leaks). Empty means the
+    /// invariant held.
+    pub invariant2: Vec<String>,
+    /// Error-severity lint findings.
+    pub lint_errors: usize,
+    /// Static checker violations.
+    pub static_violations: usize,
+    /// Runtime violations across both generated-engine surfaces.
+    pub runtime_violations: usize,
+}
+
+impl InputReport {
+    /// Whether both fuzz invariants held.
+    #[must_use]
+    pub fn invariants_hold(&self) -> bool {
+        self.invariant1.is_empty() && self.invariant2.is_empty()
+    }
+}
+
+/// Runs one input through lint, static check, runtime tracking, and the
+/// protected replay. Deterministic and non-panicking for every input the
+/// generator, the mutator, or the corpus codec can produce.
+#[must_use]
+pub fn run_input(input: &FuzzInput, replayer: &ProtectedReplayer) -> InputReport {
+    let mut coverage = InputCoverage::new();
+    let design = apply_surgery(&build_design(&input.spec), &input.surgery);
+
+    let Ok(net) = design.lower() else {
+        // Unreachable for the shipped fault model (all classes preserve
+        // lowerability), but a corpus file is attacker-controlled input:
+        // degrade to a coverage event instead of a panic.
+        coverage
+            .events
+            .insert(crate::coverage::fnv64("build:failed"));
+        coverage.kill(KillStage::Lint);
+        return InputReport {
+            kill: KillStage::Lint,
+            coverage,
+            invariant1: Vec::new(),
+            invariant2: Vec::new(),
+            lint_errors: 0,
+            static_violations: 0,
+            runtime_violations: 0,
+        };
+    };
+
+    // Stage 1: lint.
+    let cfg = LintConfig::new();
+    let lint = run_static_passes(Some(&design), &net, &cfg);
+    coverage.lint(&lint);
+    let lint_errors = lint.count_at(Severity::Error);
+
+    // Stage 2: static IFC check.
+    let check = ifc_check::check(&design);
+    coverage.static_check(&check);
+    let static_violations = check.violations.len();
+
+    // Stage 3: runtime tracking on the generated engine.
+    let outcome = run_generated(&net, &input.spec, &input.programs);
+    coverage.runtime(&outcome.violations);
+    coverage.plane(&net, &outcome.observed);
+    coverage.out_tags(&outcome.out_tag_bits);
+    let runtime_violations = outcome.violations.len();
+
+    // Invariant 1: the static bound plane dominates everything observed.
+    let bound = bound_plane(&net);
+    let invariant1: Vec<String> = crosscheck_findings(&net, &bound, &outcome.observed, &cfg)
+        .into_iter()
+        .map(|f| f.to_string())
+        .collect();
+
+    // Stage 4: replay the attack programs on the protected accelerator.
+    let replay = replayer.replay(&input.programs);
+    coverage.replay(&replay);
+    let invariant2 = replay.leaks();
+    let replay_blocked = replay
+        .modes
+        .iter()
+        .any(|m| !m.drained || m.stalled_submits > 0);
+
+    let kill = if lint_errors > 0 {
+        KillStage::Lint
+    } else if static_violations > 0 {
+        KillStage::Static
+    } else if runtime_violations > 0 {
+        KillStage::Runtime
+    } else if replay_blocked {
+        KillStage::ReplayBlocked
+    } else {
+        KillStage::Clean
+    };
+    coverage.kill(kill);
+
+    InputReport {
+        kill,
+        coverage,
+        invariant1,
+        invariant2,
+        lint_errors,
+        static_violations,
+        runtime_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::gen_input;
+    use crate::surgery::SurgeryOp;
+
+    #[test]
+    fn random_inputs_keep_both_invariants() {
+        let replayer = ProtectedReplayer::new();
+        for seed in 0..4u64 {
+            let input = gen_input(seed);
+            let report = run_input(&input, &replayer);
+            assert!(
+                report.invariants_hold(),
+                "seed {seed} broke an invariant: i1={:?} i2={:?}",
+                report.invariant1,
+                report.invariant2
+            );
+            assert!(!report.coverage.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn the_spoofed_annotation_breaks_invariant_one() {
+        let replayer = ProtectedReplayer::new();
+        let mut input = gen_input(0x5eed);
+        input.surgery = vec![SurgeryOp::SpoofInputLabel { input: 0 }];
+        // Guarantee traffic on the spoofed data port: one submission
+        // carries the tenant's real label onto the lying annotation.
+        input.programs = vec![crate::program::TenantProgram {
+            ops: vec![crate::program::AttackOp::Submit { slot: 0, data: 1 }],
+        }];
+        let report = run_input(&input, &replayer);
+        assert!(
+            !report.invariant1.is_empty(),
+            "annotation spoof went unnoticed by the cross-check"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Random attacker port-programs, one per tenant.
+//!
+//! A program is a straight-line op list in *accelerator-protocol*
+//! vocabulary, so the same program drives both execution surfaces:
+//!
+//! * the generated mini-engine, one tenant per lane of the batched
+//!   simulator ([`crate::exec`]);
+//! * the real protected accelerator, tenants interleaved on one device
+//!   through [`accel::driver::AccelDriver`] ([`crate::replay`] — fuzz
+//!   invariant 2).
+//!
+//! Ops that have no port on one surface (e.g. [`AttackOp::Alloc`] on the
+//! mini-engine, or a debug read on a spec without a tap) degrade to an
+//! idle cycle there; the op list itself never becomes invalid, which the
+//! shrinker relies on.
+
+use crate::rng::FuzzRng;
+
+/// One attacker action. Field meanings are surface-relative (addresses
+/// and slots are taken modulo the surface's actual geometry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackOp {
+    /// Submit a block for encryption through `slot`.
+    Submit {
+        /// Key slot (modulo the surface's slot count; on the protected
+        /// build slot 3 is the master-key slot — a misuse attempt).
+        slot: u8,
+        /// Seed for the submitted block's bytes.
+        data: u64,
+    },
+    /// Write one key cell.
+    WriteKey {
+        /// Cell address.
+        addr: u8,
+        /// Seed for the written data.
+        data: u64,
+        /// Write as the supervisor (else as the tenant).
+        supervisor: bool,
+    },
+    /// Re-tag a scratchpad cell to this tenant (protected build only).
+    Alloc {
+        /// Cell address.
+        cell: u8,
+    },
+    /// Write the configuration register.
+    WriteCfg {
+        /// The value.
+        value: u8,
+    },
+    /// Probe the debug tap.
+    ReadDebug {
+        /// Probe select.
+        sel: u8,
+    },
+    /// Do nothing for `cycles` cycles.
+    Idle {
+        /// 1..=4.
+        cycles: u8,
+    },
+}
+
+impl AttackOp {
+    /// Stable key for serialization and coverage.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            AttackOp::Submit { .. } => "submit",
+            AttackOp::WriteKey { .. } => "write-key",
+            AttackOp::Alloc { .. } => "alloc",
+            AttackOp::WriteCfg { .. } => "write-cfg",
+            AttackOp::ReadDebug { .. } => "read-debug",
+            AttackOp::Idle { .. } => "idle",
+        }
+    }
+}
+
+/// One tenant's straight-line program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TenantProgram {
+    /// The ops, executed in order.
+    pub ops: Vec<AttackOp>,
+}
+
+impl TenantProgram {
+    /// Total cycles the program occupies on the mini-engine surface.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                AttackOp::Idle { cycles } => u64::from((*cycles).max(1)),
+                _ => 1,
+            })
+            .sum()
+    }
+}
+
+/// Upper bound on ops per tenant program (generation and mutation both
+/// respect it; shrinking only goes down).
+pub const MAX_OPS: usize = 24;
+
+/// Draws one random op.
+#[must_use]
+pub fn gen_attack_op(rng: &mut FuzzRng) -> AttackOp {
+    match rng.below(20) {
+        0..=7 => AttackOp::Submit {
+            slot: rng.below(4) as u8,
+            data: rng.next_u64(),
+        },
+        8..=11 => AttackOp::WriteKey {
+            addr: rng.below(8) as u8,
+            data: rng.next_u64(),
+            supervisor: rng.chance(1, 8),
+        },
+        12 => AttackOp::Alloc {
+            cell: rng.below(8) as u8,
+        },
+        13 | 14 => AttackOp::WriteCfg {
+            value: (rng.next_u64() & 0xff) as u8,
+        },
+        15 | 16 => AttackOp::ReadDebug {
+            sel: rng.below(8) as u8,
+        },
+        _ => AttackOp::Idle {
+            cycles: rng.range(1, 4) as u8,
+        },
+    }
+}
+
+/// Draws one tenant program: usually a key load followed by traffic, so
+/// the interesting paths (dispatch joins, releases) actually light up.
+#[must_use]
+pub fn gen_program(rng: &mut FuzzRng) -> TenantProgram {
+    let mut ops = Vec::new();
+    if rng.chance(5, 6) {
+        ops.push(AttackOp::WriteKey {
+            addr: rng.below(4) as u8,
+            data: rng.next_u64(),
+            supervisor: false,
+        });
+    }
+    let extra = rng.range(1, 11);
+    ops.extend((0..extra).map(|_| gen_attack_op(rng)));
+    ops.truncate(MAX_OPS);
+    TenantProgram { ops }
+}
+
+/// Draws one program per tenant.
+#[must_use]
+pub fn gen_programs(rng: &mut FuzzRng, tenants: usize) -> Vec<TenantProgram> {
+    (0..tenants).map(|_| gen_program(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_are_bounded_and_deterministic() {
+        let a = gen_programs(&mut FuzzRng::new(3), 4);
+        let b = gen_programs(&mut FuzzRng::new(3), 4);
+        assert_eq!(a, b);
+        for p in &a {
+            assert!(!p.ops.is_empty() && p.ops.len() <= MAX_OPS);
+            assert!(p.cycles() >= p.ops.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The netlist generator: a parameterized family of AES-like tagged
+//! engines.
+//!
+//! Each [`DesignSpec`] describes one member of the family: a keyed,
+//! pipelined mixing datapath fed from a tag-checked key scratchpad, with
+//! the same enforcement idioms the real accelerator uses — `FromTag`
+//! input annotations, guarded-admission writes, a tag pipeline riding
+//! next to the data pipeline, and (optionally) a nonmalleable declassify
+//! at the output. The family deliberately includes *insecure* members
+//! (an open debug tap, no write guard): the fuzzer's job is to confirm
+//! the enforcement stack flags those somewhere (lint, static check,
+//! runtime tracking), never to assume every generated design is safe.
+//!
+//! What every member guarantees by construction is the *environment
+//! contract*: every input port is annotated, and the annotation is an
+//! upper bound on the label the [`crate::exec`] executor will ever drive
+//! on it. That contract is what makes fuzz invariant 1 (the static bound
+//! plane dominates every observed runtime tag) a soundness statement
+//! about the analysis rather than about the stimulus.
+
+use hdl::{Design, LabelExpr, ModuleBuilder, Sig};
+use ifc_lattice::{Label, SecurityTag};
+
+use crate::rng::FuzzRng;
+
+/// The datapath widths the generator draws from.
+pub const WIDTHS: [u16; 3] = [8, 16, 32];
+
+/// How the generated engine exposes its key scratchpad to debug probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DebugPort {
+    /// No debug tap.
+    None,
+    /// A tap whose port is labelled `(S,U)` — only cleared principals
+    /// may route to it (the protected accelerator's shape).
+    Supervised,
+    /// An *unlabelled* tap: the open interconnect. Reading a tagged key
+    /// through it is a leak the stack must flag (static output check
+    /// and/or a runtime `OutputLeak`).
+    Open,
+}
+
+impl DebugPort {
+    /// Stable key for serialization.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            DebugPort::None => "none",
+            DebugPort::Supervised => "supervised",
+            DebugPort::Open => "open",
+        }
+    }
+
+    /// Parses [`Self::key`].
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<DebugPort> {
+        match key {
+            "none" => Some(DebugPort::None),
+            "supervised" => Some(DebugPort::Supervised),
+            "open" => Some(DebugPort::Open),
+            _ => None,
+        }
+    }
+}
+
+/// One point in the generated design family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignSpec {
+    /// Datapath width in bits (one of [`WIDTHS`]).
+    pub width: u16,
+    /// Pipeline depth in stages (1..=4).
+    pub depth: u8,
+    /// Key scratchpad cells (2 or 4; sets the address width).
+    pub key_cells: u8,
+    /// Gate scratchpad writes on the owner-tag admission check.
+    pub guard_writes: bool,
+    /// Release the output through a nonmalleable declassify (the
+    /// protected shape); otherwise the output port carries a dependent
+    /// `FromTag` label.
+    pub declassify_out: bool,
+    /// Gate `out_valid` on an `out_ready` receiver handshake.
+    pub stall_gate: bool,
+    /// Debug tap variant.
+    pub debug_port: DebugPort,
+    /// Include the tag-guarded configuration register.
+    pub cfg_reg: bool,
+    /// Per-stage mixing opcode (0 xor, 1 add, 2 rotate-xor, 3
+    /// key-selected mux — a data-dependent select).
+    pub mix_ops: Vec<u8>,
+    /// Concurrent tenants the attack programs model (1..=4).
+    pub tenants: u8,
+}
+
+impl DesignSpec {
+    /// Scratchpad address width in bits.
+    #[must_use]
+    pub fn addr_bits(&self) -> u16 {
+        if self.key_cells <= 2 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Clamps every field onto the generator's supported grid, so specs
+    /// arriving from mutation or a corpus file are always buildable.
+    pub fn normalize(&mut self) {
+        if !WIDTHS.contains(&self.width) {
+            self.width = WIDTHS[self.width as usize % WIDTHS.len()];
+        }
+        self.depth = self.depth.clamp(1, 4);
+        self.key_cells = if self.key_cells <= 2 { 2 } else { 4 };
+        self.tenants = self.tenants.clamp(1, 4);
+        self.mix_ops.resize(self.depth as usize, 0);
+        for op in &mut self.mix_ops {
+            *op %= 4;
+        }
+    }
+}
+
+/// Draws a random spec.
+#[must_use]
+pub fn gen_spec(rng: &mut FuzzRng) -> DesignSpec {
+    let depth = rng.range(1, 4) as u8;
+    let mut spec = DesignSpec {
+        width: *rng.pick(&WIDTHS),
+        depth,
+        key_cells: if rng.chance(1, 2) { 2 } else { 4 },
+        guard_writes: rng.chance(3, 4),
+        declassify_out: rng.chance(3, 4),
+        stall_gate: rng.chance(1, 2),
+        debug_port: match rng.below(4) {
+            0 => DebugPort::None,
+            3 => DebugPort::Open,
+            _ => DebugPort::Supervised,
+        },
+        cfg_reg: rng.chance(2, 3),
+        mix_ops: (0..depth).map(|_| rng.below(4) as u8).collect(),
+        tenants: rng.range(1, 4) as u8,
+    };
+    spec.normalize();
+    spec
+}
+
+fn rotate1(m: &mut ModuleBuilder, d: Sig, width: u16) -> Sig {
+    if width < 2 {
+        return d;
+    }
+    let low = m.slice(d, width - 2, 0);
+    let top = m.slice(d, width - 1, width - 1);
+    m.cat(low, top)
+}
+
+fn mix_stage(m: &mut ModuleBuilder, op: u8, d: Sig, k: Sig, width: u16) -> Sig {
+    match op % 4 {
+        0 => m.xor(d, k),
+        1 => m.add(d, k),
+        2 => {
+            let r = rotate1(m, d, width);
+            m.xor(r, k)
+        }
+        _ => {
+            // Key-dependent select: the round function's shape depends on
+            // a key bit, so the mux select sits inside the secret cone —
+            // the label planes must carry that implicit flow.
+            let sel = m.slice(k, 0, 0);
+            let a = m.add(d, k);
+            let x = m.xor(d, k);
+            m.mux(sel, a, x)
+        }
+    }
+}
+
+/// Builds the design a spec describes. Always lowers (the spec grid is
+/// closed under [`DesignSpec::normalize`]); surgery applied afterwards
+/// may of course break that.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build_design(spec: &DesignSpec) -> Design {
+    let pt = Label::PUBLIC_TRUSTED;
+    let w = spec.width;
+    let a = spec.addr_bits();
+    let cells = usize::from(spec.key_cells);
+    let mut m = ModuleBuilder::new("fuzz_engine");
+
+    // ---- Request interface -------------------------------------------
+    let in_valid = m.input("in_valid", 1);
+    m.set_label(in_valid, pt);
+    let in_tag = m.input("in_tag", 8);
+    m.set_label(in_tag, pt);
+    let in_data = m.input("in_data", w);
+    m.set_label(in_data, LabelExpr::FromTag(in_tag.id()));
+    let in_slot = m.input("in_slot", a);
+    m.set_label(in_slot, pt);
+
+    // ---- Key scratchpad with per-cell owner tags ---------------------
+    let key_we = m.input("key_we", 1);
+    m.set_label(key_we, pt);
+    let key_addr = m.input("key_addr", a);
+    m.set_label(key_addr, pt);
+    let key_wr_tag = m.input("key_wr_tag", 8);
+    m.set_label(key_wr_tag, pt);
+    let key_data = m.input("key_data", w);
+    m.set_label(key_data, LabelExpr::FromTag(key_wr_tag.id()));
+
+    let pt_bits = u128::from(SecurityTag::from(pt).bits());
+    let key_mem = m.mem("keys.cells", w, cells, vec![]);
+    m.set_mem_label(key_mem, LabelExpr::FromTag(key_wr_tag.id()));
+    let tag_mem = m.mem("keys.tags", 8, cells, vec![pt_bits; cells]);
+
+    let cur_tag = m.mem_read(tag_mem, key_addr);
+    let admit = if spec.guard_writes {
+        // Owner check: the cell's current owner tag must flow to the
+        // writer's — you may only overwrite what you dominate.
+        m.tag_leq(cur_tag, key_wr_tag)
+    } else {
+        m.lit(1, 1)
+    };
+    let wr_en = m.and(key_we, admit);
+    m.when(wr_en, |m| {
+        m.mem_write(key_mem, key_addr, key_data);
+        m.mem_write(tag_mem, key_addr, key_wr_tag);
+    });
+
+    // ---- Dispatch: join the request tag with the key owner's ---------
+    let kval = m.mem_read(key_mem, in_slot);
+    let ktag = m.mem_read(tag_mem, in_slot);
+    let disp_tag = m.tag_join(in_tag, ktag);
+
+    // ---- The mixing pipeline (data, tag, and valid pipes) ------------
+    let mut d = mix_stage(&mut m, spec.mix_ops[0], in_data, kval, w);
+    let mut t = disp_tag;
+    let mut v = in_valid;
+    for i in 0..spec.mix_ops.len() {
+        let dr = m.reg(&format!("pipe.d{i}"), w, 0);
+        let tr = m.reg(&format!("pipe.t{i}"), 8, pt_bits);
+        let vr = m.reg(&format!("pipe.v{i}"), 1, 0);
+        m.connect(dr, d);
+        m.connect(tr, t);
+        m.connect(vr, v);
+        d = if i + 1 < spec.mix_ops.len() {
+            mix_stage(&mut m, spec.mix_ops[i + 1], dr, kval, w)
+        } else {
+            dr
+        };
+        t = tr;
+        v = vr;
+    }
+
+    // ---- Output release ----------------------------------------------
+    let out_v = if spec.stall_gate {
+        let out_ready = m.input("out_ready", 1);
+        m.set_label(out_ready, pt);
+        m.and(v, out_ready)
+    } else {
+        v
+    };
+    m.output("out_tag", t);
+    if spec.declassify_out {
+        // The protected shape: release through a nonmalleable declassify
+        // whose principal is the request's own (joined) tag, with the
+        // released value consumed only behind the nonmalleability gate —
+        // the same mux-behind-`nm_declassify_ok` idiom the real
+        // accelerator uses, which is what the downgrade-audit lint
+        // recognises as an enforced release condition.
+        let nm_ok = m.nm_declassify_ok(t, Label::PUBLIC_UNTRUSTED, t);
+        let released = m.declassify(d, Label::PUBLIC_UNTRUSTED, t);
+        let gate = m.and(out_v, nm_ok);
+        let zero = m.lit(0, w);
+        let gated = m.mux(gate, released, zero);
+        m.output("out_valid", gate);
+        m.output_labeled("out_data", gated, Label::PUBLIC_UNTRUSTED);
+    } else {
+        // The dependent-label shape: the port promises exactly what the
+        // tag pipe claims, and the driving node carries the same
+        // expression so the release lint sees a dependent-label
+        // pass-through. Sound only while the tag pipe is faithful —
+        // value-plane surgery on it shows up as runtime `OutputLeak`s.
+        m.output("out_valid", out_v);
+        m.set_label(d, LabelExpr::FromTag(t.id()));
+        m.output_labeled("out_data", d, LabelExpr::FromTag(t.id()));
+    }
+
+    // ---- Tag-guarded configuration register --------------------------
+    if spec.cfg_reg {
+        let cfg_we = m.input("cfg_we", 1);
+        m.set_label(cfg_we, pt);
+        let cfg_wr_tag = m.input("cfg_wr_tag", 8);
+        m.set_label(cfg_wr_tag, pt);
+        let cfg_data = m.input("cfg_data", 8);
+        m.set_label(cfg_data, LabelExpr::FromTag(cfg_wr_tag.id()));
+        let cfg = m.reg("cfg", 8, 0);
+        let limit = m.tag_lit(pt);
+        let trusted = m.tag_leq(cfg_wr_tag, limit);
+        let en = m.and(cfg_we, trusted);
+        m.when(en, |m| m.connect(cfg, cfg_data));
+        m.output_labeled("cfg_out", cfg, pt);
+    }
+
+    // ---- Debug tap ----------------------------------------------------
+    if spec.debug_port != DebugPort::None {
+        let dbg_sel = m.input("dbg_sel", a);
+        m.set_label(dbg_sel, pt);
+        let probed = m.mem_read(key_mem, dbg_sel);
+        match spec.debug_port {
+            DebugPort::Supervised => {
+                m.output_labeled("dbg_out", probed, Label::SECRET_UNTRUSTED);
+            }
+            DebugPort::Open => m.output("dbg_out", probed),
+            DebugPort::None => unreachable!(),
+        }
+    }
+
+    m.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_grid_corner_lowers() {
+        for width in WIDTHS {
+            for depth in 1..=4u8 {
+                for flags in 0..32u8 {
+                    let mut spec = DesignSpec {
+                        width,
+                        depth,
+                        key_cells: if flags & 1 == 0 { 2 } else { 4 },
+                        guard_writes: flags & 2 != 0,
+                        declassify_out: flags & 4 != 0,
+                        stall_gate: flags & 8 != 0,
+                        debug_port: if flags & 16 != 0 {
+                            DebugPort::Open
+                        } else {
+                            DebugPort::Supervised
+                        },
+                        cfg_reg: flags & 1 != 0,
+                        mix_ops: (0..depth).map(|i| i % 4).collect(),
+                        tenants: 2,
+                    };
+                    spec.normalize();
+                    let net = build_design(&spec).lower();
+                    assert!(net.is_ok(), "{spec:?} failed to lower");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gen_spec_is_deterministic() {
+        let a = gen_spec(&mut FuzzRng::new(11));
+        let b = gen_spec(&mut FuzzRng::new(11));
+        assert_eq!(a, b);
+    }
+}

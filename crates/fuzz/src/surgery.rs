@@ -1,0 +1,331 @@
+//! Random netlist surgery: the fault model the fuzzer drives through
+//! [`hdl::Rewriter`].
+//!
+//! Every op is *site-relative* — it names the k-th matching node at
+//! apply time rather than a raw [`NodeId`] — so the same op list stays
+//! applicable while the shrinker reshapes the spec underneath it. An op
+//! whose site does not exist in the current design is a no-op, which
+//! keeps shrinking monotone (dropping spec features can only disable
+//! ops, never invalidate the input).
+//!
+//! All the random classes are **value-path** edits (the silicon
+//! misbehaves; the annotations still describe the intended contract) or
+//! annotation-strips on *output* ports. Neither can break fuzz
+//! invariant 1: the bound plane is recomputed on the mutated netlist,
+//! and the runtime label planes propagate along the same mutated edges.
+//! The one class that does break it — [`SurgeryOp::SpoofInputLabel`],
+//! which makes an input annotation *lie about the environment* — is the
+//! seeded known-bad class: [`gen_surgery`] never draws it, the shrinker
+//! demo plants it deliberately.
+
+use hdl::{BinOp, Design, LabelExpr, Node, NodeId, Rewriter};
+use ifc_lattice::{Label, SecurityTag};
+
+use crate::rng::FuzzRng;
+
+/// One surgical edit, in the order the list is applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SurgeryOp {
+    /// Replace every use of the site-th `TagJoin` with one operand: a
+    /// stuck tag-combine unit that forgets one side's provenance.
+    StuckTagJoin {
+        /// Which `TagJoin` (ordinal over the node list).
+        site: u8,
+        /// Keep operand `b` (else `a`).
+        keep_b: bool,
+    },
+    /// Replace every use of the site-th `TagLeq` with a constant:
+    /// an admission / release guard stuck allow (1) or deny (0).
+    ConstGuard {
+        /// Which `TagLeq` (ordinal).
+        site: u8,
+        /// Stuck-at value.
+        allow: bool,
+    },
+    /// Retarget the site-th `Declassify` to release at `(P,T)` instead
+    /// of its intended level — a downgrade that also endorses.
+    WidenDeclassify {
+        /// Which `Declassify` (ordinal).
+        site: u8,
+    },
+    /// Bypass the site-th `Mux` with one of its arms (a select stuck
+    /// open: drops a tag-guarded path or a stall gate).
+    DropMux {
+        /// Which `Mux` (ordinal).
+        site: u8,
+        /// Keep the true arm (else the false arm).
+        keep_t: bool,
+    },
+    /// Re-drive the site-th output port from an earlier node of the same
+    /// width (an internal, possibly pre-release value escapes).
+    RerouteOutput {
+        /// Which output port (ordinal).
+        out: u8,
+        /// How many same-width candidates to step back from the port's
+        /// current driver.
+        back: u8,
+    },
+    /// Strip the site-th output port's label annotation: the port
+    /// becomes the open interconnect and releases at `(P,U)`.
+    RelabelOutput {
+        /// Which *labelled* output port (ordinal).
+        out: u8,
+    },
+    /// Append an unused constant node (dead logic the lint should call
+    /// out, and a cheap way to shift node ids for downstream ops).
+    DeadConst {
+        /// Constant width selector.
+        wide: bool,
+    },
+    /// **Known-bad (seeded only):** re-annotate the site-th
+    /// `FromTag`-labelled *data input* as `Const (P,T)`. The executor
+    /// keeps driving real tenant labels on it (it follows the port's
+    /// role, not the annotation), so the static bound plane now sits
+    /// below what the runtime observes — a deliberate fuzz-invariant-1
+    /// witness for the shrinker to minimize.
+    SpoofInputLabel {
+        /// Which `FromTag`-annotated input (ordinal).
+        input: u8,
+    },
+}
+
+impl SurgeryOp {
+    /// The op's fault-class key (coverage and report vocabulary).
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            SurgeryOp::StuckTagJoin { .. } => "stuck-tag-join",
+            SurgeryOp::ConstGuard { .. } => "const-guard",
+            SurgeryOp::WidenDeclassify { .. } => "widen-declassify",
+            SurgeryOp::DropMux { .. } => "drop-mux",
+            SurgeryOp::RerouteOutput { .. } => "reroute-output",
+            SurgeryOp::RelabelOutput { .. } => "relabel-output",
+            SurgeryOp::DeadConst { .. } => "dead-const",
+            SurgeryOp::SpoofInputLabel { .. } => "spoof-input-label",
+        }
+    }
+
+    /// Whether this class is the seeded invariant-breaking one.
+    #[must_use]
+    pub fn is_known_bad(&self) -> bool {
+        matches!(self, SurgeryOp::SpoofInputLabel { .. })
+    }
+}
+
+fn nth_matching(design: &Design, site: u8, pred: impl Fn(&Node) -> bool) -> Option<NodeId> {
+    let sites: Vec<NodeId> = design
+        .node_ids()
+        .filter(|&id| pred(design.node(id)))
+        .collect();
+    if sites.is_empty() {
+        return None;
+    }
+    Some(sites[usize::from(site) % sites.len()])
+}
+
+/// Applies one op to a design. Returns the (possibly identical) result;
+/// an op with no matching site leaves the design untouched.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn apply_op(design: &Design, op: &SurgeryOp) -> Design {
+    let mut rw = Rewriter::new(design);
+    match *op {
+        SurgeryOp::StuckTagJoin { site, keep_b } => {
+            let Some(id) = nth_matching(design, site, |n| {
+                matches!(
+                    n,
+                    Node::Binary {
+                        op: BinOp::TagJoin,
+                        ..
+                    }
+                )
+            }) else {
+                return design.clone();
+            };
+            let Node::Binary { a, b, .. } = *design.node(id) else {
+                unreachable!()
+            };
+            rw.replace_uses(id, if keep_b { b } else { a });
+        }
+        SurgeryOp::ConstGuard { site, allow } => {
+            let Some(id) = nth_matching(design, site, |n| {
+                matches!(
+                    n,
+                    Node::Binary {
+                        op: BinOp::TagLeq,
+                        ..
+                    }
+                )
+            }) else {
+                return design.clone();
+            };
+            let stuck = rw.add_const(1, u128::from(allow));
+            rw.replace_uses(id, stuck);
+        }
+        SurgeryOp::WidenDeclassify { site } => {
+            let Some(id) = nth_matching(design, site, |n| matches!(n, Node::Declassify { .. }))
+            else {
+                return design.clone();
+            };
+            let Node::Declassify {
+                data, principal, ..
+            } = *design.node(id)
+            else {
+                unreachable!()
+            };
+            rw.replace_node(
+                id,
+                Node::Declassify {
+                    data,
+                    to_tag: SecurityTag::from(Label::PUBLIC_TRUSTED).bits(),
+                    principal,
+                },
+            );
+        }
+        SurgeryOp::DropMux { site, keep_t } => {
+            let Some(id) = nth_matching(design, site, |n| matches!(n, Node::Mux { .. })) else {
+                return design.clone();
+            };
+            let Node::Mux { t, f, .. } = *design.node(id) else {
+                unreachable!()
+            };
+            rw.replace_uses(id, if keep_t { t } else { f });
+        }
+        SurgeryOp::RerouteOutput { out, back } => {
+            if design.outputs().is_empty() {
+                return design.clone();
+            }
+            let port = &design.outputs()[usize::from(out) % design.outputs().len()];
+            let width = design.width_of(port.node);
+            // Same-width candidates strictly before the current driver,
+            // nearest first.
+            let candidates: Vec<NodeId> = design
+                .node_ids()
+                .filter(|&id| id.index() < port.node.index() && design.width_of(id) == width)
+                .collect();
+            if candidates.is_empty() {
+                return design.clone();
+            }
+            let pick = candidates[candidates.len() - 1 - usize::from(back) % candidates.len()];
+            let name = port.name.clone();
+            rw.set_output_node(&name, pick);
+        }
+        SurgeryOp::RelabelOutput { out } => {
+            let labelled: Vec<&hdl::PortInfo> = design
+                .outputs()
+                .iter()
+                .filter(|p| p.label.is_some())
+                .collect();
+            if labelled.is_empty() {
+                return design.clone();
+            }
+            let name = labelled[usize::from(out) % labelled.len()].name.clone();
+            rw.set_output_label(&name, None);
+        }
+        SurgeryOp::DeadConst { wide } => {
+            rw.add_const(if wide { 32 } else { 8 }, 0x5a);
+        }
+        SurgeryOp::SpoofInputLabel { input } => {
+            // Input annotations live in the node-label table (the port
+            // info's `label` field stays `None` for inputs).
+            let spoofable: Vec<&hdl::PortInfo> = design
+                .inputs()
+                .iter()
+                .filter(|p| matches!(design.label_of(p.node), Some(LabelExpr::FromTag(_))))
+                .collect();
+            if spoofable.is_empty() {
+                return design.clone();
+            }
+            let name = spoofable[usize::from(input) % spoofable.len()].name.clone();
+            rw.set_input_label(&name, Some(LabelExpr::Const(Label::PUBLIC_TRUSTED)));
+        }
+    }
+    rw.finish()
+}
+
+/// Applies a whole op list in order.
+#[must_use]
+pub fn apply_surgery(design: &Design, ops: &[SurgeryOp]) -> Design {
+    let mut d = design.clone();
+    for op in ops {
+        d = apply_op(&d, op);
+    }
+    d
+}
+
+/// Draws a random op from the *campaign* classes (never the known-bad
+/// annotation spoof).
+#[must_use]
+pub fn gen_op(rng: &mut FuzzRng) -> SurgeryOp {
+    match rng.below(7) {
+        0 => SurgeryOp::StuckTagJoin {
+            site: rng.below(8) as u8,
+            keep_b: rng.chance(1, 2),
+        },
+        1 => SurgeryOp::ConstGuard {
+            site: rng.below(8) as u8,
+            allow: rng.chance(2, 3),
+        },
+        2 => SurgeryOp::WidenDeclassify {
+            site: rng.below(4) as u8,
+        },
+        3 => SurgeryOp::DropMux {
+            site: rng.below(16) as u8,
+            keep_t: rng.chance(1, 2),
+        },
+        4 => SurgeryOp::RerouteOutput {
+            out: rng.below(8) as u8,
+            back: rng.below(12) as u8,
+        },
+        5 => SurgeryOp::RelabelOutput {
+            out: rng.below(8) as u8,
+        },
+        _ => SurgeryOp::DeadConst {
+            wide: rng.chance(1, 2),
+        },
+    }
+}
+
+/// Draws a random op list (possibly empty: clean designs are as
+/// interesting to the coverage map as faulted ones).
+#[must_use]
+pub fn gen_surgery(rng: &mut FuzzRng) -> Vec<SurgeryOp> {
+    let n = match rng.below(8) {
+        0 | 1 => 0,
+        2..=4 => 1,
+        5 | 6 => 2,
+        _ => 3,
+    };
+    (0..n).map(|_| gen_op(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{build_design, gen_spec};
+
+    #[test]
+    fn random_surgery_keeps_designs_lowerable() {
+        let mut rng = FuzzRng::new(0xfa22);
+        for _ in 0..64 {
+            let spec = gen_spec(&mut rng);
+            let ops = gen_surgery(&mut rng);
+            let mutated = apply_surgery(&build_design(&spec), &ops);
+            assert!(
+                mutated.lower().is_ok(),
+                "surgery {ops:?} on {spec:?} broke lowering"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_sites_are_noops() {
+        let mut rng = FuzzRng::new(1);
+        let mut spec = gen_spec(&mut rng);
+        spec.declassify_out = false;
+        spec.normalize();
+        let base = build_design(&spec);
+        let out = apply_op(&base, &SurgeryOp::WidenDeclassify { site: 3 });
+        assert_eq!(out.node_count(), base.node_count());
+    }
+}

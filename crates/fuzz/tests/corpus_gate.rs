@@ -1,0 +1,36 @@
+//! The checked-in corpus is a deterministic regression gate: every
+//! minimized witness in `corpus/` must replay to its filename's
+//! expectation (`bad-*` still fails fuzz invariant 1, everything else
+//! holds both invariants), and two replays must agree bit-for-bit on the
+//! coverage map — the property the CI `fuzz-guard` job builds on.
+
+use std::path::{Path, PathBuf};
+
+use fuzz::{load_corpus, replay_corpus, ProtectedReplayer};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn checked_in_corpus_replays_green_and_deterministically() {
+    let entries = load_corpus(&corpus_dir()).expect("checked-in corpus loads");
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    assert!(
+        entries.iter().any(fuzz::CorpusEntry::expects_failure),
+        "corpus must carry at least one known-bad (bad-*) witness"
+    );
+
+    let replayer = ProtectedReplayer::new();
+    let a = replay_corpus(&entries, &replayer);
+    assert!(a.ok(), "corpus expectation mismatches: {:?}", a.mismatches);
+    assert!(!a.coverage.is_empty());
+
+    let b = replay_corpus(&entries, &replayer);
+    assert_eq!(
+        a.coverage.fingerprint(),
+        b.coverage.fingerprint(),
+        "corpus replay coverage must be deterministic"
+    );
+    assert_eq!(a.kills, b.kills, "corpus kill histogram must be stable");
+}
