@@ -44,6 +44,12 @@ pub struct CampaignConfig {
     /// Control arm: skip the static stage, strip every label, track
     /// nothing — the unprotected evaluation of the same fault.
     pub control: bool,
+    /// Run the noninterference prover (stage 2½) on each mutant between
+    /// the static check and the fleet: an oracle-confirmed two-run
+    /// counterexample kills at [`KillStage::Counterexample`]. Opt-in —
+    /// prover cost is mutant-shaped, and attribution-sensitive
+    /// consumers enable it explicitly.
+    pub prove: bool,
     /// Lane-parallel executor for the runtime stage.
     pub backend: FleetBackend,
 }
@@ -56,6 +62,7 @@ impl Default for CampaignConfig {
             sessions: 4,
             blocks_per_session: 4,
             control: false,
+            prove: false,
             backend: FleetBackend::Batched,
         }
     }
@@ -137,6 +144,40 @@ pub fn run_mutant(base: &Design, mutation: &dyn Mutation, cfg: &CampaignConfig) 
                 report.violations.len()
             );
             return outcome;
+        }
+
+        // Stage 2½ (opt-in): the noninterference prover. Shallow
+        // unrolling with tight budgets — only an oracle-confirmed
+        // counterexample convicts, so `unknown` just falls through to
+        // the fleet.
+        if cfg.prove {
+            let opts = ifc_check::prover::ProveOptions {
+                k: 4,
+                max_nodes: 400_000,
+                max_conflicts: 20_000,
+                ..ifc_check::prover::ProveOptions::default()
+            };
+            let prove_report = ifc_check::prover::prove_annotated(&net, &opts);
+            let confirmed: Vec<_> = prove_report
+                .results
+                .iter()
+                .filter_map(|r| match &r.verdict {
+                    ifc_check::prover::Verdict::Counterexample(cex) if cex.confirmed => {
+                        Some((r.name.clone(), cex.cycle))
+                    }
+                    _ => None,
+                })
+                .collect();
+            if let Some((name, cycle)) = confirmed.first() {
+                outcome.kill = Some(KillStage::Counterexample);
+                outcome.cycles_to_kill = Some(u64::from(*cycle));
+                outcome.detail = format!(
+                    "{} oracle-confirmed noninterference counterexample(s); \
+                     first: {name} differs at cycle {cycle}",
+                    confirmed.len()
+                );
+                return outcome;
+            }
         }
     }
 

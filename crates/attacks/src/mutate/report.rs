@@ -8,8 +8,10 @@ use std::fmt;
 
 use super::MutationClass;
 
-/// Which pipeline stage killed a mutant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Which pipeline stage killed a mutant. The derived order is pipeline
+/// order: earlier variants are earlier (cheaper, more diagnosable)
+/// detection points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum KillStage {
     /// The static netlist verification suite
     /// (`ifc_check::dataflow::run_static_passes`) raised an error-severity
@@ -17,6 +19,10 @@ pub enum KillStage {
     Lint,
     /// `ifc_check::check` flagged the faulted design at design time.
     Static,
+    /// The noninterference prover found an oracle-confirmed two-run
+    /// counterexample on the lowered mutant — a proof-level conviction,
+    /// still before any fleet simulation.
+    Counterexample,
     /// The batched fleet raised a tracking violation under ordinary
     /// multi-user traffic.
     Runtime,
@@ -34,6 +40,7 @@ impl KillStage {
         match self {
             KillStage::Lint => "lint",
             KillStage::Static => "static",
+            KillStage::Counterexample => "counterexample",
             KillStage::Runtime => "runtime",
             KillStage::Attack => "attack",
             KillStage::Functional => "functional",
@@ -46,6 +53,7 @@ impl KillStage {
         [
             KillStage::Lint,
             KillStage::Static,
+            KillStage::Counterexample,
             KillStage::Runtime,
             KillStage::Attack,
             KillStage::Functional,
@@ -62,7 +70,7 @@ impl KillStage {
     #[must_use]
     pub fn killed_by(self) -> &'static str {
         match self {
-            KillStage::Lint | KillStage::Static => "static",
+            KillStage::Lint | KillStage::Static | KillStage::Counterexample => "static",
             KillStage::Runtime | KillStage::Attack => "dynamic",
             KillStage::Functional => "functional",
         }
@@ -525,6 +533,7 @@ mod tests {
     fn killed_by_categories_and_static_classes() {
         assert_eq!(KillStage::Lint.killed_by(), "static");
         assert_eq!(KillStage::Static.killed_by(), "static");
+        assert_eq!(KillStage::Counterexample.killed_by(), "static");
         assert_eq!(KillStage::Runtime.killed_by(), "dynamic");
         assert_eq!(KillStage::Attack.killed_by(), "dynamic");
         assert_eq!(KillStage::Functional.killed_by(), "functional");

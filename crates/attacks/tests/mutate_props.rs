@@ -48,6 +48,7 @@ fn arb_kill() -> impl Strategy<Value = Option<KillStage>> {
         Just(None),
         Just(Some(KillStage::Lint)),
         Just(Some(KillStage::Static)),
+        Just(Some(KillStage::Counterexample)),
         Just(Some(KillStage::Runtime)),
         Just(Some(KillStage::Attack)),
         Just(Some(KillStage::Functional)),

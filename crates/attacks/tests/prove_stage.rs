@@ -1,0 +1,71 @@
+//! The opt-in prover stage (2½) of the mutation kill pipeline.
+//!
+//! `CampaignConfig::prove = true` runs the bit-precise noninterference
+//! prover on each mutant between the static check and the fleet. The
+//! contract mirrors the fuzz corpus gate: the prover adds a conviction
+//! point, it cannot absolve — enabling it may only move a mutant's kill
+//! attribution *earlier* in the pipeline, never later, and a
+//! [`KillStage::Counterexample`] kill counts as a static (pre-execution)
+//! kill in the report's `killed_by` taxonomy.
+
+use accel::protected;
+use attacks::mutate::{enumerate, run_mutant, CampaignConfig, KillStage};
+
+/// Pipeline position of an outcome; survivors sort after every kill.
+/// (`Option`'s derived order puts `None` first, which is backwards for
+/// attribution: surviving all stages is the *latest* possible outcome.)
+fn rank(kill: Option<KillStage>) -> (u8, Option<KillStage>) {
+    match kill {
+        Some(stage) => (0, Some(stage)),
+        None => (1, None),
+    }
+}
+
+#[test]
+fn prover_stage_only_moves_attribution_earlier() {
+    let base = protected();
+    let plain_cfg = CampaignConfig::default();
+    assert!(!plain_cfg.prove, "the prover stage must be opt-in");
+    let prove_cfg = CampaignConfig {
+        prove: true,
+        ..plain_cfg
+    };
+
+    // A slice of the catalogue keeps the doubled pipeline cost bounded;
+    // enumeration is seed-deterministic, so the slice is stable too.
+    let mutants = enumerate(&base, plain_cfg.seed);
+    let mut counterexample_kills = 0usize;
+    for mutation in mutants.iter().take(8) {
+        let plain = run_mutant(&base, mutation.as_ref(), &plain_cfg);
+        let proved = run_mutant(&base, mutation.as_ref(), &prove_cfg);
+        assert!(
+            rank(proved.kill) <= rank(plain.kill),
+            "{}: prover moved attribution later ({:?} -> {:?})",
+            proved.id,
+            plain.kill,
+            proved.kill
+        );
+        if proved.kill == Some(KillStage::Counterexample) {
+            counterexample_kills += 1;
+            assert_eq!(
+                KillStage::Counterexample.killed_by(),
+                "static",
+                "a counterexample conviction needs no simulation"
+            );
+            assert!(
+                proved.cycles_to_kill.is_some(),
+                "{}: counterexample kill must carry the diverging cycle",
+                proved.id
+            );
+            assert!(
+                plain.kill.is_none_or(|k| k >= KillStage::Counterexample),
+                "{}: prover pre-empted an earlier static kill",
+                proved.id
+            );
+        }
+    }
+    // The slice may or may not contain a prover-killable mutant — the
+    // invariant above is what's certified — but when one shows up its
+    // evidence must be complete, which the inner block asserts.
+    let _ = counterexample_kills;
+}

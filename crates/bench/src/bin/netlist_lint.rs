@@ -1,141 +1,30 @@
 //! Command-line front end for the static netlist verification suite.
 //!
-//! Runs all five lint passes on one of the case-study designs: the four
+//! Runs the lint passes on one of the case-study designs: the four
 //! purely static passes (`comb-cycle`, `secret-timing`,
-//! `downgrade-audit`, `dead-logic`) plus the `label-crosscheck` pass,
-//! which drives seeded sessions on every simulator backend and tracking
-//! mode and diffs the observed runtime tag planes against the static
-//! bound plane.
+//! `downgrade-audit`, `dead-logic`), the `label-crosscheck` pass (which
+//! drives seeded sessions on every simulator backend and diffs observed
+//! runtime tag planes against the static bound plane), and — under
+//! `--prove` — the bit-precise noninterference prover with per-output
+//! verdicts and counterexample synthesis.
 //!
 //! Usage:
 //!
 //! ```text
 //! netlist_lint [--design protected|baseline|annotated|trojaned]
 //!              [--deny warnings] [--no-crosscheck] [--seed N]
+//!              [--prove] [--prove-k N] [--prove-out PROVE_REPORT.json]
 //!              [--severity <pass>=<error|warning|info>]...
 //!              [--out LINT_REPORT.json] [--sarif REPORT.sarif]
 //! ```
 //!
-//! Exits non-zero when the report is not clean — any error finding, or
-//! any warning under `--deny warnings`.
+//! Exit codes: `0` clean, `1` findings (any error, or any warning under
+//! `--deny warnings`), `2` internal error (usage, lowering, IO). See
+//! [`bench::lint_cli`].
 
 use std::process::ExitCode;
 
-use ifc_check::{run_static_passes, LintConfig, PassId, Severity};
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: netlist_lint [--design protected|baseline|annotated|trojaned] \
-         [--deny warnings] [--no-crosscheck] [--seed N] \
-         [--severity <pass>=<error|warning|info>]... \
-         [--out PATH.json] [--sarif PATH.sarif]"
-    );
-    std::process::exit(2);
-}
-
-fn pass_from_key(key: &str) -> Option<PassId> {
-    PassId::ALL.into_iter().find(|p| p.key() == key)
-}
-
 fn main() -> ExitCode {
-    let mut design_name = "protected".to_string();
-    let mut deny_warnings = false;
-    let mut crosscheck = true;
-    let mut seed = 2019u64;
-    let mut cfg = LintConfig::new();
-    let mut out: Option<String> = None;
-    let mut sarif: Option<String> = None;
-
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--design" => design_name = args.next().unwrap_or_else(|| usage()),
-            "--deny" => match args.next().as_deref() {
-                Some("warnings") => deny_warnings = true,
-                _ => usage(),
-            },
-            "--no-crosscheck" => crosscheck = false,
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--severity" => {
-                let spec = args.next().unwrap_or_else(|| usage());
-                let Some((pass_key, level)) = spec.split_once('=') else {
-                    usage()
-                };
-                let (Some(pass), Some(severity)) =
-                    (pass_from_key(pass_key), Severity::from_key(level))
-                else {
-                    usage()
-                };
-                cfg = cfg.with_severity(pass, severity);
-            }
-            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
-            "--sarif" => sarif = Some(args.next().unwrap_or_else(|| usage())),
-            _ => usage(),
-        }
-    }
-
-    let design = match design_name.as_str() {
-        "protected" => accel::protected(),
-        "baseline" => accel::baseline(),
-        "annotated" => accel::baseline_annotated(),
-        "trojaned" => accel::trojaned(accel::Protection::Full),
-        _ => usage(),
-    };
-    let net = match design.lower() {
-        Ok(net) => net,
-        Err(e) => {
-            eprintln!("netlist_lint: '{design_name}' does not lower: {e:?}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let mut report = run_static_passes(Some(&design), &net, &cfg);
-    if crosscheck {
-        let outcome = accel::crosscheck::crosscheck_campaign(&net, seed, &cfg);
-        report
-            .passes
-            .push(PassId::LabelCrosscheck.key().to_string());
-        println!(
-            "label-crosscheck: {} seeded sessions, {} finding(s)",
-            outcome.sessions,
-            outcome.findings.len()
-        );
-        report.findings.extend(outcome.findings);
-    }
-
-    print!("{report}");
-    println!(
-        "netlist_lint: {} pass(es), {} error(s), {} warning(s) on '{design_name}'",
-        report.passes.len(),
-        report.count_at(Severity::Error),
-        report.count_at(Severity::Warning)
-    );
-
-    if let Some(path) = out {
-        if let Err(e) = std::fs::write(&path, report.to_json()) {
-            eprintln!("netlist_lint: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("report written to {path}");
-    }
-    if let Some(path) = sarif {
-        if let Err(e) = std::fs::write(&path, report.to_sarif()) {
-            eprintln!("netlist_lint: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("SARIF written to {path}");
-    }
-
-    if report.is_clean(deny_warnings) {
-        println!("netlist_lint: OK");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("netlist_lint: FAIL — report is not clean");
-        ExitCode::FAILURE
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(bench::lint_cli::run(&args))
 }

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod lint_cli;
 pub mod probe;
 pub mod table;
 

@@ -41,6 +41,10 @@ pub enum KillStage {
     Lint,
     /// The static information-flow checker refused the design.
     Static,
+    /// The noninterference prover found an oracle-confirmed two-run
+    /// counterexample (sits between the static stages and runtime: a
+    /// proof-level objection, no execution needed to convict).
+    Counterexample,
     /// Runtime tracking raised violations on an otherwise-clean design.
     Runtime,
     /// The protected replay could not complete (wedged pipeline or
@@ -57,6 +61,7 @@ impl KillStage {
         match self {
             KillStage::Lint => "lint",
             KillStage::Static => "static",
+            KillStage::Counterexample => "counterexample",
             KillStage::Runtime => "runtime",
             KillStage::ReplayBlocked => "replay-blocked",
             KillStage::Clean => "clean",
@@ -237,6 +242,22 @@ impl InputCoverage {
         }
     }
 
+    /// Records the prover's per-observable verdicts (name × verdict
+    /// key, plus whether a counterexample replayed on the oracle).
+    pub fn prove(&mut self, report: &ifc_check::prover::ProveReport) {
+        for r in &report.results {
+            self.add(&format!("prove:{}:{}", r.name, r.verdict.key()));
+            if let ifc_check::prover::Verdict::Counterexample(cex) = &r.verdict {
+                let fate = if cex.confirmed {
+                    "confirmed"
+                } else {
+                    "unreplayed"
+                };
+                self.add(&format!("prove:{}:{fate}", r.name));
+            }
+        }
+    }
+
     /// Records which stage killed the input.
     pub fn kill(&mut self, stage: KillStage) {
         self.add(&format!("kill:{}", stage.key()));
@@ -267,6 +288,7 @@ mod tests {
         let stages = [
             KillStage::Lint,
             KillStage::Static,
+            KillStage::Counterexample,
             KillStage::Runtime,
             KillStage::ReplayBlocked,
             KillStage::Clean,

@@ -32,6 +32,7 @@ pub mod exec;
 pub mod input;
 pub mod pipeline;
 pub mod program;
+pub mod prove;
 pub mod replay;
 pub mod rng;
 pub mod shrink;
@@ -43,8 +44,9 @@ pub use corpus::{load_corpus, replay_corpus, store_entry, CorpusEntry, CorpusRep
 pub use coverage::{CoverageMap, InputCoverage, KillStage};
 pub use exec::{run_generated, ExecOutcome, SeenViolation};
 pub use input::{gen_input, mutate, FuzzInput};
-pub use pipeline::{run_input, InputReport};
+pub use pipeline::{run_input, run_input_with, InputReport, PipelineConfig};
 pub use program::{gen_programs, AttackOp, TenantProgram};
+pub use prove::{fuzz_prove_options, prove_stage, role_env};
 pub use replay::{mode_key, ProtectedReplayer, ReplayOutcome, REPLAY_MODES};
 pub use rng::FuzzRng;
 pub use shrink::{is_one_minimal, shrink, size};

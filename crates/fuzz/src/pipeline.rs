@@ -26,9 +26,20 @@ use ifc_check::{run_static_passes, LintConfig, Severity};
 use crate::coverage::{InputCoverage, KillStage};
 use crate::exec::run_generated;
 use crate::input::FuzzInput;
+use crate::prove::{fuzz_prove_options, prove_stage};
 use crate::replay::ProtectedReplayer;
 use crate::spec::build_design;
 use crate::surgery::apply_surgery;
+
+/// Which optional stages a pipeline run enables.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Run the noninterference prover (role-based contract) between the
+    /// static check and runtime tracking. Off by default: the prover is
+    /// the one stage whose cost is input-shaped, so throughput-oriented
+    /// campaigns opt in per run.
+    pub prove: bool,
+}
 
 /// The result of running one input through the stack.
 #[derive(Debug, Clone)]
@@ -49,6 +60,9 @@ pub struct InputReport {
     pub static_violations: usize,
     /// Runtime violations across both generated-engine surfaces.
     pub runtime_violations: usize,
+    /// Oracle-confirmed prover counterexamples (0 when the prover stage
+    /// was not enabled).
+    pub counterexamples: usize,
 }
 
 impl InputReport {
@@ -64,6 +78,20 @@ impl InputReport {
 /// generator, the mutator, or the corpus codec can produce.
 #[must_use]
 pub fn run_input(input: &FuzzInput, replayer: &ProtectedReplayer) -> InputReport {
+    run_input_with(input, replayer, &PipelineConfig::default())
+}
+
+/// [`run_input`] with optional stages configured — notably the prover
+/// kill stage, which sits between the static check and runtime
+/// tracking: an oracle-confirmed counterexample convicts the design
+/// without executing it, so attribution can only move *earlier* when
+/// the stage is enabled.
+#[must_use]
+pub fn run_input_with(
+    input: &FuzzInput,
+    replayer: &ProtectedReplayer,
+    pipeline_cfg: &PipelineConfig,
+) -> InputReport {
     let mut coverage = InputCoverage::new();
     let design = apply_surgery(&build_design(&input.spec), &input.surgery);
 
@@ -83,6 +111,7 @@ pub fn run_input(input: &FuzzInput, replayer: &ProtectedReplayer) -> InputReport
             lint_errors: 0,
             static_violations: 0,
             runtime_violations: 0,
+            counterexamples: 0,
         };
     };
 
@@ -96,6 +125,26 @@ pub fn run_input(input: &FuzzInput, replayer: &ProtectedReplayer) -> InputReport
     let check = ifc_check::check(&design);
     coverage.static_check(&check);
     let static_violations = check.violations.len();
+
+    // Stage 2½ (opt-in): the noninterference prover under the role
+    // contract. Only an oracle-confirmed counterexample convicts;
+    // unreplayed models and budget `unknown`s are coverage signal only.
+    let counterexamples = if pipeline_cfg.prove {
+        let prove_report = prove_stage(&net, &fuzz_prove_options());
+        coverage.prove(&prove_report);
+        prove_report
+            .counterexamples()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    &r.verdict,
+                    ifc_check::prover::Verdict::Counterexample(cex) if cex.confirmed
+                )
+            })
+            .count()
+    } else {
+        0
+    };
 
     // Stage 3: runtime tracking on the generated engine.
     let outcome = run_generated(&net, &input.spec, &input.programs);
@@ -124,6 +173,8 @@ pub fn run_input(input: &FuzzInput, replayer: &ProtectedReplayer) -> InputReport
         KillStage::Lint
     } else if static_violations > 0 {
         KillStage::Static
+    } else if counterexamples > 0 {
+        KillStage::Counterexample
     } else if runtime_violations > 0 {
         KillStage::Runtime
     } else if replay_blocked {
@@ -141,6 +192,7 @@ pub fn run_input(input: &FuzzInput, replayer: &ProtectedReplayer) -> InputReport
         lint_errors,
         static_violations,
         runtime_violations,
+        counterexamples,
     }
 }
 

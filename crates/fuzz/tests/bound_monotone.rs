@@ -1,0 +1,80 @@
+//! Monotonicity of the PR-4 bound plane in the downgrade set.
+//!
+//! The conservative bound plane treats a `Declassify` node as the one
+//! place a wire's confidentiality bound may step *down*. Removing a
+//! downgrade edge from a design (rerouting its uses straight to the
+//! still-secret data) must therefore never *lower* any wire's bound —
+//! every node and memory can only stay put or become more confidential.
+//! If an edit that deletes a release ever makes the analysis claim some
+//! wire got *more* public, the transfer function is unsound (it would be
+//! crediting a release that no longer exists).
+//!
+//! The designs are random members of the fuzzer's generated family
+//! ([`gen_spec`]/[`build_design`]), which reaches the protected shape
+//! (nonmalleable declassified output) on most draws. Lowering appends
+//! synthesised nodes after the design's own, so the design-id prefix of
+//! both bound planes lines up node-for-node.
+
+use fuzz::{build_design, gen_spec, FuzzRng};
+use hdl::{Design, Node, NodeId, Rewriter};
+use ifc_check::dataflow::bound_plane;
+use proptest::prelude::*;
+
+/// Every declassify node in the design, paired with its data operand.
+fn declassify_sites(design: &Design) -> Vec<(NodeId, NodeId)> {
+    design
+        .node_ids()
+        .filter_map(|id| match design.node(id) {
+            Node::Declassify { data, .. } => Some((id, *data)),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case costs several lower + fixpoint rounds; a couple dozen
+    // random designs already cover every spec shape the generator has.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn removing_a_downgrade_never_lowers_any_bound(seed in any::<u64>()) {
+        let spec = gen_spec(&mut FuzzRng::new(seed));
+        let design = build_design(&spec);
+        let base_net = design.lower().expect("generated design lowers");
+        let base = bound_plane(&base_net);
+
+        for (site, data) in declassify_sites(&design) {
+            let mut rw = Rewriter::new(&design);
+            rw.replace_uses(site, data);
+            let stripped = rw.finish();
+            let net = stripped.lower().expect("stripped design lowers");
+            let plane = bound_plane(&net);
+
+            // The design's own node ids are a stable prefix of both
+            // lowered netlists; synthesised nodes past it need not
+            // correspond.
+            for id in design.node_ids() {
+                let before = base.node(id);
+                let after = plane.node(id);
+                prop_assert!(
+                    before.conf.flows_to(after.conf),
+                    "seed {seed}: stripping {} lowered the bound of {} ({:?} -> {:?})",
+                    design.describe(site),
+                    design.describe(id),
+                    before.conf,
+                    after.conf
+                );
+            }
+            for (mem, (before, after)) in base.mems.iter().zip(&plane.mems).enumerate() {
+                prop_assert!(
+                    before.conf.flows_to(after.conf),
+                    "seed {seed}: stripping {} lowered the bound of memory {mem} \
+                     ({:?} -> {:?})",
+                    design.describe(site),
+                    before.conf,
+                    after.conf
+                );
+            }
+        }
+    }
+}

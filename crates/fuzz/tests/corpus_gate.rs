@@ -34,3 +34,55 @@ fn checked_in_corpus_replays_green_and_deterministically() {
     );
     assert_eq!(a.kills, b.kills, "corpus kill histogram must be stable");
 }
+
+/// Replaying the corpus with the prover stage enabled may only move an
+/// input's kill attribution *earlier* (lint/static/counterexample) —
+/// never later: the prover adds a conviction point, it cannot absolve.
+/// The prover-stage coverage (and therefore its fingerprint) must also
+/// stay deterministic run to run.
+#[test]
+fn prover_stage_only_moves_attribution_earlier() {
+    use fuzz::{run_input, run_input_with, PipelineConfig};
+
+    let entries = load_corpus(&corpus_dir()).expect("checked-in corpus loads");
+    let replayer = ProtectedReplayer::new();
+    let cfg = PipelineConfig { prove: true };
+
+    let mut proved_fingerprint = 0u64;
+    for entry in &entries {
+        let plain = run_input(&entry.input, &replayer);
+        let proved = run_input_with(&entry.input, &replayer, &cfg);
+        assert!(
+            proved.kill <= plain.kill,
+            "{}: prover moved attribution later ({} -> {})",
+            entry.name,
+            plain.kill.key(),
+            proved.kill.key()
+        );
+        assert!(
+            proved.coverage.events.is_superset(&plain.coverage.events) || proved.kill < plain.kill,
+            "{}: prover run lost coverage without re-attributing",
+            entry.name
+        );
+        proved_fingerprint ^= proved
+            .coverage
+            .events
+            .iter()
+            .fold(0u64, |acc, e| acc.rotate_left(7) ^ e);
+    }
+
+    // Determinism of the prover-enabled replay, fingerprint included.
+    let mut again = 0u64;
+    for entry in &entries {
+        let proved = run_input_with(&entry.input, &replayer, &cfg);
+        again ^= proved
+            .coverage
+            .events
+            .iter()
+            .fold(0u64, |acc, e| acc.rotate_left(7) ^ e);
+    }
+    assert_eq!(
+        proved_fingerprint, again,
+        "prover-stage corpus coverage must be deterministic"
+    );
+}

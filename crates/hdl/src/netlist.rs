@@ -152,4 +152,40 @@ impl Netlist {
     pub fn toposort(&self) -> Result<Vec<NodeId>, Vec<NodeId>> {
         crate::topo::toposort(&self.nodes, &self.wire_driver)
     }
+
+    /// Per-node bit widths, indexed by node id.
+    ///
+    /// This is the width function every backend agrees on — the
+    /// interpreter, the native codegen, and the bit-blasting prover all
+    /// derive their storage from it. Operand widths are always available
+    /// in topological order because synthesised nodes only reference
+    /// earlier nodes.
+    #[must_use]
+    pub fn node_widths(&self) -> Vec<u16> {
+        use crate::node::{BinOp, UnOp};
+        let mut widths = vec![0u16; self.nodes.len()];
+        for &id in &self.topo {
+            let idx = id.index();
+            widths[idx] = match self.node(id) {
+                Node::Input { width }
+                | Node::Const { width, .. }
+                | Node::Wire { width, .. }
+                | Node::Reg { width, .. } => *width,
+                Node::MemRead { mem, .. } => self.mems[mem.index()].width,
+                Node::Unary { op, a } => match op {
+                    UnOp::Not => widths[a.index()],
+                    _ => 1,
+                },
+                Node::Binary { op, a, .. } => match op {
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Ge | BinOp::TagLeq => 1,
+                    _ => widths[a.index()],
+                },
+                Node::Mux { t, .. } => widths[t.index()],
+                Node::Slice { hi, lo, .. } => hi - lo + 1,
+                Node::Cat { hi, lo } => widths[hi.index()] + widths[lo.index()],
+                Node::Declassify { data, .. } | Node::Endorse { data, .. } => widths[data.index()],
+            };
+        }
+        widths
+    }
 }

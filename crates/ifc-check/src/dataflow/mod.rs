@@ -18,6 +18,7 @@ pub mod planes;
 pub use engine::{comb_cone, fixpoint, Facts, Lattice, Slot, Transfer};
 pub use findings::{Finding, LintReport, Severity};
 pub use passes::{
-    crosscheck_findings, crosscheck_report, run_static_passes, LintConfig, ObservedPlane, PassId,
+    crosscheck_findings, crosscheck_report, prove_findings, run_static_passes, LintConfig,
+    ObservedPlane, PassId,
 };
 pub use planes::{bound_plane, release_plane, secret_cone, LabelBound};

@@ -14,6 +14,7 @@ use ifc_lattice::{Conf, Label, SecurityTag};
 use super::engine::{comb_cone, Facts};
 use super::findings::{Finding, LintReport, Severity};
 use super::planes::{bound_plane, release_plane};
+use crate::prover;
 
 /// The five lint passes, with stable kebab-case keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -33,6 +34,11 @@ pub enum PassId {
     LabelCrosscheck,
     /// Dead logic, unlabelled inputs/wires, and unlabelled releases.
     DeadLogic,
+    /// Bit-precise noninterference prover: self-composition + SAT over
+    /// every attacker observable, with counterexample synthesis. Opt-in
+    /// (it is the one pass that can be expensive), run via
+    /// [`prove_findings`].
+    Prove,
 }
 
 impl PassId {
@@ -44,13 +50,14 @@ impl PassId {
         PassId::DeadLogic,
     ];
 
-    /// All five passes.
-    pub const ALL: [PassId; 5] = [
+    /// All six passes.
+    pub const ALL: [PassId; 6] = [
         PassId::CombCycle,
         PassId::SecretTiming,
         PassId::DowngradeAudit,
         PassId::DeadLogic,
         PassId::LabelCrosscheck,
+        PassId::Prove,
     ];
 
     /// The stable key used in reports.
@@ -62,6 +69,7 @@ impl PassId {
             PassId::DowngradeAudit => "downgrade-audit",
             PassId::LabelCrosscheck => "label-crosscheck",
             PassId::DeadLogic => "dead-logic",
+            PassId::Prove => "prove",
         }
     }
 }
@@ -799,6 +807,86 @@ pub fn crosscheck_findings(
         }
     }
     findings
+}
+
+/// The sixth pass: the bit-precise noninterference prover, folded into
+/// lint findings. Each observable yields exactly one finding:
+///
+/// * oracle-confirmed counterexample — `Error` (executable evidence of
+///   a leak);
+/// * unconfirmed counterexample — `Warning` (a SAT model the oracle
+///   could not replay, usually a release-havoc artefact worth triage);
+/// * `unknown` — `Warning` (budget exhausted; the surface is unproven);
+/// * proved — `Info` (per-output verdict for the report).
+///
+/// Returns the findings alongside the full [`prover::ProveReport`] so
+/// front ends can also emit the machine-readable verdicts.
+#[must_use]
+pub fn prove_findings(
+    net: &Netlist,
+    cfg: &LintConfig,
+    opts: &prover::ProveOptions,
+) -> (Vec<Finding>, prover::ProveReport) {
+    let report = prover::prove_annotated(net, opts);
+    let mut findings = Vec::new();
+    for r in &report.results {
+        let (default, message) = match &r.verdict {
+            prover::Verdict::Counterexample(cex) if cex.confirmed => (
+                Severity::Error,
+                format!(
+                    "noninterference refuted for {} ({}): two runs equal on all \
+                     public inputs diverge at cycle {} (oracle-confirmed, \
+                     observed {:#x} vs {:#x})",
+                    r.name,
+                    r.kind.key(),
+                    cex.cycle,
+                    cex.observed[0],
+                    cex.observed[1]
+                ),
+            ),
+            prover::Verdict::Counterexample(cex) => (
+                Severity::Warning,
+                format!(
+                    "SAT model distinguishes secrets at {} ({}) at cycle {}, but \
+                     the interpreter oracle did not reproduce it — likely a \
+                     declassification-havoc artefact; triage the port programs",
+                    r.name,
+                    r.kind.key(),
+                    cex.cycle
+                ),
+            ),
+            prover::Verdict::Unknown { reason } => (
+                Severity::Warning,
+                format!("noninterference undecided for {} ({reason})", r.name),
+            ),
+            prover::Verdict::ProvedStructural => (
+                Severity::Info,
+                format!(
+                    "{} proved noninterferent structurally (secret-free cone, \
+                     any depth)",
+                    r.name
+                ),
+            ),
+            prover::Verdict::Proved { k, inductive } => (
+                Severity::Info,
+                if *inductive {
+                    format!(
+                        "{} proved noninterferent unboundedly (k={k} + induction)",
+                        r.name
+                    )
+                } else {
+                    format!("{} proved noninterferent up to {k} cycles", r.name)
+                },
+            ),
+        };
+        findings.push(Finding {
+            pass: PassId::Prove.key().to_owned(),
+            severity: cfg.severity(PassId::Prove, default),
+            node: Some(r.name.clone()),
+            message,
+        });
+    }
+    (findings, report)
 }
 
 /// Convenience: the full cross-check pass as its own one-pass report.

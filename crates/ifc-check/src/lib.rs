@@ -50,12 +50,15 @@ mod ctx;
 pub mod dataflow;
 mod infer;
 pub mod policy;
+pub mod prover;
 mod report;
 
 pub use alabel::AbstractLabel;
 pub use blame::runtime_blame;
 pub use checker::check;
-pub use dataflow::{run_static_passes, LintConfig, LintReport, ObservedPlane, PassId, Severity};
+pub use dataflow::{
+    prove_findings, run_static_passes, LintConfig, LintReport, ObservedPlane, PassId, Severity,
+};
 pub use infer::{infer, Inference};
 pub use policy::{
     check_policies, check_policy, parse_policies, FlowPolicy, ParsePolicyError, PolicyKind,

@@ -1,0 +1,471 @@
+//! A hash-consed And-Inverter Graph with bit-vector helpers.
+//!
+//! The self-composition encoder lowers both copies of a netlist into one
+//! shared AIG: structural hashing makes the two copies of every
+//! secret-independent cone collapse to the *same* nodes, so the miter
+//! over an untainted signal folds to constant false without any SAT
+//! work, and only secret-influenced logic is ever duplicated.
+//!
+//! Literals are `u32`s: `node << 1 | negated`. Node 0 is the constant
+//! TRUE, so [`TRUE`]` == 0` and [`FALSE`]` == 1`. Construction folds
+//! constants and idempotent/contradictory operand pairs eagerly.
+
+use std::collections::HashMap;
+
+use hdl::Value;
+
+/// An AIG literal: `node << 1 | negated`.
+pub type Lit = u32;
+
+/// The constant-true literal.
+pub const TRUE: Lit = 0;
+/// The constant-false literal.
+pub const FALSE: Lit = 1;
+
+/// Complements a literal.
+#[must_use]
+pub const fn not(a: Lit) -> Lit {
+    a ^ 1
+}
+
+/// The node index behind a literal.
+#[must_use]
+pub const fn node_of(a: Lit) -> u32 {
+    a >> 1
+}
+
+/// Whether the literal is negated.
+#[must_use]
+pub const fn is_neg(a: Lit) -> bool {
+    a & 1 == 1
+}
+
+/// Sentinel operand marking a free input node.
+const INPUT: Lit = u32::MAX;
+
+/// A little-endian bit vector of AIG literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bv(pub Vec<Lit>);
+
+impl Bv {
+    /// Width in bits.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The bit at `i`, or FALSE beyond the width (zero extension).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> Lit {
+        self.0.get(i).copied().unwrap_or(FALSE)
+    }
+}
+
+/// The shared AIG arena.
+pub struct Aig {
+    /// `(a, b)` operand pairs; `(INPUT, INPUT)` marks a free variable,
+    /// node 0 is the constant TRUE.
+    nodes: Vec<(Lit, Lit)>,
+    cons: HashMap<(Lit, Lit), u32>,
+    node_limit: usize,
+    overflowed: bool,
+}
+
+impl Aig {
+    /// An empty graph holding only the constant node.
+    #[must_use]
+    pub fn new(node_limit: usize) -> Aig {
+        Aig {
+            nodes: vec![(0, 0)],
+            cons: HashMap::new(),
+            node_limit,
+            overflowed: false,
+        }
+    }
+
+    /// Number of nodes (constant and inputs included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph holds only the constant node.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Whether the node budget was exhausted. Once set, every literal the
+    /// graph hands out is unreliable and the encoding must be abandoned.
+    #[must_use]
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Marks the encoding as failed (e.g. an address decoder too wide to
+    /// enumerate); the prover reports `Unknown` instead of mis-encoding.
+    pub fn mark_overflow(&mut self) {
+        self.overflowed = true;
+    }
+
+    /// A fresh free variable.
+    pub fn var(&mut self) -> Lit {
+        let id = self.push((INPUT, INPUT));
+        id << 1
+    }
+
+    fn push(&mut self, ops: (Lit, Lit)) -> u32 {
+        if self.nodes.len() >= self.node_limit {
+            self.overflowed = true;
+            return 0;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(ops);
+        id
+    }
+
+    /// Whether a node is a free variable.
+    #[must_use]
+    pub fn is_input(&self, node: u32) -> bool {
+        self.nodes[node as usize] == (INPUT, INPUT)
+    }
+
+    /// The operand pair of an AND node (`None` for inputs and the
+    /// constant).
+    #[must_use]
+    pub fn and_operands(&self, node: u32) -> Option<(Lit, Lit)> {
+        if node == 0 || self.is_input(node) {
+            return None;
+        }
+        Some(self.nodes[node as usize])
+    }
+
+    /// `a ∧ b` with constant folding and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == FALSE || b == FALSE || a == not(b) {
+            return FALSE;
+        }
+        if a == TRUE || a == b {
+            return b;
+        }
+        if b == TRUE {
+            return a;
+        }
+        let key = if a < b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.cons.get(&key) {
+            return id << 1;
+        }
+        let id = self.push(key);
+        if !self.overflowed {
+            self.cons.insert(key, id);
+        }
+        id << 1
+    }
+
+    /// `a ∨ b`.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        not(self.and(not(a), not(b)))
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let l = self.and(a, not(b));
+        let r = self.and(not(a), b);
+        self.or(l, r)
+    }
+
+    /// `if s { t } else { f }`.
+    pub fn mux(&mut self, s: Lit, t: Lit, f: Lit) -> Lit {
+        if t == f {
+            return t;
+        }
+        let l = self.and(s, t);
+        let r = self.and(not(s), f);
+        self.or(l, r)
+    }
+
+    /// `a == b` for single bits (XNOR).
+    pub fn eq_bit(&mut self, a: Lit, b: Lit) -> Lit {
+        not(self.xor(a, b))
+    }
+
+    // ---- bit-vector helpers -----------------------------------------
+
+    /// A constant vector.
+    #[must_use]
+    pub fn bv_const(&self, value: Value, width: usize) -> Bv {
+        Bv((0..width)
+            .map(|i| if (value >> i) & 1 == 1 { TRUE } else { FALSE })
+            .collect())
+    }
+
+    /// A vector of fresh variables.
+    pub fn bv_var(&mut self, width: usize) -> Bv {
+        Bv((0..width).map(|_| self.var()).collect())
+    }
+
+    /// Zero-extends or truncates to `width`.
+    #[must_use]
+    pub fn bv_resize(&self, a: &Bv, width: usize) -> Bv {
+        Bv((0..width).map(|i| a.bit(i)).collect())
+    }
+
+    /// Bitwise map over two vectors at the width of the result.
+    fn bv_zip(&mut self, a: &Bv, b: &Bv, width: usize, f: fn(&mut Aig, Lit, Lit) -> Lit) -> Bv {
+        Bv((0..width).map(|i| f(self, a.bit(i), b.bit(i))).collect())
+    }
+
+    /// Bitwise AND at `width`.
+    pub fn bv_and(&mut self, a: &Bv, b: &Bv, width: usize) -> Bv {
+        self.bv_zip(a, b, width, Aig::and)
+    }
+
+    /// Bitwise OR at `width`.
+    pub fn bv_or(&mut self, a: &Bv, b: &Bv, width: usize) -> Bv {
+        self.bv_zip(a, b, width, Aig::or)
+    }
+
+    /// Bitwise XOR at `width`.
+    pub fn bv_xor(&mut self, a: &Bv, b: &Bv, width: usize) -> Bv {
+        self.bv_zip(a, b, width, Aig::xor)
+    }
+
+    /// Bitwise complement at `width`.
+    pub fn bv_not(&mut self, a: &Bv, width: usize) -> Bv {
+        Bv((0..width).map(|i| not(a.bit(i))).collect())
+    }
+
+    /// Per-bit mux at the widths of the arms (zero-extending the short
+    /// one).
+    pub fn bv_mux(&mut self, s: Lit, t: &Bv, f: &Bv, width: usize) -> Bv {
+        Bv((0..width)
+            .map(|i| self.mux(s, t.bit(i), f.bit(i)))
+            .collect())
+    }
+
+    /// Ripple-carry adder, result truncated to `width` (wrapping, as the
+    /// simulator's `wrapping_add` + mask).
+    pub fn bv_add(&mut self, a: &Bv, b: &Bv, width: usize) -> Bv {
+        let mut carry = FALSE;
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            let (x, y) = (a.bit(i), b.bit(i));
+            let xy = self.xor(x, y);
+            out.push(self.xor(xy, carry));
+            let g = self.and(x, y);
+            let p = self.and(xy, carry);
+            carry = self.or(g, p);
+        }
+        Bv(out)
+    }
+
+    /// Ripple-borrow subtractor (`a - b`), truncated to `width`.
+    pub fn bv_sub(&mut self, a: &Bv, b: &Bv, width: usize) -> Bv {
+        let nb = self.bv_not(b, width);
+        // a + ~b + 1.
+        let mut carry = TRUE;
+        let mut out = Vec::with_capacity(width);
+        for i in 0..width {
+            let (x, y) = (a.bit(i), nb.bit(i));
+            let xy = self.xor(x, y);
+            out.push(self.xor(xy, carry));
+            let g = self.and(x, y);
+            let p = self.and(xy, carry);
+            carry = self.or(g, p);
+        }
+        Bv(out)
+    }
+
+    /// `a == b` over `width` bits (zero-extended full-value equality).
+    pub fn bv_eq(&mut self, a: &Bv, b: &Bv, width: usize) -> Lit {
+        let mut acc = TRUE;
+        for i in 0..width {
+            let e = self.eq_bit(a.bit(i), b.bit(i));
+            acc = self.and(acc, e);
+        }
+        acc
+    }
+
+    /// Unsigned `a < b` over `width` bits.
+    pub fn bv_ult(&mut self, a: &Bv, b: &Bv, width: usize) -> Lit {
+        // MSB-first compare: lt = (¬a_i ∧ b_i) ∨ ((a_i == b_i) ∧ lt_below).
+        let mut lt = FALSE;
+        for i in 0..width {
+            let (x, y) = (a.bit(i), b.bit(i));
+            let here = self.and(not(x), y);
+            let same = self.eq_bit(x, y);
+            let below = self.and(same, lt);
+            lt = self.or(here, below);
+        }
+        lt
+    }
+
+    /// OR-reduce over `width` bits.
+    pub fn bv_reduce_or(&mut self, a: &Bv, width: usize) -> Lit {
+        let mut acc = FALSE;
+        for i in 0..width {
+            acc = self.or(acc, a.bit(i));
+        }
+        acc
+    }
+
+    /// AND-reduce over `width` bits.
+    pub fn bv_reduce_and(&mut self, a: &Bv, width: usize) -> Lit {
+        let mut acc = TRUE;
+        for i in 0..width {
+            acc = self.and(acc, a.bit(i));
+        }
+        acc
+    }
+
+    /// XOR-reduce (parity) over `width` bits.
+    pub fn bv_reduce_xor(&mut self, a: &Bv, width: usize) -> Lit {
+        let mut acc = FALSE;
+        for i in 0..width {
+            acc = self.xor(acc, a.bit(i));
+        }
+        acc
+    }
+
+    /// Binary mux tree: selects `entries[addr]`. The entry list must have
+    /// exactly `2^addr_bits.len()` members.
+    pub fn bv_select(&mut self, entries: &[Bv], addr_bits: &[Lit], width: usize) -> Bv {
+        assert_eq!(entries.len(), 1 << addr_bits.len(), "select shape");
+        if addr_bits.is_empty() {
+            return self.bv_resize(&entries[0], width);
+        }
+        // Split on the low bit: even addresses vs odd addresses.
+        let evens: Vec<Bv> = entries.iter().step_by(2).cloned().collect();
+        let odds: Vec<Bv> = entries.iter().skip(1).step_by(2).cloned().collect();
+        let f = self.bv_select(&evens, &addr_bits[1..], width);
+        let t = self.bv_select(&odds, &addr_bits[1..], width);
+        self.bv_mux(addr_bits[0], &t, &f, width)
+    }
+
+    /// Evaluates a literal under a model that assigns the *input nodes*
+    /// (missing inputs default to false). `memo` must be sized to
+    /// [`Aig::len`] and is reusable across calls with the same model.
+    #[must_use]
+    pub fn eval_lit(
+        &self,
+        lit: Lit,
+        model: &dyn Fn(u32) -> bool,
+        memo: &mut [Option<bool>],
+    ) -> bool {
+        let mut stack = vec![node_of(lit)];
+        while let Some(&n) = stack.last() {
+            if memo[n as usize].is_some() {
+                stack.pop();
+                continue;
+            }
+            if n == 0 {
+                memo[0] = Some(true);
+                stack.pop();
+                continue;
+            }
+            if self.is_input(n) {
+                memo[n as usize] = Some(model(n));
+                stack.pop();
+                continue;
+            }
+            let (a, b) = self.nodes[n as usize];
+            let (na, nb) = (node_of(a), node_of(b));
+            let (va, vb) = (memo[na as usize], memo[nb as usize]);
+            match (va, vb) {
+                (Some(x), Some(y)) => {
+                    let value = (x ^ is_neg(a)) & (y ^ is_neg(b));
+                    memo[n as usize] = Some(value);
+                    stack.pop();
+                }
+                _ => {
+                    if va.is_none() {
+                        stack.push(na);
+                    }
+                    if vb.is_none() {
+                        stack.push(nb);
+                    }
+                }
+            }
+        }
+        memo[node_of(lit) as usize].expect("evaluated") ^ is_neg(lit)
+    }
+
+    /// Evaluates a bit vector under a model into an integer value.
+    #[must_use]
+    pub fn eval_bv(
+        &self,
+        bv: &Bv,
+        model: &dyn Fn(u32) -> bool,
+        memo: &mut [Option<bool>],
+    ) -> Value {
+        let mut v: Value = 0;
+        for (i, &lit) in bv.0.iter().enumerate() {
+            if self.eval_lit(lit, model, memo) {
+                v |= 1 << i;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folding_and_hashing() {
+        let mut g = Aig::new(1 << 20);
+        let a = g.var();
+        let b = g.var();
+        assert_eq!(g.and(a, FALSE), FALSE);
+        assert_eq!(g.and(a, TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, not(a)), FALSE);
+        let ab = g.and(a, b);
+        assert_eq!(g.and(b, a), ab, "structural hashing is commutative");
+    }
+
+    #[test]
+    fn arithmetic_matches_u64() {
+        let mut g = Aig::new(1 << 20);
+        let w = 8;
+        for (x, y) in [(3u128, 5u128), (200, 77), (255, 1), (0, 0), (128, 128)] {
+            let a = g.bv_const(x, w);
+            let b = g.bv_const(y, w);
+            let model = |_: u32| false;
+            let add = g.bv_add(&a, &b, w);
+            let sub = g.bv_sub(&a, &b, w);
+            let lt = g.bv_ult(&a, &b, w);
+            let mut memo = vec![None; g.len()];
+            assert_eq!(g.eval_bv(&add, &model, &mut memo), (x + y) & 0xff);
+            assert_eq!(g.eval_bv(&sub, &model, &mut memo), x.wrapping_sub(y) & 0xff);
+            assert_eq!(g.eval_lit(lt, &model, &mut memo), x < y);
+        }
+    }
+
+    #[test]
+    fn select_walks_the_table() {
+        let mut g = Aig::new(1 << 20);
+        let entries: Vec<Bv> = (0..8u128).map(|v| g.bv_const(v * 3, 8)).collect();
+        let addr = g.bv_var(3);
+        let base = node_of(addr.0[0]);
+        for want in 0..8u128 {
+            let sel = g.bv_select(&entries, &addr.0, 8);
+            // addr bits are inputs; recover their index by node id order.
+            let model = move |n: u32| (want >> (n - base)) & 1 == 1;
+            let mut memo = vec![None; g.len()];
+            assert_eq!(g.eval_bv(&sel, &model, &mut memo), want * 3);
+        }
+    }
+
+    #[test]
+    fn node_budget_sets_overflow() {
+        let mut g = Aig::new(4);
+        let a = g.var();
+        let b = g.var();
+        let c = g.var();
+        let ab = g.and(a, b);
+        let _ = g.and(ab, c);
+        assert!(g.overflowed());
+    }
+}

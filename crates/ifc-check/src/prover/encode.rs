@@ -1,0 +1,785 @@
+//! Two-rail self-composition encoding of a lowered netlist.
+//!
+//! The encoder unrolls the design `k` cycles into the shared AIG twice —
+//! copy `A` and copy `B` — under an environment contract ([`ProveEnv`])
+//! that says, per input port, whether the two runs must drive it
+//! identically (`Public`), may drive it freely (`Secret`), or must drive
+//! it identically *exactly when the accompanying tag is
+//! publicly-confidential* (`CondTag`, the Fig. 5/7 tagged-channel
+//! contract).
+//!
+//! Three design decisions keep the encoding tractable:
+//!
+//! * **Shared rails.** Public inputs are one set of variables used by
+//!   both copies, so every secret-independent cone structurally hashes
+//!   to the *same* AIG nodes and its miter folds to constant false.
+//! * **Declassify as shared havoc.** A [`Node::Declassify`] output is a
+//!   fresh variable vector shared between the copies: the released value
+//!   is treated as equal in both runs (noninterference *modulo
+//!   declassified values*, i.e. delimited release). This cuts the AES
+//!   datapath out of every backward cone and is why the protected
+//!   pipeline is provable at all; any spuriousness it could introduce on
+//!   the SAT side is caught by the mandatory interpreter replay.
+//! * **Lazy cone-of-influence.** Values are encoded backwards on demand
+//!   and memoised per `(cycle, copy, node)`; logic outside an
+//!   observable's cone is never touched, and constants (register resets,
+//!   ROM contents) fold through the whole pipeline.
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use hdl::{BinOp, LabelExpr, MemId, Netlist, Node, NodeId, UnOp, Value};
+use ifc_lattice::Conf;
+
+use super::aig::{self, Aig, Bv, Lit};
+
+/// How the environment drives one input port across the two runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputClass {
+    /// Driven identically in both runs (attacker-chosen / public data).
+    Public,
+    /// Free in each run (secret data; the property quantifies over it).
+    Secret,
+    /// Equal across runs exactly when the referenced tag signal carries a
+    /// publicly-confidential label at that cycle.
+    CondTag(NodeId),
+}
+
+/// The per-port environment contract of a self-composition query.
+#[derive(Debug, Clone, Default)]
+pub struct ProveEnv {
+    classes: BTreeMap<usize, InputClass>,
+}
+
+impl ProveEnv {
+    /// An empty contract (every port defaults to `Public`).
+    #[must_use]
+    pub fn new() -> ProveEnv {
+        ProveEnv::default()
+    }
+
+    /// Sets the class of one input port node.
+    pub fn classify(&mut self, node: NodeId, class: InputClass) {
+        self.classes.insert(node.index(), class);
+    }
+
+    /// The class of an input port node (default `Public`).
+    #[must_use]
+    pub fn class(&self, node: NodeId) -> InputClass {
+        self.classes
+            .get(&node.index())
+            .copied()
+            .unwrap_or(InputClass::Public)
+    }
+
+    /// Derives the contract from the netlist's own input annotations:
+    /// unlabelled and public-bounded inputs are `Public`, `FromTag`
+    /// inputs are the tagged-channel contract, anything whose annotation
+    /// admits secret confidentiality is `Secret`.
+    ///
+    /// This trusts the annotations — it is the right environment for
+    /// linting a design against its *claimed* interface. A harness that
+    /// knows the real port roles (the fuzzer does) should build the
+    /// contract itself, which is exactly what exposes an input whose
+    /// annotation lies about the environment.
+    #[must_use]
+    pub fn from_annotations(net: &Netlist) -> ProveEnv {
+        let mut env = ProveEnv::new();
+        for port in &net.inputs {
+            let class = match net.labels.get(port.node.index()).and_then(Option::as_ref) {
+                None => InputClass::Public,
+                Some(LabelExpr::FromTag(tag)) => InputClass::CondTag(*tag),
+                Some(expr) => {
+                    if expr.upper_bound().conf == Conf::PUBLIC {
+                        InputClass::Public
+                    } else {
+                        InputClass::Secret
+                    }
+                }
+            };
+            env.classify(port.node, class);
+        }
+        env
+    }
+}
+
+/// What kind of attacker-visible point an observable is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsKind {
+    /// An output port releasing at public confidentiality (value channel,
+    /// and — through `valid`/`ready` ports — the Fig. 8 timing channel).
+    Output,
+    /// A memory write enable (write-traffic timing channel).
+    WriteEnable,
+    /// An input wire whose annotation claims public confidentiality while
+    /// the environment contract can drive it secret-dependently — the
+    /// spoofed-annotation detector.
+    ClaimedPublic,
+}
+
+impl ObsKind {
+    /// Stable key for reports.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            ObsKind::Output => "output",
+            ObsKind::WriteEnable => "write-enable",
+            ObsKind::ClaimedPublic => "claimed-public",
+        }
+    }
+}
+
+/// One point the attacker can observe, with the condition (a label
+/// expression that must evaluate publicly-confidential in both runs)
+/// under which it is observable.
+#[derive(Debug, Clone)]
+pub struct Observable {
+    /// Report name (port name, `mem[w#]` for write enables).
+    pub name: String,
+    /// The observed node.
+    pub node: NodeId,
+    /// What kind of observation point.
+    pub kind: ObsKind,
+    /// `None`: unconditionally public. `Some(expr)`: observable on cycles
+    /// where `expr` evaluates to a publicly-confidential label.
+    pub cond: Option<LabelExpr>,
+}
+
+/// Enumerates the attacker-observable points of a netlist under an
+/// environment contract.
+#[must_use]
+pub fn observables(net: &Netlist, env: &ProveEnv, write_enables: bool) -> Vec<Observable> {
+    let mut out = Vec::new();
+    for port in &net.outputs {
+        match &port.label {
+            // The open interconnect: unconditionally (P, U).
+            None => out.push(Observable {
+                name: port.name.clone(),
+                node: port.node,
+                kind: ObsKind::Output,
+                cond: None,
+            }),
+            Some(expr) => {
+                if expr.upper_bound().conf == Conf::PUBLIC {
+                    out.push(Observable {
+                        name: port.name.clone(),
+                        node: port.node,
+                        kind: ObsKind::Output,
+                        cond: None,
+                    });
+                } else if let LabelExpr::Const(_) = expr {
+                    // Statically secret: never attacker-visible.
+                } else {
+                    out.push(Observable {
+                        name: port.name.clone(),
+                        node: port.node,
+                        kind: ObsKind::Output,
+                        cond: Some(expr.clone()),
+                    });
+                }
+            }
+        }
+    }
+    if write_enables {
+        for (i, wp) in net.write_ports.iter().enumerate() {
+            out.push(Observable {
+                name: format!("{}[w{i}]", net.mems[wp.mem.index()].name),
+                node: wp.en,
+                kind: ObsKind::WriteEnable,
+                cond: None,
+            });
+        }
+    }
+    for port in &net.inputs {
+        let claimed_public = net
+            .labels
+            .get(port.node.index())
+            .and_then(Option::as_ref)
+            .is_some_and(|e| e.upper_bound().conf == Conf::PUBLIC);
+        if claimed_public && env.class(port.node) != InputClass::Public {
+            out.push(Observable {
+                name: port.name.clone(),
+                node: port.node,
+                kind: ObsKind::ClaimedPublic,
+                cond: None,
+            });
+        }
+    }
+    out
+}
+
+/// Cycle-agnostic structural taint: which nodes / memories can carry
+/// secret-influenced values under the environment contract, with
+/// declassification cutting the flow (the released value is covered by
+/// the havoc rail, not by taint).
+///
+/// An observable whose node is *untainted* is noninterferent for every
+/// `k` — both copies compute identical functions of shared variables —
+/// so the prover reports it `ProvedStructural` without touching SAT.
+#[must_use]
+pub fn taint_fixpoint(net: &Netlist, env: &ProveEnv) -> (Vec<bool>, Vec<bool>) {
+    let mut node_t = vec![false; net.nodes.len()];
+    let mut mem_t = vec![false; net.mems.len()];
+    for port in &net.inputs {
+        if env.class(port.node) != InputClass::Public {
+            node_t[port.node.index()] = true;
+        }
+    }
+    loop {
+        let mut changed = false;
+        let set = |t: &mut Vec<bool>, i: usize, v: bool| {
+            if v && !t[i] {
+                t[i] = true;
+                true
+            } else {
+                false
+            }
+        };
+        for id in net.topo_order() {
+            let idx = id.index();
+            let t = match *net.node(id) {
+                Node::Input { .. } | Node::Const { .. } | Node::Reg { .. } => continue,
+                Node::Wire { .. } => node_t[net.wire_driver[idx].expect("driver").index()],
+                Node::MemRead { mem, addr } => mem_t[mem.index()] || node_t[addr.index()],
+                Node::Unary { a, .. } => node_t[a.index()],
+                Node::Binary { a, b, .. } => node_t[a.index()] || node_t[b.index()],
+                Node::Mux { sel, t, f } => {
+                    node_t[sel.index()] || node_t[t.index()] || node_t[f.index()]
+                }
+                Node::Slice { a, .. } => node_t[a.index()],
+                Node::Cat { hi, lo } => node_t[hi.index()] || node_t[lo.index()],
+                // The declassified value rides the shared havoc rail.
+                Node::Declassify { .. } => false,
+                Node::Endorse { data, .. } => node_t[data.index()],
+            };
+            changed |= set(&mut node_t, idx, t);
+        }
+        for id in net.node_ids() {
+            let idx = id.index();
+            if matches!(net.node(id), Node::Reg { .. }) {
+                if let Some(next) = net.reg_next[idx] {
+                    let v = node_t[next.index()];
+                    changed |= set(&mut node_t, idx, v);
+                }
+            }
+        }
+        for wp in &net.write_ports {
+            let t = node_t[wp.addr.index()] || node_t[wp.data.index()] || node_t[wp.en.index()];
+            changed |= set(&mut mem_t, wp.mem.index(), t);
+        }
+        if !changed {
+            return (node_t, mem_t);
+        }
+    }
+}
+
+/// Which rail of the self-composition a value belongs to.
+pub const COPY_A: u8 = 0;
+/// The second rail.
+pub const COPY_B: u8 = 1;
+
+/// Widest address decoder the encoder will enumerate (2^12 entries).
+const MAX_ADDR_BITS: usize = 12;
+
+/// The lazy two-rail unroller.
+pub struct Encoder<'n> {
+    net: &'n Netlist,
+    widths: Vec<u16>,
+    env: ProveEnv,
+    /// The shared AIG both rails are built into.
+    pub aig: Aig,
+    /// Havoc the cycle-0 architectural state (for the inductive step)
+    /// instead of using reset values.
+    havoc_init: bool,
+    comb: HashMap<(u32, u8, u32), Bv>,
+    regs: HashMap<(u32, u8, u32), Bv>,
+    mems: HashMap<(u32, u8, u32), Rc<Vec<Bv>>>,
+    /// Variables shared by both rails: public inputs, declassify havoc,
+    /// keyed by `(cycle, node)`.
+    shared: HashMap<(u32, u32), Bv>,
+    /// Per-rail free variables: secret inputs and the free half of a
+    /// `CondTag` input, keyed by `(cycle, copy, node)`.
+    free: HashMap<(u32, u8, u32), Bv>,
+    /// Shared havoc initial state, keyed by node / `(mem, cell)`.
+    init_regs: HashMap<u32, Bv>,
+    init_mems: HashMap<u32, Rc<Vec<Bv>>>,
+}
+
+impl<'n> Encoder<'n> {
+    /// A fresh encoder over one netlist and environment.
+    #[must_use]
+    pub fn new(
+        net: &'n Netlist,
+        env: ProveEnv,
+        node_limit: usize,
+        havoc_init: bool,
+    ) -> Encoder<'n> {
+        Encoder {
+            net,
+            widths: net.node_widths(),
+            env,
+            aig: Aig::new(node_limit),
+            havoc_init,
+            comb: HashMap::new(),
+            regs: HashMap::new(),
+            mems: HashMap::new(),
+            shared: HashMap::new(),
+            free: HashMap::new(),
+            init_regs: HashMap::new(),
+            init_mems: HashMap::new(),
+        }
+    }
+
+    /// The environment contract this encoder unrolls under.
+    #[must_use]
+    pub fn env(&self) -> &ProveEnv {
+        &self.env
+    }
+
+    /// The width the simulator would store for a node.
+    #[must_use]
+    pub fn width_of(&self, id: NodeId) -> usize {
+        usize::from(self.widths[id.index()].max(1))
+    }
+
+    fn shared_vars(&mut self, cycle: u32, node: NodeId, width: usize) -> Bv {
+        if let Some(bv) = self.shared.get(&(cycle, node.index() as u32)) {
+            return bv.clone();
+        }
+        let bv = self.aig.bv_var(width);
+        self.shared.insert((cycle, node.index() as u32), bv.clone());
+        bv
+    }
+
+    fn free_vars(&mut self, cycle: u32, copy: u8, node: NodeId, width: usize) -> Bv {
+        if let Some(bv) = self.free.get(&(cycle, copy, node.index() as u32)) {
+            return bv.clone();
+        }
+        let bv = self.aig.bv_var(width);
+        self.free
+            .insert((cycle, copy, node.index() as u32), bv.clone());
+        bv
+    }
+
+    /// Whether the low conf nibble (bits 7:4 of the packed tag) is zero —
+    /// the attacker-observability test the accelerator's release gates
+    /// implement in hardware.
+    fn conf_is_public(&mut self, tag: &Bv) -> Lit {
+        let hi = self.aig.or(tag.bit(6), tag.bit(7));
+        let lo = self.aig.or(tag.bit(4), tag.bit(5));
+        let any = self.aig.or(hi, lo);
+        aig::not(any)
+    }
+
+    fn input_value(&mut self, cycle: u32, copy: u8, node: NodeId) -> Bv {
+        let w = self.width_of(node);
+        match self.env.class(node) {
+            InputClass::Public => self.shared_vars(cycle, node, w),
+            InputClass::Secret => self.free_vars(cycle, copy, node, w),
+            InputClass::CondTag(tag) => {
+                // Rail A drives freely; rail B equals rail A exactly when
+                // the (public) tag it rides under is publicly
+                // confidential, and is free otherwise.
+                let a = self.free_vars(cycle, COPY_A, node, w);
+                if copy == COPY_A {
+                    return a;
+                }
+                let tag_v = self.value(cycle, COPY_A, tag);
+                let tag8 = self.aig.bv_resize(&tag_v, 8);
+                let cond = self.conf_is_public(&tag8);
+                let b = self.free_vars(cycle, COPY_B, node, w);
+                self.aig.bv_mux(cond, &a, &b, w)
+            }
+        }
+    }
+
+    /// The architectural register value at the *start* of `cycle`.
+    fn reg_state(&mut self, cycle: u32, copy: u8, id: NodeId) -> Bv {
+        let key = (cycle, copy, id.index() as u32);
+        if let Some(bv) = self.regs.get(&key) {
+            return bv.clone();
+        }
+        let w = self.width_of(id);
+        let bv = if cycle == 0 {
+            if self.havoc_init {
+                if let Some(bv) = self.init_regs.get(&(id.index() as u32)) {
+                    bv.clone()
+                } else {
+                    let bv = self.aig.bv_var(w);
+                    self.init_regs.insert(id.index() as u32, bv.clone());
+                    bv
+                }
+            } else {
+                let Node::Reg { init, .. } = *self.net.node(id) else {
+                    unreachable!("reg_state on a non-register");
+                };
+                self.aig.bv_const(init, w)
+            }
+        } else {
+            match self.net.reg_next[id.index()] {
+                Some(next) => {
+                    let v = self.value(cycle - 1, copy, next);
+                    self.aig.bv_resize(&v, w)
+                }
+                None => self.reg_state(cycle - 1, copy, id),
+            }
+        };
+        self.regs.insert(key, bv.clone());
+        bv
+    }
+
+    fn init_mem_cells(&mut self, mem: MemId) -> Rc<Vec<Bv>> {
+        if let Some(cells) = self.init_mems.get(&(mem.index() as u32)) {
+            return Rc::clone(cells);
+        }
+        let mi = &self.net.mems[mem.index()];
+        let width = usize::from(mi.width.max(1));
+        let cells: Vec<Bv> = if self.havoc_init {
+            let mut v = Vec::with_capacity(mi.depth);
+            for _ in 0..mi.depth {
+                v.push(self.aig.bv_var(width));
+            }
+            v
+        } else {
+            (0..mi.depth)
+                .map(|c| {
+                    self.aig
+                        .bv_const(mi.init.get(c).copied().unwrap_or(0), width)
+                })
+                .collect()
+        };
+        let cells = Rc::new(cells);
+        self.init_mems.insert(mem.index() as u32, Rc::clone(&cells));
+        cells
+    }
+
+    /// `addr % depth == cell`, with the simulator's modulo semantics.
+    fn addr_matches(&mut self, addr: &Bv, cell: usize, depth: usize) -> Lit {
+        let w = addr.width();
+        if depth.is_power_of_two() {
+            let lb = depth.trailing_zeros() as usize;
+            if w >= lb {
+                // addr % depth is the low bits.
+                let low = Bv(addr.0[..lb].to_vec());
+                let want = self.aig.bv_const(cell as Value, lb);
+                return self.aig.bv_eq(&low, &want, lb);
+            }
+            // Every representable address is already < depth.
+            if cell < (1usize << w) {
+                let want = self.aig.bv_const(cell as Value, w);
+                return self.aig.bv_eq(addr, &want, w);
+            }
+            return aig::FALSE;
+        }
+        if w > MAX_ADDR_BITS {
+            self.aig.mark_overflow();
+            return aig::FALSE;
+        }
+        let mut acc = aig::FALSE;
+        for a in 0..(1usize << w) {
+            if a % depth == cell {
+                let want = self.aig.bv_const(a as Value, w);
+                let eq = self.aig.bv_eq(addr, &want, w);
+                acc = self.aig.or(acc, eq);
+            }
+        }
+        acc
+    }
+
+    /// Reads `cells[addr % depth]` as a mux tree.
+    fn mem_select(&mut self, cells: &[Bv], addr: &Bv, width: usize) -> Bv {
+        let depth = cells.len();
+        let w = addr.width();
+        if depth.is_power_of_two() {
+            let lb = depth.trailing_zeros() as usize;
+            if w >= lb {
+                return self.aig.bv_select(cells, &addr.0[..lb], width);
+            }
+            let reachable: Vec<Bv> = cells[..1 << w].to_vec();
+            return self.aig.bv_select(&reachable, &addr.0, width);
+        }
+        if w > MAX_ADDR_BITS {
+            self.aig.mark_overflow();
+            return self.aig.bv_const(0, width);
+        }
+        let entries: Vec<Bv> = (0..1usize << w).map(|a| cells[a % depth].clone()).collect();
+        self.aig.bv_select(&entries, &addr.0, width)
+    }
+
+    /// Memory contents at the *start* of `cycle`.
+    fn mem_state(&mut self, cycle: u32, copy: u8, mem: MemId) -> Rc<Vec<Bv>> {
+        let key = (cycle, copy, mem.index() as u32);
+        if let Some(cells) = self.mems.get(&key) {
+            return Rc::clone(cells);
+        }
+        let cells = if cycle == 0 {
+            self.init_mem_cells(mem)
+        } else {
+            let prev = self.mem_state(cycle - 1, copy, mem);
+            let mut cells: Vec<Bv> = prev.as_ref().clone();
+            let mi = &self.net.mems[mem.index()];
+            let width = usize::from(mi.width.max(1));
+            let depth = mi.depth;
+            // Write ports apply in statement order; a later port wins on
+            // the same cell — exactly the simulator's clock edge.
+            for wp in self.net.write_ports.iter().filter(|wp| wp.mem == mem) {
+                let en_v = self.value(cycle - 1, copy, wp.en);
+                let en = en_v.bit(0);
+                let addr = self.value(cycle - 1, copy, wp.addr);
+                let data_v = self.value(cycle - 1, copy, wp.data);
+                let data = self.aig.bv_resize(&data_v, width);
+                for (c, cell) in cells.iter_mut().enumerate() {
+                    let sel = self.addr_matches(&addr, c, depth);
+                    let wr = self.aig.and(en, sel);
+                    *cell = self.aig.bv_mux(wr, &data, cell, width);
+                }
+            }
+            Rc::new(cells)
+        };
+        self.mems.insert(key, Rc::clone(&cells));
+        cells
+    }
+
+    /// The combinational value of a node after evaluation at `cycle`,
+    /// bit-exact to [`sim::Simulator`]'s interpreter semantics.
+    #[allow(clippy::too_many_lines)]
+    pub fn value(&mut self, cycle: u32, copy: u8, id: NodeId) -> Bv {
+        let key = (cycle, copy, id.index() as u32);
+        if let Some(bv) = self.comb.get(&key) {
+            return bv.clone();
+        }
+        let w = self.width_of(id);
+        let bv = match *self.net.node(id) {
+            Node::Input { .. } => self.input_value(cycle, copy, id),
+            Node::Const { value, .. } => self.aig.bv_const(value, w),
+            Node::Wire { .. } => {
+                let driver = self.net.wire_driver[id.index()].expect("lowered wire has driver");
+                let v = self.value(cycle, copy, driver);
+                self.aig.bv_resize(&v, w)
+            }
+            Node::Reg { .. } => self.reg_state(cycle, copy, id),
+            Node::MemRead { mem, addr } => {
+                let addr_v = self.value(cycle, copy, addr);
+                let cells = self.mem_state(cycle, copy, mem);
+                self.mem_select(cells.as_ref(), &addr_v, w)
+            }
+            Node::Unary { op, a } => {
+                let av = self.value(cycle, copy, a);
+                let aw = self.width_of(a);
+                match op {
+                    UnOp::Not => self.aig.bv_not(&av, w),
+                    UnOp::ReduceOr => Bv(vec![self.aig.bv_reduce_or(&av, aw)]),
+                    UnOp::ReduceAnd => Bv(vec![self.aig.bv_reduce_and(&av, aw)]),
+                    UnOp::ReduceXor => Bv(vec![self.aig.bv_reduce_xor(&av, aw)]),
+                }
+            }
+            Node::Binary { op, a, b } => {
+                let av = self.value(cycle, copy, a);
+                let bv = self.value(cycle, copy, b);
+                let cmp_w = av.width().max(bv.width());
+                match op {
+                    BinOp::And => self.aig.bv_and(&av, &bv, w),
+                    BinOp::Or => self.aig.bv_or(&av, &bv, w),
+                    BinOp::Xor => self.aig.bv_xor(&av, &bv, w),
+                    BinOp::Add => self.aig.bv_add(&av, &bv, w),
+                    BinOp::Sub => self.aig.bv_sub(&av, &bv, w),
+                    BinOp::Eq => Bv(vec![self.aig.bv_eq(&av, &bv, cmp_w)]),
+                    BinOp::Ne => Bv(vec![aig::not(self.aig.bv_eq(&av, &bv, cmp_w))]),
+                    BinOp::Lt => Bv(vec![self.aig.bv_ult(&av, &bv, cmp_w)]),
+                    BinOp::Ge => Bv(vec![aig::not(self.aig.bv_ult(&av, &bv, cmp_w))]),
+                    BinOp::TagLeq => Bv(vec![self.tag_leq(&av, &bv)]),
+                    BinOp::TagJoin => {
+                        let t = self.tag_lattice(&av, &bv, true);
+                        self.aig.bv_resize(&t, w)
+                    }
+                    BinOp::TagMeet => {
+                        let t = self.tag_lattice(&av, &bv, false);
+                        self.aig.bv_resize(&t, w)
+                    }
+                }
+            }
+            Node::Mux { sel, t, f } => {
+                let sv = self.value(cycle, copy, sel);
+                let tv = self.value(cycle, copy, t);
+                let fv = self.value(cycle, copy, f);
+                self.aig.bv_mux(sv.bit(0), &tv, &fv, w)
+            }
+            Node::Slice { a, hi, lo } => {
+                let av = self.value(cycle, copy, a);
+                Bv((lo..=hi).map(|i| av.bit(usize::from(i))).collect())
+            }
+            Node::Cat { hi, lo } => {
+                let hv = self.value(cycle, copy, hi);
+                let lv = self.value(cycle, copy, lo);
+                let lw = self.width_of(lo);
+                let mut bits = Vec::with_capacity(w);
+                for i in 0..lw.min(w) {
+                    bits.push(lv.bit(i));
+                }
+                let mut i = 0;
+                while bits.len() < w {
+                    bits.push(hv.bit(i));
+                    i += 1;
+                }
+                Bv(bits)
+            }
+            // Delimited release: the declassified value is havoc shared
+            // by both rails (see the module docs).
+            Node::Declassify { .. } => self.shared_vars(cycle, id, w),
+            // Endorsement changes integrity, not the value and not
+            // confidentiality: plain passthrough.
+            Node::Endorse { data, .. } => {
+                let v = self.value(cycle, copy, data);
+                self.aig.bv_resize(&v, w)
+            }
+        };
+        let bv = self.aig.bv_resize(&bv, w);
+        self.comb.insert(key, bv.clone());
+        bv
+    }
+
+    /// Packed-tag `a ⊑ b` (conf nibble ≤, integ nibble ≥), over the low
+    /// eight bits like the interpreter's `as u8` truncation.
+    fn tag_leq(&mut self, a: &Bv, b: &Bv) -> Lit {
+        let (ca, ia) = Self::tag_nibbles(a);
+        let (cb, ib) = Self::tag_nibbles(b);
+        let conf_gt = self.aig.bv_ult(&cb, &ca, 4);
+        let integ_lt = self.aig.bv_ult(&ia, &ib, 4);
+        let bad = self.aig.or(conf_gt, integ_lt);
+        aig::not(bad)
+    }
+
+    /// Packed-tag join (`max` conf, `min` integ) or meet (dual).
+    fn tag_lattice(&mut self, a: &Bv, b: &Bv, join: bool) -> Bv {
+        let (ca, ia) = Self::tag_nibbles(a);
+        let (cb, ib) = Self::tag_nibbles(b);
+        let conf_lt = self.aig.bv_ult(&ca, &cb, 4);
+        let integ_lt = self.aig.bv_ult(&ia, &ib, 4);
+        let (conf, integ) = if join {
+            // max conf, min integ.
+            let c = self.aig.bv_mux(conf_lt, &cb, &ca, 4);
+            let i = self.aig.bv_mux(integ_lt, &ia, &ib, 4);
+            (c, i)
+        } else {
+            let c = self.aig.bv_mux(conf_lt, &ca, &cb, 4);
+            let i = self.aig.bv_mux(integ_lt, &ib, &ia, 4);
+            (c, i)
+        };
+        let mut bits = integ.0;
+        bits.extend(conf.0);
+        Bv(bits)
+    }
+
+    fn tag_nibbles(tag: &Bv) -> (Bv, Bv) {
+        let conf = Bv((4..8).map(|i| tag.bit(i)).collect());
+        let integ = Bv((0..4).map(|i| tag.bit(i)).collect());
+        (conf, integ)
+    }
+
+    /// The "observable right now" literal for a labelled release point:
+    /// whether `expr` evaluates to a publicly-confidential label on this
+    /// rail at this cycle.
+    pub fn cond_public(&mut self, cycle: u32, copy: u8, expr: &LabelExpr) -> Lit {
+        match expr {
+            LabelExpr::Const(l) => {
+                if l.conf == Conf::PUBLIC {
+                    aig::TRUE
+                } else {
+                    aig::FALSE
+                }
+            }
+            LabelExpr::FromTag(n) => {
+                let v = self.value(cycle, copy, *n);
+                let tag8 = self.aig.bv_resize(&v, 8);
+                self.conf_is_public(&tag8)
+            }
+            LabelExpr::Table { sel, entries } => {
+                let sv = self.value(cycle, copy, *sel);
+                let w = sv.width().max(16);
+                let sv = self.aig.bv_resize(&sv, w);
+                let mut acc = aig::FALSE;
+                for (i, entry) in entries.iter().enumerate() {
+                    if entry.conf == Conf::PUBLIC {
+                        let want = self.aig.bv_const(i as Value, w);
+                        let eq = self.aig.bv_eq(&sv, &want, w);
+                        acc = self.aig.or(acc, eq);
+                    }
+                }
+                // Out-of-range selectors fall back to the join of every
+                // entry (public only if all entries are public).
+                if entries.iter().all(|e| e.conf == Conf::PUBLIC) {
+                    let len = self.aig.bv_const(entries.len() as Value, w);
+                    let oob = aig::not(self.aig.bv_ult(&sv, &len, w));
+                    acc = self.aig.or(acc, oob);
+                }
+                acc
+            }
+            LabelExpr::Join(a, b) => {
+                let pa = self.cond_public(cycle, copy, a);
+                let pb = self.cond_public(cycle, copy, b);
+                self.aig.and(pa, pb)
+            }
+            LabelExpr::Meet(a, b) => {
+                let pa = self.cond_public(cycle, copy, a);
+                let pb = self.cond_public(cycle, copy, b);
+                self.aig.or(pa, pb)
+            }
+        }
+    }
+
+    /// The per-cycle "this observable differs" literal: both rails
+    /// observable (label publicly confidential) and values unequal.
+    pub fn obs_diff(&mut self, cycle: u32, obs: &Observable) -> Lit {
+        let va = self.value(cycle, COPY_A, obs.node);
+        let vb = self.value(cycle, COPY_B, obs.node);
+        let w = va.width().max(vb.width());
+        let mut diff = aig::not(self.aig.bv_eq(&va, &vb, w));
+        if let Some(expr) = &obs.cond {
+            let ca = self.cond_public(cycle, COPY_A, expr);
+            let cb = self.cond_public(cycle, COPY_B, expr);
+            let both = self.aig.and(ca, cb);
+            diff = self.aig.and(diff, both);
+        }
+        diff
+    }
+
+    /// The encoded input-port vector for `(cycle, copy)`, if that port
+    /// entered any cone (`None` means it is unconstrained — drive zero).
+    #[must_use]
+    pub fn input_bv(&self, cycle: u32, copy: u8, node: NodeId) -> Option<&Bv> {
+        self.comb.get(&(cycle, copy, node.index() as u32))
+    }
+
+    /// Every register (with its next-state function) and memory differing
+    /// across the rails after one step — the inductive-step consequent.
+    pub fn next_state_diff(&mut self) -> Lit {
+        let mut acc = aig::FALSE;
+        let reg_ids: Vec<NodeId> = self
+            .net
+            .node_ids()
+            .filter(|&id| matches!(self.net.node(id), Node::Reg { .. }))
+            .collect();
+        for id in reg_ids {
+            let a = self.reg_state(1, COPY_A, id);
+            let b = self.reg_state(1, COPY_B, id);
+            let w = self.width_of(id);
+            let d = aig::not(self.aig.bv_eq(&a, &b, w));
+            acc = self.aig.or(acc, d);
+        }
+        // Only written memories can diverge (an unwritten memory holds the
+        // same shared initial state on both rails forever).
+        let mut written: Vec<MemId> = self.net.write_ports.iter().map(|wp| wp.mem).collect();
+        written.sort();
+        written.dedup();
+        for mem in written {
+            let a = self.mem_state(1, COPY_A, mem);
+            let b = self.mem_state(1, COPY_B, mem);
+            let width = usize::from(self.net.mems[mem.index()].width.max(1));
+            for (ca, cb) in a.as_ref().iter().zip(b.as_ref().iter()) {
+                let d = aig::not(self.aig.bv_eq(ca, cb, width));
+                acc = self.aig.or(acc, d);
+            }
+        }
+        acc
+    }
+}

@@ -577,34 +577,9 @@ impl Simulator {
     }
 }
 
-/// Computes per-node widths for a netlist (operand widths are available
-/// because synthesised nodes only reference earlier nodes).
+/// Computes per-node widths for a netlist. Delegates to
+/// [`Netlist::node_widths`] so every backend (interpreter, codegen,
+/// prover) shares one width function.
 pub(crate) fn compute_widths(net: &Netlist) -> Vec<u16> {
-    let mut widths = vec![0u16; net.nodes.len()];
-    // Two passes: first structural widths, then derived (topo order covers
-    // dependencies but wires may precede drivers; widths of wires are
-    // intrinsic anyway).
-    for &id in &net.topo {
-        let idx = id.index();
-        widths[idx] = match net.node(id) {
-            Node::Input { width }
-            | Node::Const { width, .. }
-            | Node::Wire { width, .. }
-            | Node::Reg { width, .. } => *width,
-            Node::MemRead { mem, .. } => net.mems[mem.index()].width,
-            Node::Unary { op, a } => match op {
-                UnOp::Not => widths[a.index()],
-                _ => 1,
-            },
-            Node::Binary { op, a, .. } => match op {
-                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Ge | BinOp::TagLeq => 1,
-                _ => widths[a.index()],
-            },
-            Node::Mux { t, .. } => widths[t.index()],
-            Node::Slice { hi, lo, .. } => hi - lo + 1,
-            Node::Cat { hi, lo } => widths[hi.index()] + widths[lo.index()],
-            Node::Declassify { data, .. } | Node::Endorse { data, .. } => widths[data.index()],
-        };
-    }
-    widths
+    net.node_widths()
 }
